@@ -1,0 +1,73 @@
+// Ablation: Greedy execution strategies (serial vs parallel vs lazy).
+//
+// The serial exact greedy is the paper's algorithm; parallel evaluation
+// is bit-identical but uses worker threads; CELF-style lazy greedy trades
+// exactness of the argmax (the objective is not submodular) for far
+// fewer oracle calls. This bench quantifies both trade-offs.
+//
+//   ./ablation_greedy_exec [--scale=...] [--threads=4] [--l=10]
+
+#include <cstdio>
+
+#include "anchor/anchored_core.h"
+#include "anchor/greedy.h"
+#include "bench_common.h"
+#include "util/timer.h"
+
+using namespace avt;
+using namespace avt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  Flags flags = Flags::Parse(argc, argv);
+  const uint32_t threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 4));
+
+  TablePrinter table({"dataset", "variant", "time_ms", "oracle_calls",
+                      "followers"});
+  for (const DatasetInfo& info : SelectDatasets(config)) {
+    double scale = config.scale > 0 ? config.scale : DefaultScale(info);
+    Graph g = MakeDatasetGraph(info, scale, config.seed);
+    const uint32_t k = info.default_k;
+
+    struct Variant {
+      GreedyOptions options;
+      const char* label;
+    };
+    GreedyOptions serial;
+    GreedyOptions parallel;
+    parallel.num_threads = threads;
+    GreedyOptions lazy;
+    lazy.lazy = true;
+
+    uint32_t serial_followers = 0;
+    for (const Variant& variant :
+         {Variant{serial, "serial (paper)"},
+          Variant{parallel, "parallel"},
+          Variant{lazy, "lazy (CELF)"}}) {
+      GreedySolver solver(variant.options);
+      Timer timer;
+      SolverResult result = solver.Solve(g, k, config.l);
+      double ms = timer.ElapsedMillis();
+      if (variant.options.num_threads <= 1 && !variant.options.lazy) {
+        serial_followers = result.num_followers();
+      } else if (variant.options.num_threads > 1) {
+        AVT_CHECK_MSG(result.num_followers() == serial_followers,
+                      "parallel greedy diverged from serial");
+      }
+      table.Row()
+          .Str(info.name)
+          .Str(variant.label)
+          .Double(ms, 1)
+          .UInt(result.candidates_visited)
+          .UInt(result.num_followers());
+    }
+  }
+  EmitTable("Ablation: Greedy execution strategies", table,
+            config.print_csv);
+  std::printf("\nparallel must match serial exactly (checked); lazy may "
+              "deviate because anchored-k-core\ngains are not submodular "
+              "(Theorem 2 territory) — the delta shown is its real "
+              "quality cost.\n");
+  return 0;
+}

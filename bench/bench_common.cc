@@ -1,0 +1,203 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/ascii_chart.h"
+
+namespace avt {
+namespace bench {
+
+BenchConfig ParseBenchConfig(int argc, char** argv, size_t default_t) {
+  Flags flags = Flags::Parse(argc, argv);
+  BenchConfig config;
+  config.scale = flags.GetDouble("scale", 0.0);
+  config.T = static_cast<size_t>(
+      flags.GetInt("t", static_cast<int64_t>(default_t)));
+  config.l = static_cast<uint32_t>(flags.GetInt("l", 10));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.print_csv = flags.GetBool("csv", true);
+  std::string names = flags.GetString("datasets", "");
+  if (!names.empty()) {
+    std::stringstream stream(names);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      if (!token.empty()) config.dataset_names.push_back(token);
+    }
+  }
+  return config;
+}
+
+double DefaultScale(const DatasetInfo& info) {
+  // Keep every replica in the few-thousand-vertex regime by default; the
+  // OLAK baseline is quadratic-ish on shell-heavy configurations, so the
+  // whole harness stays minutes-long. --scale overrides.
+  if (info.paper_nodes > 30'000) return 0.05;
+  if (info.paper_nodes > 10'000) return 0.15;
+  return 1.0;
+}
+
+std::vector<DatasetInfo> SelectDatasets(const BenchConfig& config) {
+  std::vector<DatasetInfo> selected;
+  if (config.dataset_names.empty()) {
+    selected = AllDatasets();
+  } else {
+    for (const std::string& name : config.dataset_names) {
+      selected.push_back(DatasetByName(name));
+    }
+  }
+  return selected;
+}
+
+SnapshotSequence BuildSequence(const DatasetInfo& info,
+                               const BenchConfig& config) {
+  double scale = config.scale > 0 ? config.scale : DefaultScale(info);
+  return MakeDatasetSnapshots(info, scale, config.T, config.seed);
+}
+
+void EmitTable(const std::string& title, const TablePrinter& table,
+               bool print_csv) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.ToText().c_str());
+  if (print_csv) {
+    std::printf("-- csv --\n%s", table.ToCsv().c_str());
+  }
+  std::fflush(stdout);
+}
+
+std::string JoinVertices(const std::vector<VertexId>& vertices,
+                         size_t limit) {
+  std::string out;
+  size_t shown = std::min(limit, vertices.size());
+  for (size_t i = 0; i < shown; ++i) {
+    if (i) out += ' ';
+    out += std::to_string(vertices[i]);
+  }
+  if (vertices.size() > shown) out += " ...";
+  return out;
+}
+
+namespace {
+
+// Aggregates a run into the figure's y value at a sweep point. For T
+// sweeps `prefix` limits aggregation to the first `prefix` snapshots.
+double MetricValue(const AvtRunResult& run, Metric metric, size_t prefix) {
+  size_t count = std::min(prefix, run.snapshots.size());
+  switch (metric) {
+    case Metric::kTimeMillis: {
+      double total = 0;
+      for (size_t t = 0; t < count; ++t) total += run.snapshots[t].millis;
+      return total;
+    }
+    case Metric::kVisited: {
+      uint64_t total = 0;
+      for (size_t t = 0; t < count; ++t) {
+        total += run.snapshots[t].candidates_visited;
+      }
+      return static_cast<double>(total);
+    }
+    case Metric::kFollowers: {
+      // Figures 9-11 plot the total followers produced over the run so
+      // far (the paper's Deezer curve reaches ~50k by T=30 — a
+      // cumulative count, since a single snapshot cannot have more
+      // followers than vertices).
+      uint64_t total = 0;
+      for (size_t t = 0; t < count; ++t) {
+        total += run.snapshots[t].num_followers;
+      }
+      return static_cast<double>(total);
+    }
+  }
+  return 0;
+}
+
+std::string MetricHeader(Metric metric) {
+  switch (metric) {
+    case Metric::kTimeMillis: return "time_ms";
+    case Metric::kVisited: return "visited";
+    case Metric::kFollowers: return "followers";
+  }
+  return "value";
+}
+
+}  // namespace
+
+void RunFigureSweep(const BenchConfig& config, const std::string& figure,
+                    Sweep sweep, Metric metric,
+                    const std::vector<AvtAlgorithm>& algorithms) {
+  const std::vector<size_t> t_points{2, 6, 10, 14, 18, 22, 26, 30};
+  const std::vector<uint32_t> l_points{5, 10, 15, 20};
+
+  for (const DatasetInfo& info : SelectDatasets(config)) {
+    SnapshotSequence sequence = BuildSequence(info, config);
+
+    // Collect the x axis and one value series per algorithm.
+    std::vector<std::string> x_labels;
+    std::vector<ChartSeries> series(algorithms.size());
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      series[a].label = AvtAlgorithmName(algorithms[a]);
+    }
+
+    if (sweep == Sweep::kT) {
+      // One run at full length per algorithm; prefix aggregation.
+      std::vector<AvtRunResult> runs;
+      runs.reserve(algorithms.size());
+      for (AvtAlgorithm algorithm : algorithms) {
+        runs.push_back(
+            RunAvt(sequence, algorithm, info.default_k, config.l));
+      }
+      for (size_t t : t_points) {
+        if (t > sequence.NumSnapshots()) break;
+        x_labels.push_back(std::to_string(t));
+        for (size_t a = 0; a < runs.size(); ++a) {
+          series[a].values.push_back(MetricValue(runs[a], metric, t));
+        }
+      }
+    } else if (sweep == Sweep::kK) {
+      for (uint32_t k : info.k_values) {
+        x_labels.push_back(std::to_string(k));
+        for (size_t a = 0; a < algorithms.size(); ++a) {
+          AvtRunResult run = RunAvt(sequence, algorithms[a], k, config.l);
+          series[a].values.push_back(
+              MetricValue(run, metric, run.snapshots.size()));
+        }
+      }
+    } else {
+      for (uint32_t l : l_points) {
+        x_labels.push_back(std::to_string(l));
+        for (size_t a = 0; a < algorithms.size(); ++a) {
+          AvtRunResult run =
+              RunAvt(sequence, algorithms[a], info.default_k, l);
+          series[a].values.push_back(
+              MetricValue(run, metric, run.snapshots.size()));
+        }
+      }
+    }
+
+    // Table.
+    std::vector<std::string> header{
+        sweep == Sweep::kK ? "k" : (sweep == Sweep::kL ? "l" : "T")};
+    for (const ChartSeries& s : series) {
+      header.push_back(s.label + "_" + MetricHeader(metric));
+    }
+    TablePrinter table(std::move(header));
+    for (size_t i = 0; i < x_labels.size(); ++i) {
+      auto row = table.Row();
+      row.Str(x_labels[i]);
+      for (const ChartSeries& s : series) {
+        row.Double(s.values[i], metric == Metric::kTimeMillis ? 2 : 0);
+      }
+    }
+    EmitTable(figure + " — " + info.name, table, config.print_csv);
+
+    // Chart (log scale, like the paper's plots).
+    ChartOptions chart;
+    chart.x_label =
+        sweep == Sweep::kK ? "k" : (sweep == Sweep::kL ? "l" : "T");
+    chart.y_label = MetricHeader(metric);
+    std::printf("%s\n",
+                RenderAsciiChart(x_labels, series, chart).c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace avt

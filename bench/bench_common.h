@@ -1,0 +1,91 @@
+// Shared experiment-harness plumbing for the per-figure bench binaries.
+//
+// Every binary follows the same shape:
+//   * parse flags (--scale, --t, --l, --seed, --datasets, --csv);
+//   * loop over datasets x parameter values x algorithms;
+//   * run RunAvt over the dataset's snapshot sequence;
+//   * print a paper-style aligned table plus a CSV block.
+//
+// Default scales are chosen so the whole harness finishes in minutes;
+// --scale closer to 1.0 approaches the paper's full dataset sizes.
+
+#ifndef AVT_BENCH_BENCH_COMMON_H_
+#define AVT_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/avt.h"
+#include "gen/datasets.h"
+#include "util/flags.h"
+#include "util/ascii_chart.h"
+#include "util/table.h"
+
+namespace avt {
+namespace bench {
+
+/// Harness configuration derived from command-line flags.
+struct BenchConfig {
+  double scale = 0.0;        // 0 = per-dataset default
+  size_t T = 30;             // snapshots
+  uint32_t l = 10;           // anchor budget (paper default)
+  uint64_t seed = 42;
+  bool print_csv = true;
+  std::vector<std::string> dataset_names;  // empty = all six
+  std::vector<AvtAlgorithm> algorithms = {
+      AvtAlgorithm::kOlak, AvtAlgorithm::kGreedy, AvtAlgorithm::kIncAvt,
+      AvtAlgorithm::kRcm};
+};
+
+/// Parses the common flags; unknown flags are ignored by design.
+/// `default_t` lets expensive sweeps (k sweeps rerun every algorithm per
+/// k value) default below the paper's T=30; --t restores it.
+BenchConfig ParseBenchConfig(int argc, char** argv, size_t default_t = 30);
+
+/// Default scale for a dataset: large graphs get shrunk harder so every
+/// figure regenerates quickly.
+double DefaultScale(const DatasetInfo& info);
+
+/// Resolves the datasets selected by the config (all six if unset).
+std::vector<DatasetInfo> SelectDatasets(const BenchConfig& config);
+
+/// Builds (and memoizes nothing — callers cache) the snapshot sequence
+/// for a dataset under this config.
+SnapshotSequence BuildSequence(const DatasetInfo& info,
+                               const BenchConfig& config);
+
+/// Prints the table plus optional CSV with a titled banner.
+void EmitTable(const std::string& title, const TablePrinter& table,
+               bool print_csv);
+
+/// Formats a vertex list as "v1 v2 v3" (for anchor/follower columns).
+std::string JoinVertices(const std::vector<VertexId>& vertices,
+                         size_t limit = 12);
+
+/// What a figure plots on its y-axis.
+enum class Metric {
+  kTimeMillis,   // Figures 3, 5, 7
+  kVisited,      // Figures 4, 6, 8
+  kFollowers,    // Figures 9, 10, 11
+};
+
+/// What a figure sweeps on its x-axis.
+enum class Sweep {
+  kK,  // dataset-specific k values (Table 3)
+  kL,  // l in {5, 10, 15, 20}
+  kT,  // T in {2, 6, ..., 30}; one run at max T, prefix aggregation
+};
+
+/// Runs the standard figure harness: for each selected dataset and each
+/// sweep value, runs every algorithm in `algorithms` and prints one table
+/// per dataset with a row per sweep value and a column per algorithm —
+/// the same series the corresponding paper figure plots.
+void RunFigureSweep(const BenchConfig& config, const std::string& figure,
+                    Sweep sweep, Metric metric,
+                    const std::vector<AvtAlgorithm>& algorithms);
+
+}  // namespace bench
+}  // namespace avt
+
+#endif  // AVT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,18 @@
+// Figure 10: followers vs l, one series per algorithm, one panel (table)
+// per dataset. Reproduces the paper's Figure 10(a)-(f) with
+// OLAK, Greedy, IncAVT and RCM.
+//
+//   ./fig10_followers_vs_l [--scale=...] [--t=30] [--l=10] [--datasets=a,b] [--seed=42]
+
+#include "bench_common.h"
+
+using namespace avt;
+using namespace avt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  RunFigureSweep(config, "Figure 10: followers vs l",
+                 Sweep::kL, Metric::kFollowers,
+                 {AvtAlgorithm::kOlak, AvtAlgorithm::kGreedy, AvtAlgorithm::kIncAvt, AvtAlgorithm::kRcm});
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 11: followers vs k, one series per algorithm, one panel (table)
+// per dataset. Reproduces the paper's Figure 11(a)-(f) with
+// OLAK, Greedy, IncAVT and RCM.
+//
+//   ./fig11_followers_vs_k [--scale=...] [--t=30] [--l=10] [--datasets=a,b] [--seed=42]
+
+#include "bench_common.h"
+
+using namespace avt;
+using namespace avt::bench;
+
+int main(int argc, char** argv) {
+  // k sweeps rerun every algorithm per k value; default to T=10 so the
+  // whole harness stays minutes-long (--t=30 restores the paper protocol).
+  BenchConfig config = ParseBenchConfig(argc, argv, /*default_t=*/10);
+  RunFigureSweep(config, "Figure 11: followers vs k",
+                 Sweep::kK, Metric::kFollowers,
+                 {AvtAlgorithm::kOlak, AvtAlgorithm::kGreedy, AvtAlgorithm::kIncAvt, AvtAlgorithm::kRcm});
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 4: visited candidate anchors vs k, one series per algorithm, one panel (table)
+// per dataset. Reproduces the paper's Figure 4(a)-(f) with
+// OLAK, Greedy and IncAVT (the paper omits RCM here).
+//
+//   ./fig4_visited_vs_k [--scale=...] [--t=30] [--l=10] [--datasets=a,b] [--seed=42]
+
+#include "bench_common.h"
+
+using namespace avt;
+using namespace avt::bench;
+
+int main(int argc, char** argv) {
+  // k sweeps rerun every algorithm per k value; default to T=10 so the
+  // whole harness stays minutes-long (--t=30 restores the paper protocol).
+  BenchConfig config = ParseBenchConfig(argc, argv, /*default_t=*/10);
+  RunFigureSweep(config, "Figure 4: visited candidate anchors vs k",
+                 Sweep::kK, Metric::kVisited,
+                 {AvtAlgorithm::kOlak, AvtAlgorithm::kGreedy, AvtAlgorithm::kIncAvt});
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 5: running time vs T, one series per algorithm, one panel (table)
+// per dataset. Reproduces the paper's Figure 5(a)-(f) with
+// OLAK, Greedy, IncAVT and RCM.
+//
+//   ./fig5_time_vs_t [--scale=...] [--t=30] [--l=10] [--datasets=a,b] [--seed=42]
+
+#include "bench_common.h"
+
+using namespace avt;
+using namespace avt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  RunFigureSweep(config, "Figure 5: running time vs T",
+                 Sweep::kT, Metric::kTimeMillis,
+                 {AvtAlgorithm::kOlak, AvtAlgorithm::kGreedy, AvtAlgorithm::kIncAvt, AvtAlgorithm::kRcm});
+  return 0;
+}

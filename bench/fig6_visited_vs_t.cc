@@ -1,0 +1,18 @@
+// Figure 6: visited candidate anchors vs T, one series per algorithm, one panel (table)
+// per dataset. Reproduces the paper's Figure 6(a)-(f) with
+// OLAK, Greedy and IncAVT (the paper omits RCM here).
+//
+//   ./fig6_visited_vs_t [--scale=...] [--t=30] [--l=10] [--datasets=a,b] [--seed=42]
+
+#include "bench_common.h"
+
+using namespace avt;
+using namespace avt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  RunFigureSweep(config, "Figure 6: visited candidate anchors vs T",
+                 Sweep::kT, Metric::kVisited,
+                 {AvtAlgorithm::kOlak, AvtAlgorithm::kGreedy, AvtAlgorithm::kIncAvt});
+  return 0;
+}

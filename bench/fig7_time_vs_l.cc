@@ -1,0 +1,18 @@
+// Figure 7: running time vs l, one series per algorithm, one panel (table)
+// per dataset. Reproduces the paper's Figure 7(a)-(f) with
+// OLAK, Greedy, IncAVT and RCM.
+//
+//   ./fig7_time_vs_l [--scale=...] [--t=30] [--l=10] [--datasets=a,b] [--seed=42]
+
+#include "bench_common.h"
+
+using namespace avt;
+using namespace avt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  RunFigureSweep(config, "Figure 7: running time vs l",
+                 Sweep::kL, Metric::kTimeMillis,
+                 {AvtAlgorithm::kOlak, AvtAlgorithm::kGreedy, AvtAlgorithm::kIncAvt, AvtAlgorithm::kRcm});
+  return 0;
+}

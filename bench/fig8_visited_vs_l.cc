@@ -1,0 +1,18 @@
+// Figure 8: visited candidate anchors vs l, one series per algorithm, one panel (table)
+// per dataset. Reproduces the paper's Figure 8(a)-(f) with
+// OLAK, Greedy and IncAVT (the paper omits RCM here).
+//
+//   ./fig8_visited_vs_l [--scale=...] [--t=30] [--l=10] [--datasets=a,b] [--seed=42]
+
+#include "bench_common.h"
+
+using namespace avt;
+using namespace avt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv);
+  RunFigureSweep(config, "Figure 8: visited candidate anchors vs l",
+                 Sweep::kL, Metric::kVisited,
+                 {AvtAlgorithm::kOlak, AvtAlgorithm::kGreedy, AvtAlgorithm::kIncAvt});
+  return 0;
+}

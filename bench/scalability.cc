@@ -1,0 +1,65 @@
+// Scalability: running time of the four algorithms as the replica grows
+// (fixed k, l, T). Complements the paper's parameter sweeps with the
+// classic size-scaling view, and reports the anchor-stability summary
+// that explains why incremental tracking works.
+//
+//   ./scalability [--dataset=Deezer] [--t=10] [--l=10]
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/run_summary.h"
+
+using namespace avt;
+using namespace avt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = ParseBenchConfig(argc, argv, /*default_t=*/10);
+  Flags flags = Flags::Parse(argc, argv);
+  const std::string dataset_name = flags.GetString("dataset", "Deezer");
+  const DatasetInfo& info = DatasetByName(dataset_name);
+
+  const std::vector<double> scales{0.02, 0.04, 0.08, 0.16};
+  const std::vector<AvtAlgorithm> algorithms{
+      AvtAlgorithm::kOlak, AvtAlgorithm::kGreedy, AvtAlgorithm::kIncAvt,
+      AvtAlgorithm::kRcm};
+
+  TablePrinter table({"vertices", "edges", "OLAK_ms", "Greedy_ms",
+                      "IncAVT_ms", "RCM_ms", "IncAVT_stability"});
+  std::vector<std::string> x_labels;
+  std::vector<ChartSeries> series(algorithms.size());
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    series[a].label = AvtAlgorithmName(algorithms[a]);
+  }
+
+  for (double scale : scales) {
+    SnapshotSequence sequence =
+        MakeDatasetSnapshots(info, scale, config.T, config.seed);
+    auto row = table.Row();
+    row.UInt(sequence.NumVertices());
+    row.UInt(sequence.initial().NumEdges());
+    double stability = 1.0;
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      AvtRunResult run =
+          RunAvt(sequence, algorithms[a], info.default_k, config.l);
+      row.Double(run.TotalMillis(), 1);
+      series[a].values.push_back(run.TotalMillis());
+      if (algorithms[a] == AvtAlgorithm::kIncAvt) {
+        stability = SummarizeRun(run).anchor_stability;
+      }
+    }
+    row.Double(stability, 2);
+    x_labels.push_back(std::to_string(sequence.NumVertices()));
+  }
+
+  EmitTable("Scalability: total tracking time vs replica size (" +
+                info.name + ", k=" + std::to_string(info.default_k) +
+                ", l=" + std::to_string(config.l) + ", T=" +
+                std::to_string(config.T) + ")",
+            table, config.print_csv);
+  ChartOptions chart;
+  chart.x_label = "vertices";
+  chart.y_label = "time_ms";
+  std::printf("%s\n", RenderAsciiChart(x_labels, series, chart).c_str());
+  return 0;
+}

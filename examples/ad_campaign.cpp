@@ -1,0 +1,85 @@
+// Advertising-placement impact analysis (paper Section 1's application).
+//
+// An advertiser refreshes a campaign every period and wants the set of
+// "seed" users whose sustained engagement maximizes the audience that
+// stays active around them. As the interaction network evolves, the best
+// seeds drift; this example tracks them with IncAVT over a temporal
+// message log (CollegeMsg-style replica), reports per-period seed churn
+// (how many seeds changed vs the previous period), and the audience size
+// each period.
+//
+//   ./ad_campaign [--periods=8] [--k=5] [--seeds=6] [--seed=21]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/avt.h"
+#include "gen/temporal.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+using namespace avt;
+
+namespace {
+
+uint32_t Overlap(const std::vector<VertexId>& a,
+                 const std::vector<VertexId>& b) {
+  uint32_t shared = 0;
+  for (VertexId x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) ++shared;
+  }
+  return shared;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const size_t periods = static_cast<size_t>(flags.GetInt("periods", 8));
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 5));
+  const uint32_t seeds = static_cast<uint32_t>(flags.GetInt("seeds", 6));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 21));
+
+  // Bursty messaging log, windowed into campaign periods.
+  Rng rng(seed);
+  TemporalGenOptions options;
+  options.num_vertices = 1200;
+  options.num_events = 60'000;
+  options.num_days = 160;
+  options.recurrence = 0.5;
+  TemporalEventLog log =
+      GenBurstyMessageEvents(options, /*burst_fraction=*/0.12,
+                             /*burst_multiplier=*/6.0, rng);
+  SnapshotSequence sequence = WindowSnapshots(log, periods, /*window=*/40);
+
+  AvtRunResult run = RunAvt(sequence, AvtAlgorithm::kIncAvt, k, seeds);
+
+  std::printf("campaign tracking: k=%u, %u seeds, %zu periods\n\n", k,
+              seeds, periods);
+  std::printf("period | audience |C_k(S)| | extra reach | seeds kept | "
+              "seed ids\n");
+  std::printf("-------+------------------+-------------+------------+"
+              "---------\n");
+  const std::vector<VertexId>* previous = nullptr;
+  for (const AvtSnapshotResult& snap : run.snapshots) {
+    uint32_t kept = previous ? Overlap(*previous, snap.anchors)
+                             : static_cast<uint32_t>(snap.anchors.size());
+    std::printf("%6zu | %16u | %11u | %7u/%-2zu | ", snap.t,
+                snap.anchored_core_size, snap.num_followers, kept,
+                snap.anchors.size());
+    for (size_t i = 0; i < std::min<size_t>(snap.anchors.size(), 8); ++i) {
+      std::printf("%u ", snap.anchors[i]);
+    }
+    std::printf("\n");
+    previous = &snap.anchors;
+  }
+
+  std::printf("\n'extra reach' counts users who stay engaged only because "
+              "the seeds are retained\n");
+  std::printf("'seeds kept' shows how the optimal seed set drifts as the "
+              "network evolves -- the\n");
+  std::printf("phenomenon AVT tracks without re-solving from scratch each "
+              "period.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Community retention planning: the paper's motivating scenario.
+//
+// A platform observes weekly snapshots of its friendship graph and wants
+// to spend a fixed retention budget (l incentives per week) on the users
+// whose continued engagement keeps the most other users active. This
+// example simulates a shrinking community (more departures than
+// arrivals), compares "do nothing", "anchor once at week 0", and
+// "re-anchor weekly with IncAVT", and reports how much of the community
+// each policy retains.
+//
+//   ./community_retention [--weeks=12] [--k=3] [--budget=8] [--seed=9]
+
+#include <cstdio>
+#include <vector>
+
+#include "anchor/anchored_core.h"
+#include "core/avt.h"
+#include "core/inc_avt.h"
+#include "corelib/decomposition.h"
+#include "gen/churn.h"
+#include "gen/models.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+using namespace avt;
+
+namespace {
+
+// Engaged population under a fixed anchor set: |C_k(S)|.
+uint32_t EngagedUsers(const Graph& graph, uint32_t k,
+                      const std::vector<VertexId>& anchors) {
+  return static_cast<uint32_t>(
+      ComputeAnchoredKCore(graph, k, anchors).members.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const size_t weeks = static_cast<size_t>(flags.GetInt("weeks", 12));
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 3));
+  const uint32_t budget = static_cast<uint32_t>(flags.GetInt("budget", 8));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 9));
+
+  // A community with realistic degree structure...
+  Rng rng(seed);
+  Graph initial = ChungLuPowerLaw(800, 7.0, 2.1, 90, rng);
+
+  // ...slowly decaying: each week loses more friendships than it gains.
+  SnapshotSequence sequence(initial);
+  Graph current = initial;
+  for (size_t week = 1; week < weeks; ++week) {
+    EdgeDelta delta;
+    std::vector<Edge> edges = current.CollectEdges();
+    std::vector<uint64_t> picks = rng.SampleDistinct(
+        edges.size(), std::min<size_t>(edges.size(), 120));
+    for (uint64_t i : picks) {
+      delta.deletions.push_back(edges[i]);
+      current.RemoveEdge(edges[i].u, edges[i].v);
+    }
+    for (int added = 0; added < 40;) {
+      VertexId u = static_cast<VertexId>(rng.Uniform(800));
+      VertexId v = static_cast<VertexId>(rng.Uniform(800));
+      if (u == v) continue;
+      if (current.AddEdge(u, v)) {
+        delta.insertions.push_back(Edge(u, v));
+        ++added;
+      }
+    }
+    sequence.PushDelta(std::move(delta));
+  }
+
+  // Policy 1: no retention spending.
+  // Policy 2: anchor once at week 0 and never update.
+  // Policy 3: IncAVT re-anchoring each week.
+  AvtRunResult tracked = RunAvt(sequence, AvtAlgorithm::kIncAvt, k, budget);
+  std::vector<VertexId> static_anchors = tracked.snapshots[0].anchors;
+
+  std::printf("week | engaged (no anchors) | engaged (week-0 anchors) | "
+              "engaged (IncAVT weekly)\n");
+  std::printf("-----+----------------------+--------------------------+"
+              "------------------------\n");
+  uint64_t none_total = 0, fixed_total = 0, tracked_total = 0;
+  sequence.ForEachSnapshot([&](size_t t, const Graph& graph,
+                               const EdgeDelta&) {
+    uint32_t none = EngagedUsers(graph, k, {});
+    uint32_t fixed = EngagedUsers(graph, k, static_anchors);
+    uint32_t dynamic = tracked.snapshots[t].anchored_core_size;
+    none_total += none;
+    fixed_total += fixed;
+    tracked_total += dynamic;
+    std::printf("%4zu | %20u | %24u | %22u\n", t, none, fixed, dynamic);
+  });
+
+  std::printf("\ncumulative engaged user-weeks:\n");
+  std::printf("  no anchors      : %lu\n",
+              static_cast<unsigned long>(none_total));
+  std::printf("  week-0 anchors  : %lu (+%.1f%%)\n",
+              static_cast<unsigned long>(fixed_total),
+              100.0 * (static_cast<double>(fixed_total) - none_total) /
+                  static_cast<double>(none_total));
+  std::printf("  IncAVT tracking : %lu (+%.1f%%)\n",
+              static_cast<unsigned long>(tracked_total),
+              100.0 * (static_cast<double>(tracked_total) - none_total) /
+                  static_cast<double>(none_total));
+  std::printf("\nre-anchoring beats a frozen anchor set because churn "
+              "moves the k-core boundary every week.\n");
+  return 0;
+}

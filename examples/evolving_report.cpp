@@ -1,0 +1,67 @@
+// Evolving-network health report: a sustainability-analysis tool built on
+// the library's substrates (the paper's third application example).
+//
+// Given an evolving network (a dataset replica or a loaded edge list),
+// prints per-snapshot structural health: size of the engaged core, shell
+// population at risk, degeneracy, and the marginal value of retention
+// spending at several budgets (anchored-core gain per anchor).
+//
+//   ./evolving_report [--dataset=eu-core] [--t=8] [--k=3] [--scale=0.5]
+
+#include <cstdio>
+
+#include "anchor/greedy.h"
+#include "core/avt.h"
+#include "corelib/decomposition.h"
+#include "gen/datasets.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace avt;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const std::string dataset_name =
+      flags.GetString("dataset", "eu-core");
+  const size_t T = static_cast<size_t>(flags.GetInt("t", 8));
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 3));
+  const double scale = flags.GetDouble("scale", 0.5);
+
+  const DatasetInfo& info = DatasetByName(dataset_name);
+  SnapshotSequence sequence = MakeDatasetSnapshots(info, scale, T, 33);
+  std::printf("dataset %s (replica, scale %.2f): %u vertices, %zu "
+              "snapshots\n\n",
+              info.name.c_str(), scale, sequence.NumVertices(), T);
+
+  TablePrinter table({"t", "edges", "degeneracy", "|C_k|", "shell(k-1)",
+                      "gain@l=2", "gain@l=5", "gain@l=10"});
+  GreedySolver greedy;
+  sequence.ForEachSnapshot([&](size_t t, const Graph& graph,
+                               const EdgeDelta&) {
+    CoreDecomposition cores = DecomposeCores(graph);
+    uint32_t core_size = 0, shell_size = 0;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      if (cores.core[v] >= k) ++core_size;
+      if (cores.core[v] + 1 == k) ++shell_size;
+    }
+    uint32_t gain2 = greedy.Solve(graph, k, 2).num_followers();
+    uint32_t gain5 = greedy.Solve(graph, k, 5).num_followers();
+    uint32_t gain10 = greedy.Solve(graph, k, 10).num_followers();
+    table.Row()
+        .UInt(t)
+        .UInt(graph.NumEdges())
+        .UInt(cores.max_core)
+        .UInt(core_size)
+        .UInt(shell_size)
+        .UInt(gain2)
+        .UInt(gain5)
+        .UInt(gain10);
+  });
+
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf("shell(k-1): users one friend short of staying engaged -- "
+              "the population anchors recruit from.\n");
+  std::printf("gain@l: followers gained by the best l anchors (Greedy), "
+              "i.e. the marginal value of retention budget.\n");
+  return 0;
+}

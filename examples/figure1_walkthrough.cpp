@@ -1,0 +1,123 @@
+// Walkthrough of the paper's Figure 1 running example (Examples 1-5).
+//
+// Reconstructs the 17-user reading-hobby community, shows the 3-core,
+// anchors {u7, u10} at t=1, evolves the network (friendship u2-u5 forms,
+// u2-u11 breaks), and demonstrates why the best anchors shift to
+// {u7, u15} at t=2 — the phenomenon AVT tracks.
+//
+//   ./figure1_walkthrough
+
+#include <cstdio>
+
+#include "anchor/anchored_core.h"
+#include "anchor/greedy.h"
+#include "core/avt.h"
+#include "corelib/decomposition.h"
+#include "graph/snapshots.h"
+
+using namespace avt;
+
+namespace {
+
+constexpr VertexId U(int i) { return static_cast<VertexId>(i - 1); }
+
+Graph ReadingCommunityT1() {
+  Graph g(17);
+  // The engaged nucleus (3-core): u8, u9, u12, u13, u16.
+  g.AddEdge(U(8), U(9));
+  g.AddEdge(U(8), U(12));
+  g.AddEdge(U(8), U(13));
+  g.AddEdge(U(8), U(16));
+  g.AddEdge(U(9), U(12));
+  g.AddEdge(U(9), U(13));
+  g.AddEdge(U(12), U(16));
+  g.AddEdge(U(13), U(16));
+  // The periphery (see tests/paper_example_test.cc for the derivation).
+  g.AddEdge(U(1), U(4));
+  g.AddEdge(U(1), U(8));
+  g.AddEdge(U(4), U(8));
+  g.AddEdge(U(2), U(7));
+  g.AddEdge(U(2), U(3));
+  g.AddEdge(U(2), U(11));
+  g.AddEdge(U(3), U(7));
+  g.AddEdge(U(3), U(8));
+  g.AddEdge(U(3), U(11));
+  g.AddEdge(U(3), U(6));
+  g.AddEdge(U(5), U(10));
+  g.AddEdge(U(5), U(6));
+  g.AddEdge(U(5), U(9));
+  g.AddEdge(U(6), U(10));
+  g.AddEdge(U(10), U(9));
+  g.AddEdge(U(11), U(13));
+  g.AddEdge(U(11), U(15));
+  g.AddEdge(U(14), U(9));
+  g.AddEdge(U(14), U(15));
+  g.AddEdge(U(14), U(16));
+  g.AddEdge(U(17), U(16));
+  return g;
+}
+
+void PrintUsers(const char* label, const std::vector<VertexId>& users) {
+  std::printf("%s", label);
+  for (VertexId v : users) std::printf(" u%u", v + 1);
+  std::printf("\n");
+}
+
+void Evaluate(const Graph& g, const std::vector<VertexId>& anchors) {
+  AnchoredCoreResult result = ComputeAnchoredKCore(g, 3, anchors);
+  PrintUsers("  anchors   :", anchors);
+  PrintUsers("  followers :", result.followers);
+  std::printf("  |C_3(S)|  : %zu engaged users\n", result.members.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1 walkthrough: a reading-hobby community with 17 "
+              "users, engagement threshold k = 3\n\n");
+
+  Graph t1 = ReadingCommunityT1();
+  CoreDecomposition cores = DecomposeCores(t1);
+  PrintUsers("t=1 engaged nucleus (3-core):", KCoreMembers(cores, 3));
+  std::printf("only %zu of 17 users stay engaged on their own.\n\n",
+              KCoreMembers(cores, 3).size());
+
+  std::printf("Example 3: persuade u7 and u10 to stay (anchor them):\n");
+  Evaluate(t1, {U(7), U(10)});
+  std::printf("engagement grows from 5 to 12 users.\n\n");
+
+  std::printf("Example 5: anchoring u15 alone re-engages u14 (in this\n"
+              "reconstruction the cascade reaches a few more users than\n"
+              "the paper's figure, whose exact edges are unpublished):\n");
+  Evaluate(t1, {U(15)});
+  std::printf("\n");
+
+  // The network evolves: u2-u5 befriend, u2-u11 fall out.
+  Graph t2 = t1;
+  t2.AddEdge(U(2), U(5));
+  t2.RemoveEdge(U(2), U(11));
+  std::printf("t=2: friendship (u2,u5) forms, (u2,u11) breaks.\n\n");
+
+  std::printf("yesterday's anchors {u7, u10} at t=2:\n");
+  Evaluate(t2, {U(7), U(10)});
+  std::printf("\nbut {u7, u15} at t=2:\n");
+  Evaluate(t2, {U(7), U(15)});
+  std::printf("\nthe optimal anchors MOVED as the network evolved — "
+              "exactly what AVT tracks.\n\n");
+
+  // Let the incremental tracker discover this automatically.
+  SnapshotSequence sequence(t1);
+  EdgeDelta delta;
+  delta.insertions.push_back(Edge(U(2), U(5)));
+  delta.deletions.push_back(Edge(U(2), U(11)));
+  sequence.PushDelta(delta);
+  AvtRunResult run = RunAvt(sequence, AvtAlgorithm::kIncAvt, 3, 2);
+  std::printf("IncAVT (k=3, l=2) tracking the two snapshots:\n");
+  for (const AvtSnapshotResult& snap : run.snapshots) {
+    std::printf("  t=%zu:", snap.t + 1);
+    for (VertexId a : snap.anchors) std::printf(" u%u", a + 1);
+    std::printf("  -> %u followers, %u engaged users\n",
+                snap.num_followers, snap.anchored_core_size);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "anchor/anchored_core.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace avt {
+
+AnchoredCoreResult ComputeAnchoredKCore(
+    const Graph& graph, uint32_t k, const std::vector<VertexId>& anchors) {
+  const VertexId n = graph.NumVertices();
+  AnchoredCoreResult result;
+
+  std::vector<uint8_t> is_anchor(n, 0);
+  for (VertexId a : anchors) {
+    AVT_CHECK(a < n);
+    is_anchor[a] = 1;
+  }
+
+  // Pinned peel at threshold k.
+  std::vector<uint32_t> degree(n);
+  std::vector<uint8_t> removed(n, 0);
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    if (!is_anchor[v] && degree[v] < k) frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    VertexId v = frontier.back();
+    frontier.pop_back();
+    if (removed[v]) continue;
+    removed[v] = 1;
+    for (VertexId w : graph.Neighbors(v)) {
+      if (removed[w] || is_anchor[w]) continue;
+      if (--degree[w] == k - 1) frontier.push_back(w);
+    }
+  }
+
+  // Plain k-core membership for the follower split.
+  CoreDecomposition plain = DecomposeCores(graph);
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (removed[v]) continue;
+    result.members.push_back(v);
+    if (!is_anchor[v] && plain.core[v] < k) result.followers.push_back(v);
+  }
+  return result;
+}
+
+uint32_t CountFollowersExact(const Graph& graph, uint32_t k,
+                             const std::vector<VertexId>& anchors) {
+  return static_cast<uint32_t>(
+      ComputeAnchoredKCore(graph, k, anchors).followers.size());
+}
+
+bool IsValidAnchoredKCore(const Graph& graph, uint32_t k,
+                          const std::vector<VertexId>& anchors,
+                          const std::vector<VertexId>& claimed_members) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint8_t> member(n, 0);
+  for (VertexId v : claimed_members) {
+    if (v >= n) return false;
+    member[v] = 1;
+  }
+  std::vector<uint8_t> is_anchor(n, 0);
+  for (VertexId a : anchors) {
+    if (a >= n) return false;
+    is_anchor[a] = 1;
+    if (!member[a]) return false;  // anchors belong to C_k(S) by definition
+  }
+
+  // Internal-degree constraint for non-anchor members.
+  for (VertexId v : claimed_members) {
+    if (is_anchor[v]) continue;
+    uint32_t inside = 0;
+    for (VertexId w : graph.Neighbors(v)) inside += member[w];
+    if (inside < k) return false;
+  }
+
+  // Maximality: no vertex outside could be added greedily... a single
+  // outside vertex with >= k member-neighbors proves non-maximality.
+  for (VertexId v = 0; v < n; ++v) {
+    if (member[v]) continue;
+    uint32_t inside = 0;
+    for (VertexId w : graph.Neighbors(v)) inside += member[w];
+    if (inside >= k) return false;
+  }
+
+  // Contains the ordinary k-core.
+  CoreDecomposition plain = DecomposeCores(graph);
+  for (VertexId v = 0; v < n; ++v) {
+    if (plain.core[v] >= k && !member[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace avt

@@ -1,0 +1,48 @@
+// Exact anchored k-core semantics (Definitions 3 and 4 of the paper).
+//
+// An anchored vertex is exempt from the degree constraint: during the
+// k-core peel it is never removed. The anchored k-core C_k(S) is the set
+// of survivors of that pinned peel; followers F_k(S) are survivors that
+// are neither original k-core members nor anchors.
+//
+// This module is the ground truth the fast order-based follower oracle is
+// differentially tested against, and the engine behind the brute-force
+// solver and the effectiveness metrics.
+
+#ifndef AVT_ANCHOR_ANCHORED_CORE_H_
+#define AVT_ANCHOR_ANCHORED_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corelib/decomposition.h"
+#include "graph/graph.h"
+
+namespace avt {
+
+/// Result of an exact anchored peel.
+struct AnchoredCoreResult {
+  /// Every vertex of C_k(S): k-core members, anchors, and followers.
+  std::vector<VertexId> members;
+  /// Followers only (members minus original k-core minus anchors).
+  std::vector<VertexId> followers;
+};
+
+/// Exact anchored k-core by pinned peel; O(n + m).
+AnchoredCoreResult ComputeAnchoredKCore(const Graph& graph, uint32_t k,
+                                        const std::vector<VertexId>& anchors);
+
+/// Convenience: just the follower count of an anchor set.
+uint32_t CountFollowersExact(const Graph& graph, uint32_t k,
+                             const std::vector<VertexId>& anchors);
+
+/// Checks Definition 3 directly: every claimed follower has at least k
+/// neighbors inside claimed_members, no non-member qualifies for
+/// inclusion, and members ⊇ k-core ∪ anchors. Used by property tests.
+bool IsValidAnchoredKCore(const Graph& graph, uint32_t k,
+                          const std::vector<VertexId>& anchors,
+                          const std::vector<VertexId>& claimed_members);
+
+}  // namespace avt
+
+#endif  // AVT_ANCHOR_ANCHORED_CORE_H_

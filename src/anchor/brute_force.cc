@@ -1,0 +1,71 @@
+#include "anchor/brute_force.h"
+
+#include "anchor/anchored_core.h"
+#include "anchor/follower_oracle.h"
+#include "corelib/korder.h"
+
+namespace avt {
+
+SolverResult BruteForceSolver::Solve(const Graph& graph, uint32_t k,
+                                     uint32_t l) {
+  SolverResult result;
+  truncated_ = false;
+  if (k == 0 || l == 0) return result;
+
+  KOrder order;
+  order.Build(graph);
+  FollowerOracle oracle(&graph, &order);
+
+  // Pool: every non-k-core vertex with at least one edge.
+  std::vector<VertexId> pool;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (order.CoreOf(v) < k && graph.Degree(v) > 0) pool.push_back(v);
+  }
+  const uint32_t pool_size = static_cast<uint32_t>(pool.size());
+  if (pool_size == 0) return result;
+  const uint32_t pick = std::min(l, pool_size);
+
+  std::vector<uint32_t> index(pick);
+  for (uint32_t i = 0; i < pick; ++i) index[i] = i;
+
+  std::vector<VertexId> best_anchors;
+  uint32_t best_followers = 0;
+  bool have_best = false;
+  uint64_t evaluations = 0;
+  std::vector<VertexId> trial(pick);
+
+  // Enumerate all C(pool, pick) combinations in lexicographic order.
+  while (true) {
+    for (uint32_t i = 0; i < pick; ++i) trial[i] = pool[index[i]];
+    ++evaluations;
+    ++result.candidates_visited;
+    uint32_t followers = oracle.CountFollowers(trial, k);
+    if (!have_best || followers > best_followers) {
+      have_best = true;
+      best_followers = followers;
+      best_anchors = trial;
+    }
+    if (max_evaluations_ != 0 && evaluations >= max_evaluations_) {
+      truncated_ = true;
+      break;
+    }
+    // Advance the combination.
+    int32_t slot = static_cast<int32_t>(pick) - 1;
+    while (slot >= 0 &&
+           index[slot] == pool_size - pick + static_cast<uint32_t>(slot)) {
+      --slot;
+    }
+    if (slot < 0) break;
+    ++index[slot];
+    for (uint32_t i = static_cast<uint32_t>(slot) + 1; i < pick; ++i) {
+      index[i] = index[i - 1] + 1;
+    }
+  }
+
+  result.anchors = best_anchors;
+  result.followers = ComputeAnchoredKCore(graph, k, best_anchors).followers;
+  result.cascade_visited = oracle.stats().visited;
+  return result;
+}
+
+}  // namespace avt

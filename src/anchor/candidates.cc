@@ -1,0 +1,25 @@
+#include "anchor/candidates.h"
+
+namespace avt {
+
+std::vector<VertexId> CollectAnchorCandidates(const Graph& graph,
+                                              const KOrder& order,
+                                              uint32_t k) {
+  std::vector<VertexId> out;
+  for (VertexId x = 0; x < graph.NumVertices(); ++x) {
+    if (IsAnchorCandidate(graph, order, x, k)) out.push_back(x);
+  }
+  return out;
+}
+
+std::vector<VertexId> CollectUnprunedCandidates(const Graph& graph,
+                                                const KOrder& order,
+                                                uint32_t k) {
+  std::vector<VertexId> out;
+  for (VertexId x = 0; x < graph.NumVertices(); ++x) {
+    if (order.CoreOf(x) < k && graph.Degree(x) > 0) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace avt

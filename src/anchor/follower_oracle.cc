@@ -1,0 +1,130 @@
+#include "anchor/follower_oracle.h"
+
+#include <queue>
+
+namespace avt {
+
+void FollowerOracle::ResizeScratch() {
+  const size_t n = graph_->NumVertices();
+  anchor_.Resize(n);
+  bump_.Resize(n);
+  deg_minus_.Resize(n);
+  in_heap_.Resize(n);
+  candidate_.Resize(n);
+  eliminated_.Resize(n);
+  support_.Resize(n);
+}
+
+uint32_t FollowerOracle::CountFollowers(std::span<const VertexId> anchors,
+                                        uint32_t k,
+                                        std::vector<VertexId>* followers) {
+  ++stats_.queries;
+  if (followers) followers->clear();
+  if (k == 0) return 0;  // every vertex is trivially in the 0-core
+
+  anchor_.Clear();
+  bump_.Clear();
+  deg_minus_.Clear();
+  in_heap_.Clear();
+  candidate_.Clear();
+  eliminated_.Clear();
+  support_.Clear();
+
+  unique_anchors_.clear();
+  for (VertexId a : anchors) {
+    if (!anchor_.Get(a)) {
+      anchor_.Set(a, 1);
+      unique_anchors_.push_back(a);
+    }
+  }
+
+  // Position key: (level, tag). Levels fit in 32 bits, so pack for the
+  // heap; pops then follow the full K-order.
+  using Key = std::pair<uint64_t, uint64_t>;  // (level, tag)
+  using HeapEntry = std::pair<Key, VertexId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  auto key_of = [this](VertexId v) {
+    return Key{order_->CoreOf(v), order_->TagOf(v)};
+  };
+  auto push = [&](VertexId v) {
+    if (!in_heap_.Get(v)) {
+      in_heap_.Set(v, 1);
+      heap.emplace(key_of(v), v);
+    }
+  };
+
+  // Seed: anchors raise the potential of neighbors they precede (anchors
+  // positioned after a neighbor are already inside its deg+ bound).
+  for (VertexId a : unique_anchors_) {
+    for (VertexId w : graph_->Neighbors(a)) {
+      if (order_->CoreOf(w) >= k || anchor_.Get(w)) continue;
+      if (order_->Precedes(a, w)) {
+        bump_.Add(w, 1);
+        push(w);
+      }
+    }
+  }
+
+  std::vector<VertexId> visited;
+  std::vector<VertexId> candidates_in_order;
+  while (!heap.empty()) {
+    VertexId w = heap.top().second;
+    heap.pop();
+    visited.push_back(w);
+    ++stats_.visited;
+    uint64_t upper = static_cast<uint64_t>(order_->DegPlus(w)) +
+                     deg_minus_.Get(w) + bump_.Get(w);
+    if (upper < k) continue;  // final: later pushes only target
+                              // later positions.
+    candidate_.Set(w, 1);
+    candidates_in_order.push_back(w);
+    for (VertexId x : graph_->Neighbors(w)) {
+      if (order_->CoreOf(x) >= k || anchor_.Get(x)) continue;
+      if (!order_->Precedes(w, x)) continue;
+      if (candidate_.Get(x)) continue;
+      deg_minus_.Add(x, 1);
+      push(x);
+    }
+  }
+
+  // Elimination fixpoint with exact support.
+  std::queue<VertexId> review;
+  for (VertexId w : candidates_in_order) {
+    uint32_t support = 0;
+    for (VertexId x : graph_->Neighbors(w)) {
+      if (anchor_.Get(x) || order_->CoreOf(x) >= k || candidate_.Get(x)) {
+        ++support;
+      }
+    }
+    support_.Set(w, support);
+    if (support < k) review.push(w);
+  }
+  while (!review.empty()) {
+    VertexId w = review.front();
+    review.pop();
+    if (eliminated_.Get(w)) continue;
+    if (support_.Get(w) >= k) continue;
+    eliminated_.Set(w, 1);
+    candidate_.Set(w, 0);
+    ++stats_.eliminated;
+    for (VertexId x : graph_->Neighbors(w)) {
+      if (candidate_.Get(x) && !eliminated_.Get(x) && !anchor_.Get(x)) {
+        support_.Add(x, static_cast<uint32_t>(-1));
+        if (support_.Get(x) < k) review.push(x);
+      }
+    }
+  }
+
+  uint32_t count = 0;
+  for (VertexId w : candidates_in_order) {
+    if (candidate_.Get(w)) {
+      ++count;
+      if (followers) followers->push_back(w);
+    }
+  }
+  return count;
+}
+
+}  // namespace avt

@@ -1,0 +1,95 @@
+// Fast, non-destructive follower computation over the K-order
+// (generalization of the paper's Algorithm 3 to anchor *sets*).
+//
+// Given anchors S and threshold k, the followers F_k(S) are the unique
+// maximal set F of non-anchor vertices outside C_k such that every member
+// has at least k neighbors in C_k ∪ S ∪ F. The oracle finds F in two
+// phases without touching the index:
+//
+//  1. Optimistic forward pass in K-order. Anchoring bumps the potential of
+//     a neighbor w by one for every anchor positioned before w (anchors
+//     after w are already counted by deg+(w), the invariant upper bound).
+//     Visiting affected vertices in K-order position, w becomes a
+//     candidate when
+//         deg+(w) + deg-(w) + bump(w) >= k,
+//     where deg-(w) counts candidate neighbors positioned before w.
+//     Candidates propagate deg- to their later neighbors below the k-core.
+//     An induction over positions shows every true follower becomes a
+//     candidate (DESIGN.md), so the pass yields a superset of F.
+//
+//  2. Elimination fixpoint. A candidate's exact support counts neighbors
+//     that are anchors, k-core members (core >= k), or surviving
+//     candidates; candidates with support < k are removed until stable.
+//     Because F stays inside the surviving set throughout and the final
+//     survivor set is itself valid, the fixpoint equals F exactly.
+//
+// Unlike the single-anchor Algorithm 3, candidates may live on any level
+// below k-1 (with several anchors a low-core vertex can reach k engaged
+// neighbors); the pass therefore orders by full (level, tag) position.
+//
+// All scratch state is epoch-stamped: evaluating a candidate anchor set
+// is allocation-free and leaves the K-order untouched, which is what lets
+// Greedy and IncAVT probe thousands of hypothetical sets per snapshot.
+
+#ifndef AVT_ANCHOR_FOLLOWER_ORACLE_H_
+#define AVT_ANCHOR_FOLLOWER_ORACLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "corelib/korder.h"
+#include "graph/graph.h"
+#include "util/epoch.h"
+
+namespace avt {
+
+/// Work counters for a follower query (paper's "visited vertices").
+struct OracleStats {
+  uint64_t queries = 0;
+  uint64_t visited = 0;       // vertices popped by forward passes
+  uint64_t eliminated = 0;    // candidates removed by fixpoints
+
+  void Reset() { *this = OracleStats{}; }
+};
+
+/// Read-only follower computation bound to a (graph, K-order) pair.
+/// The referenced structures must outlive the oracle and stay consistent
+/// (rebuild/maintain them through CoreMaintainer).
+class FollowerOracle {
+ public:
+  FollowerOracle(const Graph* graph, const KOrder* order)
+      : graph_(graph), order_(order) {
+    ResizeScratch();
+  }
+
+  /// Re-binds after the underlying graph/order changed size.
+  void ResizeScratch();
+
+  /// Returns |F_k(anchors)|; optionally materializes the follower set
+  /// (K-order position order). Anchors inside the k-core contribute
+  /// nothing (handled gracefully); duplicate anchors are allowed.
+  uint32_t CountFollowers(std::span<const VertexId> anchors, uint32_t k,
+                          std::vector<VertexId>* followers = nullptr);
+
+  const OracleStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  const Graph* graph_;
+  const KOrder* order_;
+  OracleStats stats_;
+
+  EpochArray<uint8_t> anchor_;
+  EpochArray<uint32_t> bump_;
+  EpochArray<uint32_t> deg_minus_;
+  EpochArray<uint8_t> in_heap_;
+  EpochArray<uint8_t> candidate_;
+  EpochArray<uint8_t> eliminated_;
+  EpochArray<uint32_t> support_;
+  std::vector<VertexId> unique_anchors_;
+};
+
+}  // namespace avt
+
+#endif  // AVT_ANCHOR_FOLLOWER_ORACLE_H_

@@ -1,0 +1,190 @@
+#include "anchor/greedy.h"
+
+#include <atomic>
+#include <queue>
+#include <thread>
+
+#include "anchor/candidates.h"
+#include "anchor/follower_oracle.h"
+#include "corelib/korder.h"
+
+namespace avt {
+namespace {
+
+// Shared per-solve state: graph, order, candidate pool.
+struct SolveContext {
+  const Graph& graph;
+  const KOrder& order;
+  uint32_t k;
+  std::vector<VertexId> pool;
+};
+
+// One greedy pick evaluated serially. Returns kNoVertex when the pool is
+// exhausted. `taken` flags committed anchors.
+VertexId SerialPick(SolveContext& ctx, FollowerOracle& oracle,
+                    const std::vector<VertexId>& chosen,
+                    const std::vector<uint8_t>& taken,
+                    uint64_t* candidates_visited) {
+  VertexId best_vertex = kNoVertex;
+  uint32_t best_followers = 0;
+  std::vector<VertexId> trial;
+  for (VertexId x : ctx.pool) {
+    if (taken[x]) continue;
+    trial = chosen;
+    trial.push_back(x);
+    ++*candidates_visited;
+    uint32_t followers = oracle.CountFollowers(trial, ctx.k);
+    if (best_vertex == kNoVertex || followers > best_followers) {
+      best_followers = followers;
+      best_vertex = x;
+    }
+  }
+  return best_vertex;
+}
+
+// One greedy pick evaluated by `threads` workers. Deterministic: the
+// reduction prefers more followers, then the smaller vertex id, which is
+// also what the serial loop produces (pool is id-ascending).
+VertexId ParallelPick(SolveContext& ctx, uint32_t threads,
+                      const std::vector<VertexId>& chosen,
+                      const std::vector<uint8_t>& taken,
+                      uint64_t* candidates_visited) {
+  struct Local {
+    VertexId vertex = kNoVertex;
+    uint32_t followers = 0;
+    uint64_t evaluated = 0;
+  };
+  std::vector<Local> locals(threads);
+  std::atomic<size_t> cursor{0};
+
+  auto worker = [&](uint32_t id) {
+    FollowerOracle oracle(&ctx.graph, &ctx.order);
+    std::vector<VertexId> trial;
+    Local& local = locals[id];
+    while (true) {
+      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= ctx.pool.size()) break;
+      VertexId x = ctx.pool[i];
+      if (taken[x]) continue;
+      trial = chosen;
+      trial.push_back(x);
+      ++local.evaluated;
+      uint32_t followers = oracle.CountFollowers(trial, ctx.k);
+      if (local.vertex == kNoVertex || followers > local.followers ||
+          (followers == local.followers && x < local.vertex)) {
+        local.followers = followers;
+        local.vertex = x;
+      }
+    }
+  };
+  std::vector<std::thread> pool_threads;
+  pool_threads.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) pool_threads.emplace_back(worker, t);
+  for (std::thread& t : pool_threads) t.join();
+
+  Local best;
+  for (const Local& local : locals) {
+    *candidates_visited += local.evaluated;
+    if (local.vertex == kNoVertex) continue;
+    if (best.vertex == kNoVertex || local.followers > best.followers ||
+        (local.followers == best.followers && local.vertex < best.vertex)) {
+      best = local;
+    }
+  }
+  return best.vertex;
+}
+
+// CELF-style lazy greedy: cached gains are optimistic bounds; only the
+// head of the priority queue is refreshed each step. Approximate (the
+// objective is not submodular) but typically near-identical and much
+// cheaper on large pools.
+std::vector<VertexId> LazyGreedy(SolveContext& ctx, FollowerOracle& oracle,
+                                 uint32_t l,
+                                 uint64_t* candidates_visited) {
+  struct Entry {
+    uint32_t gain;
+    VertexId vertex;
+    uint32_t evaluated_at;  // pick index of the cached gain
+    bool operator<(const Entry& other) const {
+      // max-heap by gain, tie-break small id first.
+      if (gain != other.gain) return gain < other.gain;
+      return vertex > other.vertex;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  std::vector<VertexId> trial;
+  for (VertexId x : ctx.pool) {
+    trial.assign(1, x);
+    ++*candidates_visited;
+    heap.push({oracle.CountFollowers(trial, ctx.k), x, 0});
+  }
+
+  std::vector<VertexId> chosen;
+  uint32_t current_followers = 0;
+  while (chosen.size() < l && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    uint32_t pick = static_cast<uint32_t>(chosen.size()) + 1;
+    if (top.evaluated_at == pick) {
+      chosen.push_back(top.vertex);
+      current_followers += top.gain;
+      continue;
+    }
+    trial = chosen;
+    trial.push_back(top.vertex);
+    ++*candidates_visited;
+    uint32_t total = oracle.CountFollowers(trial, ctx.k);
+    uint32_t gain = total > current_followers ? total - current_followers
+                                              : 0;
+    heap.push({gain, top.vertex, pick});
+  }
+  return chosen;
+}
+
+}  // namespace
+
+SolverResult GreedySolver::Solve(const Graph& graph, uint32_t k,
+                                 uint32_t l) {
+  SolverResult result;
+  if (k == 0 || l == 0) return result;
+
+  KOrder order;
+  order.Build(graph);
+  FollowerOracle oracle(&graph, &order);
+
+  SolveContext ctx{graph, order, k,
+                   options_.prune_candidates
+                       ? CollectAnchorCandidates(graph, order, k)
+                       : CollectUnprunedCandidates(graph, order, k)};
+
+  std::vector<VertexId> chosen;
+  if (options_.lazy) {
+    chosen = LazyGreedy(ctx, oracle, l, &result.candidates_visited);
+  } else {
+    // Algorithm 2: l picks, each taking the candidate with the most
+    // followers given the anchors already chosen. Zero-marginal picks
+    // are allowed (an anchor always joins C_k(S) itself), matching the
+    // paper's objective |C_k(S)| = |C_k| + |S| + |F|.
+    std::vector<uint8_t> taken(graph.NumVertices(), 0);
+    for (uint32_t pick = 0; pick < l; ++pick) {
+      VertexId best =
+          options_.num_threads > 1
+              ? ParallelPick(ctx, options_.num_threads, chosen, taken,
+                             &result.candidates_visited)
+              : SerialPick(ctx, oracle, chosen, taken,
+                           &result.candidates_visited);
+      if (best == kNoVertex) break;  // candidate pool exhausted
+      chosen.push_back(best);
+      taken[best] = 1;
+    }
+  }
+
+  result.anchors = chosen;
+  if (!chosen.empty()) {
+    oracle.CountFollowers(chosen, k, &result.followers);
+  }
+  result.cascade_visited = oracle.stats().visited;
+  return result;
+}
+
+}  // namespace avt

@@ -1,0 +1,125 @@
+#include "anchor/olak.h"
+
+#include <queue>
+
+#include "anchor/anchored_core.h"
+#include "corelib/korder.h"
+#include "corelib/layers.h"
+#include "util/epoch.h"
+
+namespace avt {
+namespace {
+
+// Evaluates the follower count of anchoring `x` on top of the pinned
+// layer structure `layers` (anchors already pinned are kCoreLayer-free).
+// Region discovery: BFS from x's shell neighbors along shell vertices
+// with non-decreasing layer index (OLAK's follower lemma: a saved vertex
+// chain never descends layers), then an elimination fixpoint computes the
+// exact follower set within the region.
+uint32_t EvaluateCandidate(const Graph& graph, const OnionLayers& layers,
+                           VertexId x, uint32_t k,
+                           EpochArray<uint8_t>& in_region,
+                           EpochArray<uint32_t>& support,
+                           uint64_t* visited,
+                           std::vector<VertexId>* followers_out) {
+  in_region.Clear();
+  support.Clear();
+
+  std::vector<VertexId> region;
+  std::queue<VertexId> bfs;
+  for (VertexId w : graph.Neighbors(x)) {
+    if (layers.InCore(w) || w == x) continue;
+    if (!in_region.Get(w)) {
+      in_region.Set(w, 1);
+      bfs.push(w);
+    }
+  }
+  while (!bfs.empty()) {
+    VertexId w = bfs.front();
+    bfs.pop();
+    region.push_back(w);
+    ++*visited;
+    for (VertexId y : graph.Neighbors(w)) {
+      if (layers.InCore(y) || y == x || in_region.Get(y)) continue;
+      if (layers.layer[y] >= layers.layer[w]) {
+        in_region.Set(y, 1);
+        bfs.push(y);
+      }
+    }
+  }
+
+  // Optimistic region -> eliminate members short of k supporters.
+  // Supporters: k-core members (pinned anchors included by the pinned
+  // peel), the candidate anchor x, and surviving region members.
+  std::queue<VertexId> review;
+  for (VertexId w : region) {
+    uint32_t s = 0;
+    for (VertexId y : graph.Neighbors(w)) {
+      if (layers.InCore(y) || y == x || in_region.Get(y)) ++s;
+    }
+    support.Set(w, s);
+    if (s < k) review.push(w);
+  }
+  uint32_t alive = static_cast<uint32_t>(region.size());
+  while (!review.empty()) {
+    VertexId w = review.front();
+    review.pop();
+    if (!in_region.Get(w)) continue;
+    if (support.Get(w) >= k) continue;
+    in_region.Set(w, 0);
+    --alive;
+    for (VertexId y : graph.Neighbors(w)) {
+      if (y != x && !layers.InCore(y) && in_region.Get(y)) {
+        support.Add(y, static_cast<uint32_t>(-1));
+        if (support.Get(y) < k) review.push(y);
+      }
+    }
+  }
+  if (followers_out) {
+    followers_out->clear();
+    for (VertexId w : region) {
+      if (in_region.Get(w)) followers_out->push_back(w);
+    }
+  }
+  return alive;
+}
+
+}  // namespace
+
+SolverResult OlakSolver::Solve(const Graph& graph, uint32_t k, uint32_t l) {
+  SolverResult result;
+  if (k == 0 || l == 0) return result;
+
+  EpochArray<uint8_t> in_region(graph.NumVertices());
+  EpochArray<uint32_t> support(graph.NumVertices());
+
+  std::vector<VertexId> anchors;
+  std::vector<uint8_t> taken(graph.NumVertices(), 0);
+  for (uint32_t pick = 0; pick < l; ++pick) {
+    // Re-peel with committed anchors pinned (OLAK's maintenance step).
+    OnionLayers layers = ComputeOnionLayers(graph, k, anchors);
+
+    VertexId best_vertex = kNoVertex;
+    uint32_t best_followers = 0;
+    for (VertexId x = 0; x < graph.NumVertices(); ++x) {
+      if (taken[x] || layers.InCore(x) || graph.Degree(x) == 0) continue;
+      ++result.candidates_visited;
+      uint32_t followers =
+          EvaluateCandidate(graph, layers, x, k, in_region, support,
+                            &result.cascade_visited, nullptr);
+      if (best_vertex == kNoVertex || followers > best_followers) {
+        best_followers = followers;
+        best_vertex = x;
+      }
+    }
+    if (best_vertex == kNoVertex) break;
+    anchors.push_back(best_vertex);
+    taken[best_vertex] = 1;
+  }
+
+  result.anchors = anchors;
+  result.followers = ComputeAnchoredKCore(graph, k, anchors).followers;
+  return result;
+}
+
+}  // namespace avt

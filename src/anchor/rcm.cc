@@ -1,0 +1,85 @@
+#include "anchor/rcm.h"
+
+#include <algorithm>
+
+#include "anchor/anchored_core.h"
+
+#include "corelib/korder.h"
+#include "corelib/decomposition.h"
+
+namespace avt {
+
+SolverResult RcmSolver::Solve(const Graph& graph, uint32_t k, uint32_t l) {
+  SolverResult result;
+  if (k == 0 || l == 0) return result;
+  const VertexId n = graph.NumVertices();
+
+  std::vector<VertexId> anchors;
+  std::vector<uint8_t> taken(n, 0);
+  uint32_t committed_followers = 0;
+
+  for (uint32_t pick = 0; pick < l; ++pick) {
+    // Engagement state given committed anchors: members of C_k(anchors).
+    AnchoredCoreResult state = ComputeAnchoredKCore(graph, k, anchors);
+    std::vector<uint8_t> engaged(n, 0);
+    for (VertexId v : state.members) engaged[v] = 1;
+
+    // Residual degree of non-engaged vertices.
+    std::vector<uint32_t> residual(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (engaged[v]) continue;
+      uint32_t have = 0;
+      for (VertexId w : graph.Neighbors(v)) have += engaged[w];
+      residual[v] = have >= k ? 0 : k - have;
+    }
+
+    // Anchor score: cheap-to-convert shell neighbors weigh most.
+    std::vector<std::pair<double, VertexId>> scored;
+    for (VertexId x = 0; x < n; ++x) {
+      if (taken[x] || engaged[x] || graph.Degree(x) == 0) continue;
+      double score = 0;
+      for (VertexId v : graph.Neighbors(x)) {
+        if (!engaged[v] && residual[v] > 0) {
+          score += 1.0 / static_cast<double>(residual[v]);
+        }
+      }
+      if (score > 0) scored.emplace_back(score, x);
+    }
+    if (scored.empty()) break;
+    uint32_t verify = std::min<uint32_t>(
+        verify_top_, static_cast<uint32_t>(scored.size()));
+    std::partial_sort(
+        scored.begin(), scored.begin() + verify, scored.end(),
+        [](const auto& a, const auto& b) {
+          return a.first != b.first ? a.first > b.first : a.second < b.second;
+        });
+
+    // Exact verification of the shortlist.
+    VertexId best_vertex = kNoVertex;
+    uint32_t best_followers = 0;
+    std::vector<VertexId> trial;
+    for (uint32_t i = 0; i < verify; ++i) {
+      VertexId x = scored[i].second;
+      trial = anchors;
+      trial.push_back(x);
+      ++result.candidates_visited;
+      uint32_t followers = CountFollowersExact(graph, k, trial);
+      result.cascade_visited += graph.Degree(x);
+      if (best_vertex == kNoVertex || followers > best_followers) {
+        best_followers = followers;
+        best_vertex = x;
+      }
+    }
+    if (best_vertex == kNoVertex) break;
+    anchors.push_back(best_vertex);
+    taken[best_vertex] = 1;
+    committed_followers = best_followers;
+  }
+  (void)committed_followers;
+
+  result.anchors = anchors;
+  result.followers = ComputeAnchoredKCore(graph, k, anchors).followers;
+  return result;
+}
+
+}  // namespace avt

@@ -1,0 +1,57 @@
+// Common interface for single-snapshot anchored-k-core solvers.
+//
+// A solver receives one graph snapshot, a threshold k and a budget l and
+// returns an anchor set of size <= l plus its follower set. Four
+// implementations exist:
+//   GreedySolver     — the paper's optimized Greedy (Theorem-3 pruning +
+//                      order-based follower oracle);
+//   OlakSolver       — the OLAK baseline [37] (onion layers, unpruned
+//                      candidate pool, per-pick re-peel);
+//   RcmSolver        — the RCM baseline [23] (residual-degree anchor
+//                      scores, exact verification of top scorers);
+//   BruteForceSolver — exact subset enumeration (case study only).
+//
+// Solvers are stateless across calls except for accumulated work counters,
+// so one instance can serve a whole snapshot sequence (the paper's OLAK /
+// RCM / Greedy rows re-run the solver per snapshot).
+
+#ifndef AVT_ANCHOR_SOLVER_H_
+#define AVT_ANCHOR_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace avt {
+
+/// Output of one anchored-k-core query.
+struct SolverResult {
+  std::vector<VertexId> anchors;
+  std::vector<VertexId> followers;
+  /// Candidate anchors examined (the paper's "visited vertices" metric).
+  uint64_t candidates_visited = 0;
+  /// Vertices touched by follower computations (finer-grained work).
+  uint64_t cascade_visited = 0;
+
+  uint32_t num_followers() const {
+    return static_cast<uint32_t>(followers.size());
+  }
+};
+
+/// Abstract single-snapshot solver.
+class AnchorSolver {
+ public:
+  virtual ~AnchorSolver() = default;
+
+  /// Finds up to l anchors maximizing followers on `graph` at threshold k.
+  virtual SolverResult Solve(const Graph& graph, uint32_t k, uint32_t l) = 0;
+
+  /// Short identifier used in benchmark output ("Greedy", "OLAK", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace avt
+
+#endif  // AVT_ANCHOR_SOLVER_H_

@@ -1,0 +1,118 @@
+#include "core/avt.h"
+
+#include "anchor/brute_force.h"
+#include "anchor/greedy.h"
+#include "anchor/olak.h"
+#include "anchor/rcm.h"
+#include "core/inc_avt.h"
+#include "corelib/decomposition.h"
+#include "util/timer.h"
+
+namespace avt {
+
+const char* AvtAlgorithmName(AvtAlgorithm algorithm) {
+  switch (algorithm) {
+    case AvtAlgorithm::kGreedy: return "Greedy";
+    case AvtAlgorithm::kOlak: return "OLAK";
+    case AvtAlgorithm::kRcm: return "RCM";
+    case AvtAlgorithm::kIncAvt: return "IncAVT";
+    case AvtAlgorithm::kBruteForce: return "Brute-force";
+  }
+  return "unknown";
+}
+
+double AvtRunResult::TotalMillis() const {
+  double total = 0;
+  for (const auto& s : snapshots) total += s.millis;
+  return total;
+}
+
+uint64_t AvtRunResult::TotalCandidatesVisited() const {
+  uint64_t total = 0;
+  for (const auto& s : snapshots) total += s.candidates_visited;
+  return total;
+}
+
+uint64_t AvtRunResult::TotalFollowers() const {
+  uint64_t total = 0;
+  for (const auto& s : snapshots) total += s.num_followers;
+  return total;
+}
+
+AvtSnapshotResult StaticAvtTracker::SolveSnapshot(const Graph& graph) {
+  Timer timer;
+  AvtSnapshotResult snap;
+  snap.t = t_;
+  SolverResult solved = solver_->Solve(graph, k_, l_);
+  snap.anchors = solved.anchors;
+  snap.num_followers = solved.num_followers();
+  snap.candidates_visited = solved.candidates_visited;
+
+  CoreDecomposition cores = DecomposeCores(graph);
+  uint32_t kcore = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (cores.core[v] >= k_) ++kcore;
+  }
+  uint32_t anchors_outside = 0;
+  for (VertexId a : solved.anchors) {
+    if (cores.core[a] < k_) ++anchors_outside;
+  }
+  snap.kcore_size = kcore;
+  snap.anchored_core_size = kcore + anchors_outside + snap.num_followers;
+  snap.millis = timer.ElapsedMillis();
+  return snap;
+}
+
+AvtSnapshotResult StaticAvtTracker::ProcessFirst(const Graph& g0) {
+  t_ = 0;
+  return SolveSnapshot(g0);
+}
+
+AvtSnapshotResult StaticAvtTracker::ProcessDelta(const Graph& graph,
+                                                 const EdgeDelta& delta) {
+  (void)delta;  // static trackers re-solve from the materialized snapshot
+  ++t_;
+  return SolveSnapshot(graph);
+}
+
+std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
+                                        uint32_t l) {
+  switch (algorithm) {
+    case AvtAlgorithm::kGreedy:
+      return std::make_unique<StaticAvtTracker>(
+          std::make_unique<GreedySolver>(), k, l);
+    case AvtAlgorithm::kOlak:
+      return std::make_unique<StaticAvtTracker>(
+          std::make_unique<OlakSolver>(), k, l);
+    case AvtAlgorithm::kRcm:
+      return std::make_unique<StaticAvtTracker>(std::make_unique<RcmSolver>(),
+                                                k, l);
+    case AvtAlgorithm::kBruteForce:
+      return std::make_unique<StaticAvtTracker>(
+          std::make_unique<BruteForceSolver>(), k, l);
+    case AvtAlgorithm::kIncAvt:
+      return std::make_unique<IncAvtTracker>(k, l);
+  }
+  return nullptr;
+}
+
+AvtRunResult RunAvt(const SnapshotSequence& sequence, AvtAlgorithm algorithm,
+                    uint32_t k, uint32_t l) {
+  AvtRunResult run;
+  run.algorithm = algorithm;
+  run.k = k;
+  run.l = l;
+  std::unique_ptr<AvtTracker> tracker = MakeTracker(algorithm, k, l);
+  AVT_CHECK(tracker != nullptr);
+  sequence.ForEachSnapshot([&](size_t t, const Graph& graph,
+                               const EdgeDelta& delta) {
+    if (t == 0) {
+      run.snapshots.push_back(tracker->ProcessFirst(graph));
+    } else {
+      run.snapshots.push_back(tracker->ProcessDelta(graph, delta));
+    }
+  });
+  return run;
+}
+
+}  // namespace avt

@@ -1,0 +1,116 @@
+// Anchored Vertex Tracking (AVT): the paper's core problem and API.
+//
+// Given an evolving graph G = {G_1..G_T}, a threshold k and a budget l,
+// AVT asks for one anchor set per snapshot maximizing the anchored k-core
+// size (Problem formulation, Section 2.2). Two tracker families solve it:
+//
+//   StaticAvtTracker — re-solves every snapshot from scratch with a
+//     pluggable single-snapshot solver (Greedy / OLAK / RCM /
+//     Brute-force). This is how the paper runs all baselines.
+//
+//   IncAvtTracker — the paper's IncAVT (Algorithm 6): maintains the
+//     K-order across snapshots with bounded maintenance (Algorithms 4/5),
+//     seeds each snapshot's anchors with the previous answer, and probes
+//     replacement candidates only among vertices impacted by the churn
+//     (VI ∪ VR ∪ their neighbors, Theorem-3 filtered).
+//
+// Both report per-snapshot metrics (runtime, candidates visited,
+// followers, anchored-core size) consumed by the benchmark harness.
+
+#ifndef AVT_CORE_AVT_H_
+#define AVT_CORE_AVT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anchor/solver.h"
+#include "graph/delta.h"
+#include "graph/graph.h"
+#include "graph/snapshots.h"
+
+namespace avt {
+
+/// Algorithms available to the runner.
+enum class AvtAlgorithm {
+  kGreedy,
+  kOlak,
+  kRcm,
+  kIncAvt,
+  kBruteForce,
+};
+
+const char* AvtAlgorithmName(AvtAlgorithm algorithm);
+
+/// Per-snapshot tracking output.
+struct AvtSnapshotResult {
+  size_t t = 0;
+  std::vector<VertexId> anchors;
+  uint32_t num_followers = 0;
+  uint32_t kcore_size = 0;          // |C_k| without anchors
+  uint32_t anchored_core_size = 0;  // |C_k(S)| = kcore + anchors + followers
+  double millis = 0;
+  uint64_t candidates_visited = 0;
+};
+
+/// Whole-run output plus aggregates.
+struct AvtRunResult {
+  AvtAlgorithm algorithm;
+  uint32_t k = 0;
+  uint32_t l = 0;
+  std::vector<AvtSnapshotResult> snapshots;
+
+  double TotalMillis() const;
+  uint64_t TotalCandidatesVisited() const;
+  uint64_t TotalFollowers() const;
+};
+
+/// Streaming tracker interface over an evolving graph.
+class AvtTracker {
+ public:
+  virtual ~AvtTracker() = default;
+
+  /// Processes the first snapshot.
+  virtual AvtSnapshotResult ProcessFirst(const Graph& g0) = 0;
+
+  /// Processes the transition to the next snapshot. `graph` is the
+  /// already-updated snapshot (G_t), `delta` the transition from G_{t-1}.
+  virtual AvtSnapshotResult ProcessDelta(const Graph& graph,
+                                         const EdgeDelta& delta) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Re-solve-per-snapshot tracker wrapping any single-snapshot solver.
+class StaticAvtTracker : public AvtTracker {
+ public:
+  StaticAvtTracker(std::unique_ptr<AnchorSolver> solver, uint32_t k,
+                   uint32_t l)
+      : solver_(std::move(solver)), k_(k), l_(l) {}
+
+  AvtSnapshotResult ProcessFirst(const Graph& g0) override;
+  AvtSnapshotResult ProcessDelta(const Graph& graph,
+                                 const EdgeDelta& delta) override;
+  std::string name() const override { return solver_->name(); }
+
+ private:
+  AvtSnapshotResult SolveSnapshot(const Graph& graph);
+
+  std::unique_ptr<AnchorSolver> solver_;
+  uint32_t k_;
+  uint32_t l_;
+  size_t t_ = 0;
+};
+
+/// Runs one algorithm over a whole snapshot sequence.
+AvtRunResult RunAvt(const SnapshotSequence& sequence, AvtAlgorithm algorithm,
+                    uint32_t k, uint32_t l);
+
+/// Factory for trackers (IncAVT included).
+std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
+                                        uint32_t l);
+
+}  // namespace avt
+
+#endif  // AVT_CORE_AVT_H_

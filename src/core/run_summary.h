@@ -1,0 +1,48 @@
+// Post-hoc analysis of an AVT run: timing distribution, anchor-set
+// stability, and effectiveness aggregates.
+//
+// Anchor stability (the Jaccard similarity between consecutive anchor
+// sets) quantifies the paper's implicit claim that anchors drift slowly
+// on smooth workloads — the property IncAVT's carried-forward seed
+// exploits. The ad-campaign example and EXPERIMENTS.md use this module.
+
+#ifndef AVT_CORE_RUN_SUMMARY_H_
+#define AVT_CORE_RUN_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/avt.h"
+
+namespace avt {
+
+/// Aggregated view of one AvtRunResult.
+struct RunSummary {
+  size_t snapshots = 0;
+  double total_millis = 0;
+  double mean_millis = 0;
+  double max_millis = 0;
+  uint64_t total_candidates = 0;
+  uint64_t total_followers = 0;
+  double mean_followers = 0;
+  /// Mean Jaccard similarity of consecutive anchor sets (1.0 = anchors
+  /// never change; undefined -> 1.0 for runs with < 2 snapshots).
+  double anchor_stability = 1.0;
+  /// Number of transitions where the anchor set changed at all.
+  size_t anchor_changes = 0;
+};
+
+/// Computes the summary.
+RunSummary SummarizeRun(const AvtRunResult& run);
+
+/// Jaccard similarity of two vertex sets (1.0 when both empty).
+double JaccardSimilarity(const std::vector<VertexId>& a,
+                         const std::vector<VertexId>& b);
+
+/// One-line human-readable rendering.
+std::string FormatRunSummary(const RunSummary& summary);
+
+}  // namespace avt
+
+#endif  // AVT_CORE_RUN_SUMMARY_H_

@@ -1,0 +1,65 @@
+#include "corelib/coreness_history.h"
+
+#include <algorithm>
+
+#include "corelib/decomposition.h"
+
+namespace avt {
+
+CorenessHistory CorenessHistory::Compute(const SnapshotSequence& sequence) {
+  CorenessHistory history;
+  history.per_snapshot_.reserve(sequence.NumSnapshots());
+  sequence.ForEachSnapshot(
+      [&history](size_t, const Graph& graph, const EdgeDelta&) {
+        history.per_snapshot_.push_back(DecomposeCores(graph).core);
+      });
+  return history;
+}
+
+TransitionStats CorenessHistory::Transition(size_t t) const {
+  AVT_CHECK(t >= 1 && t < per_snapshot_.size());
+  TransitionStats stats;
+  const auto& before = per_snapshot_[t - 1];
+  const auto& after = per_snapshot_[t];
+  for (VertexId v = 0; v < before.size(); ++v) {
+    if (after[v] == before[v]) {
+      ++stats.unchanged;
+    } else if (after[v] > before[v]) {
+      ++stats.raised;
+      stats.max_shift = std::max(stats.max_shift, after[v] - before[v]);
+    } else {
+      ++stats.lowered;
+      stats.max_shift = std::max(stats.max_shift, before[v] - after[v]);
+    }
+  }
+  return stats;
+}
+
+std::vector<VertexId> CorenessHistory::EverOnShell(uint32_t k) const {
+  std::vector<VertexId> result;
+  if (per_snapshot_.empty() || k == 0) return result;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (const auto& snapshot : per_snapshot_) {
+      if (snapshot[v] == k - 1) {
+        result.push_back(v);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+double CorenessHistory::Smoothness() const {
+  if (per_snapshot_.size() < 2) return 1.0;
+  uint64_t unchanged = 0, total = 0;
+  for (size_t t = 1; t < per_snapshot_.size(); ++t) {
+    TransitionStats stats = Transition(t);
+    unchanged += stats.unchanged;
+    total += stats.unchanged + stats.raised + stats.lowered;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(unchanged) /
+                          static_cast<double>(total);
+}
+
+}  // namespace avt

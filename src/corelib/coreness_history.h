@@ -1,0 +1,72 @@
+// Per-vertex core-number trajectories over an evolving graph.
+//
+// Several of the paper's claims rest on the "smoothness of the network
+// structure's evolution": most vertices keep their core number between
+// consecutive snapshots, which is why incremental maintenance and
+// restricted candidate probing pay off. CorenessHistory records the
+// trajectory and summarizes exactly how smooth a workload is — the
+// quantity IncAVT exploits — and feeds the stability analysis in
+// EXPERIMENTS.md.
+
+#ifndef AVT_CORELIB_CORENESS_HISTORY_H_
+#define AVT_CORELIB_CORENESS_HISTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/snapshots.h"
+
+namespace avt {
+
+/// Smoothness summary of one snapshot transition.
+struct TransitionStats {
+  uint64_t unchanged = 0;  // vertices whose core number kept its value
+  uint64_t raised = 0;
+  uint64_t lowered = 0;
+  uint32_t max_shift = 0;  // largest |delta core| of any vertex
+
+  double ChangedFraction() const {
+    uint64_t total = unchanged + raised + lowered;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(raised + lowered) /
+                     static_cast<double>(total);
+  }
+};
+
+/// Core trajectories for every vertex of a snapshot sequence.
+class CorenessHistory {
+ public:
+  /// Computes the history by decomposing every snapshot; O(T * m).
+  static CorenessHistory Compute(const SnapshotSequence& sequence);
+
+  size_t NumSnapshots() const { return per_snapshot_.size(); }
+  VertexId NumVertices() const {
+    return per_snapshot_.empty()
+               ? 0
+               : static_cast<VertexId>(per_snapshot_[0].size());
+  }
+
+  /// core of v at snapshot t.
+  uint32_t CoreAt(VertexId v, size_t t) const {
+    return per_snapshot_[t][v];
+  }
+
+  /// Transition summary between snapshots t-1 and t (t >= 1).
+  TransitionStats Transition(size_t t) const;
+
+  /// Vertices whose core number ever touches the (k-1)-shell — the union
+  /// of all potential follower populations across time.
+  std::vector<VertexId> EverOnShell(uint32_t k) const;
+
+  /// Fraction of (vertex, transition) pairs with unchanged core number:
+  /// the paper's "smoothness" in one number.
+  double Smoothness() const;
+
+ private:
+  std::vector<std::vector<uint32_t>> per_snapshot_;
+};
+
+}  // namespace avt
+
+#endif  // AVT_CORELIB_CORENESS_HISTORY_H_

@@ -1,0 +1,126 @@
+#include "corelib/graph_stats.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "corelib/decomposition.h"
+
+namespace avt {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.NumVertices();
+  stats.num_edges = graph.NumEdges();
+  stats.average_degree = graph.AverageDegree();
+  stats.max_degree = graph.MaxDegree();
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    if (graph.Degree(u) == 0) ++stats.isolated_vertices;
+  }
+
+  CoreDecomposition cores = DecomposeCores(graph);
+  stats.degeneracy = cores.max_core;
+
+  // Exact triangle count: for each edge (u, v) with u < v, intersect
+  // neighbor sets, counting each triangle once via ordering.
+  uint64_t triangles = 0;
+  std::vector<uint8_t> mark(graph.NumVertices(), 0);
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (VertexId v : graph.Neighbors(u)) mark[v] = 1;
+    for (VertexId v : graph.Neighbors(u)) {
+      if (v <= u) continue;
+      for (VertexId w : graph.Neighbors(v)) {
+        if (w > v && mark[w]) ++triangles;
+      }
+    }
+    for (VertexId v : graph.Neighbors(u)) mark[v] = 0;
+  }
+  stats.triangle_estimate = triangles;
+  return stats;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& graph) {
+  std::vector<uint64_t> histogram(graph.MaxDegree() + 1, 0);
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    ++histogram[graph.Degree(u)];
+  }
+  return histogram;
+}
+
+std::vector<uint64_t> ComponentSizes(const Graph& graph) {
+  std::vector<uint8_t> visited(graph.NumVertices(), 0);
+  std::vector<uint64_t> sizes;
+  std::queue<VertexId> queue;
+  for (VertexId s = 0; s < graph.NumVertices(); ++s) {
+    if (visited[s]) continue;
+    visited[s] = 1;
+    queue.push(s);
+    uint64_t size = 0;
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop();
+      ++size;
+      for (VertexId v : graph.Neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          queue.push(v);
+        }
+      }
+    }
+    sizes.push_back(size);
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+}  // namespace avt
+
+namespace avt {
+
+double GlobalClusteringCoefficient(const Graph& graph) {
+  // Triangles via neighbor marking (same scheme as ComputeGraphStats).
+  uint64_t triangles = 0;
+  std::vector<uint8_t> mark(graph.NumVertices(), 0);
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (VertexId v : graph.Neighbors(u)) mark[v] = 1;
+    for (VertexId v : graph.Neighbors(u)) {
+      if (v <= u) continue;
+      for (VertexId w : graph.Neighbors(v)) {
+        if (w > v && mark[w]) ++triangles;
+      }
+    }
+    for (VertexId v : graph.Neighbors(u)) mark[v] = 0;
+  }
+  uint64_t triples = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    uint64_t d = graph.Degree(v);
+    triples += d * (d - 1) / 2;
+  }
+  return triples == 0 ? 0.0
+                      : 3.0 * static_cast<double>(triangles) /
+                            static_cast<double>(triples);
+}
+
+double DegreeAssortativity(const Graph& graph) {
+  // Pearson correlation over the 2m ordered endpoint pairs.
+  double sum_x = 0, sum_xx = 0, sum_xy = 0;
+  uint64_t count = 0;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    double du = graph.Degree(u);
+    for (VertexId v : graph.Neighbors(u)) {
+      double dv = graph.Degree(v);
+      sum_x += du;
+      sum_xx += du * du;
+      sum_xy += du * dv;
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  double n = static_cast<double>(count);
+  double mean = sum_x / n;
+  double variance = sum_xx / n - mean * mean;
+  if (variance <= 1e-12) return 0.0;
+  double covariance = sum_xy / n - mean * mean;
+  return covariance / variance;
+}
+
+}  // namespace avt

@@ -1,0 +1,45 @@
+// Descriptive statistics of a graph (Table 2 of the paper).
+
+#ifndef AVT_CORELIB_GRAPH_STATS_H_
+#define AVT_CORELIB_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace avt {
+
+/// Summary row matching the paper's dataset-statistics table.
+struct GraphStats {
+  VertexId num_vertices = 0;
+  uint64_t num_edges = 0;
+  double average_degree = 0;
+  uint32_t max_degree = 0;
+  uint32_t degeneracy = 0;       // max core number
+  uint64_t isolated_vertices = 0;
+  uint64_t triangle_estimate = 0;  // exact count for small graphs
+};
+
+/// Computes stats; triangle counting is exact (neighbor intersection) and
+/// intended for laptop-scale graphs.
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// Degree histogram: index d -> number of vertices with degree d.
+std::vector<uint64_t> DegreeHistogram(const Graph& graph);
+
+/// Connected-component sizes, descending.
+std::vector<uint64_t> ComponentSizes(const Graph& graph);
+
+/// Global clustering coefficient: 3 * triangles / connected triples
+/// (0 for triangle-free / degenerate graphs).
+double GlobalClusteringCoefficient(const Graph& graph);
+
+/// Degree assortativity: Pearson correlation of endpoint degrees over
+/// edges (Newman 2002). Range [-1, 1]; 0 for degenerate graphs.
+double DegreeAssortativity(const Graph& graph);
+
+}  // namespace avt
+
+#endif  // AVT_CORELIB_GRAPH_STATS_H_

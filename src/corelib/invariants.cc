@@ -1,0 +1,95 @@
+#include "corelib/invariants.h"
+
+#include <vector>
+
+#include "corelib/decomposition.h"
+
+namespace avt {
+
+InvariantReport CheckKOrderInvariants(const Graph& graph,
+                                      const KOrder& order) {
+  InvariantReport report;
+  const VertexId n = graph.NumVertices();
+  if (order.NumVertices() != n) {
+    report.Fail("vertex count mismatch");
+    return report;
+  }
+
+  // 1. Cores match a fresh decomposition.
+  CoreDecomposition fresh = DecomposeCores(graph);
+  for (VertexId v = 0; v < n; ++v) {
+    if (order.CoreOf(v) != fresh.core[v]) {
+      report.Fail("core mismatch at vertex " + std::to_string(v) +
+                  ": index says " + std::to_string(order.CoreOf(v)) +
+                  ", decomposition says " + std::to_string(fresh.core[v]));
+      return report;
+    }
+  }
+
+  // 2. Level lists: linkage, tag monotonicity, size, full coverage.
+  std::vector<uint8_t> seen(n, 0);
+  uint64_t total = 0;
+  for (uint32_t level = 0; level <= order.MaxLevel(); ++level) {
+    uint32_t count = 0;
+    VertexId prev = kNoVertex;
+    for (VertexId v = order.LevelFront(level); v != kNoVertex;
+         v = order.NextInLevel(v)) {
+      if (seen[v]) {
+        report.Fail("vertex " + std::to_string(v) + " appears twice");
+        return report;
+      }
+      seen[v] = 1;
+      if (order.CoreOf(v) != level) {
+        report.Fail("vertex " + std::to_string(v) + " in wrong level list");
+        return report;
+      }
+      if (order.PrevInLevel(v) != prev) {
+        report.Fail("broken prev link at vertex " + std::to_string(v));
+        return report;
+      }
+      if (prev != kNoVertex && order.TagOf(prev) >= order.TagOf(v)) {
+        report.Fail("non-monotone tags at vertex " + std::to_string(v));
+        return report;
+      }
+      prev = v;
+      ++count;
+    }
+    if (order.LevelBack(level) != prev) {
+      report.Fail("tail mismatch at level " + std::to_string(level));
+      return report;
+    }
+    if (count != order.LevelSize(level)) {
+      report.Fail("size counter mismatch at level " + std::to_string(level));
+      return report;
+    }
+    total += count;
+  }
+  if (total != n) {
+    report.Fail("level lists cover " + std::to_string(total) + " of " +
+                std::to_string(n) + " vertices");
+    return report;
+  }
+
+  // 3 + 4. deg+ correctness and the peel-order invariant.
+  for (VertexId v = 0; v < n; ++v) {
+    uint32_t recount = 0;
+    for (VertexId w : graph.Neighbors(v)) {
+      if (order.Precedes(v, w)) ++recount;
+    }
+    if (recount != order.DegPlus(v)) {
+      report.Fail("stale deg+ at vertex " + std::to_string(v) + ": stored " +
+                  std::to_string(order.DegPlus(v)) + ", actual " +
+                  std::to_string(recount));
+      return report;
+    }
+    if (recount > order.CoreOf(v)) {
+      report.Fail("peel-order violation at vertex " + std::to_string(v) +
+                  ": deg+ " + std::to_string(recount) + " > core " +
+                  std::to_string(order.CoreOf(v)));
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace avt

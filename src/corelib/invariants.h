@@ -1,0 +1,42 @@
+// Structural and semantic invariant checks for the K-order index.
+//
+// Used pervasively in tests (and available to debug builds) to verify
+// that incremental maintenance leaves the index in a state
+// indistinguishable from a fresh rebuild:
+//   1. level membership equals the true core number (differential check
+//      against DecomposeCores);
+//   2. each level list is a consistent doubly-linked list with strictly
+//      increasing tags and an accurate size counter;
+//   3. stored deg+ values match a fresh recount;
+//   4. the order is a valid peel order: deg+(v) <= core(v) for all v.
+
+#ifndef AVT_CORELIB_INVARIANTS_H_
+#define AVT_CORELIB_INVARIANTS_H_
+
+#include <string>
+
+#include "corelib/korder.h"
+#include "graph/graph.h"
+
+namespace avt {
+
+/// Result of an invariant sweep; `ok` plus a first-failure description.
+struct InvariantReport {
+  bool ok = true;
+  std::string failure;
+
+  void Fail(std::string message) {
+    if (ok) {
+      ok = false;
+      failure = std::move(message);
+    }
+  }
+};
+
+/// Runs all checks; O(n + m) plus one fresh decomposition.
+InvariantReport CheckKOrderInvariants(const Graph& graph,
+                                      const KOrder& order);
+
+}  // namespace avt
+
+#endif  // AVT_CORELIB_INVARIANTS_H_

@@ -1,0 +1,154 @@
+#include "corelib/korder.h"
+
+namespace avt {
+
+void KOrder::Build(const Graph& graph) {
+  BuildFrom(graph, DecomposeCores(graph));
+}
+
+void KOrder::BuildFrom(const Graph& graph, const CoreDecomposition& cores) {
+  const VertexId n = graph.NumVertices();
+  AVT_CHECK(cores.core.size() == n);
+  nodes_.assign(n, Node{});
+  levels_.clear();
+  relabel_count_ = 0;
+  EnsureLevel(cores.max_core);
+
+  AVT_CHECK_MSG(cores.peel_order.size() == n,
+                "pinned decompositions cannot seed a KOrder");
+  for (VertexId v : cores.peel_order) {
+    nodes_[v].level = cores.core[v];
+    PushBack(cores.core[v], v);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    nodes_[v].deg_plus = RecomputeDegPlus(graph, v);
+  }
+}
+
+void KOrder::Detach(VertexId v) {
+  Node& node = nodes_[v];
+  Level& level = levels_[node.level];
+  if (node.prev != kNoVertex) {
+    nodes_[node.prev].next = node.next;
+  } else {
+    level.head = node.next;
+  }
+  if (node.next != kNoVertex) {
+    nodes_[node.next].prev = node.prev;
+  } else {
+    level.tail = node.prev;
+  }
+  node.prev = kNoVertex;
+  node.next = kNoVertex;
+  --level.size;
+}
+
+void KOrder::PushFront(uint32_t level_index, VertexId v) {
+  EnsureLevel(level_index);
+  Level& level = levels_[level_index];
+  Node& node = nodes_[v];
+  node.level = level_index;
+  node.prev = kNoVertex;
+  node.next = level.head;
+  if (level.head != kNoVertex) {
+    uint64_t head_tag = nodes_[level.head].tag;
+    if (head_tag < kTagGap) {
+      // Re-attach state before relabeling; simplest correct approach:
+      // temporarily push with tag 0, relabel the whole level.
+      nodes_[level.head].prev = v;
+      level.head = v;
+      ++level.size;
+      node.tag = 0;
+      RelabelLevel(level_index);
+      return;
+    }
+    node.tag = head_tag - kTagGap;
+    nodes_[level.head].prev = v;
+  } else {
+    node.tag = kTagOrigin;
+    level.tail = v;
+  }
+  level.head = v;
+  ++level.size;
+}
+
+void KOrder::PushBack(uint32_t level_index, VertexId v) {
+  EnsureLevel(level_index);
+  Level& level = levels_[level_index];
+  Node& node = nodes_[v];
+  node.level = level_index;
+  node.next = kNoVertex;
+  node.prev = level.tail;
+  if (level.tail != kNoVertex) {
+    uint64_t tail_tag = nodes_[level.tail].tag;
+    if (tail_tag > ~uint64_t{0} - kTagGap) {
+      nodes_[level.tail].next = v;
+      level.tail = v;
+      ++level.size;
+      node.tag = ~uint64_t{0};
+      RelabelLevel(level_index);
+      return;
+    }
+    node.tag = tail_tag + kTagGap;
+    nodes_[level.tail].next = v;
+  } else {
+    node.tag = kTagOrigin;
+    level.head = v;
+  }
+  level.tail = v;
+  ++level.size;
+}
+
+void KOrder::RelabelLevel(uint32_t level_index) {
+  ++relabel_count_;
+  uint64_t tag = kTagOrigin;
+  for (VertexId v = levels_[level_index].head; v != kNoVertex;
+       v = nodes_[v].next) {
+    nodes_[v].tag = tag;
+    tag += kTagGap;
+  }
+}
+
+void KOrder::MoveToLevelFront(VertexId v, uint32_t level) {
+  Detach(v);
+  PushFront(level, v);
+}
+
+void KOrder::MoveToLevelBack(VertexId v, uint32_t level) {
+  Detach(v);
+  PushBack(level, v);
+}
+
+uint32_t KOrder::RecomputeDegPlus(const Graph& graph, VertexId v) {
+  uint32_t count = 0;
+  for (VertexId w : graph.Neighbors(v)) {
+    if (Precedes(v, w)) ++count;
+  }
+  nodes_[v].deg_plus = count;
+  return count;
+}
+
+std::vector<VertexId> KOrder::LevelVertices(uint32_t level) const {
+  std::vector<VertexId> out;
+  if (level >= levels_.size()) return out;
+  out.reserve(levels_[level].size);
+  for (VertexId v = levels_[level].head; v != kNoVertex;
+       v = nodes_[v].next) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VertexId> KOrder::FullOrder() const {
+  std::vector<VertexId> out;
+  out.reserve(nodes_.size());
+  for (uint32_t level = 0; level < levels_.size(); ++level) {
+    for (VertexId v = levels_[level].head; v != kNoVertex;
+         v = nodes_[v].next) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace avt

@@ -1,0 +1,54 @@
+#include "corelib/layers.h"
+
+#include "util/status.h"
+
+namespace avt {
+
+OnionLayers ComputeOnionLayers(const Graph& graph, uint32_t k,
+                               const std::vector<VertexId>& pinned) {
+  const VertexId n = graph.NumVertices();
+  OnionLayers result;
+  result.layer.assign(n, kCoreLayer);
+
+  std::vector<uint8_t> is_pinned(n, 0);
+  for (VertexId p : pinned) {
+    AVT_CHECK(p < n);
+    is_pinned[p] = 1;
+  }
+
+  std::vector<uint32_t> degree(n);
+  for (VertexId v = 0; v < n; ++v) degree[v] = graph.Degree(v);
+
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!is_pinned[v] && degree[v] < k) frontier.push_back(v);
+  }
+
+  std::vector<uint8_t> removed(n, 0);
+  uint32_t round = 0;
+  while (!frontier.empty()) {
+    ++round;
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      if (removed[v]) continue;
+      removed[v] = 1;
+      result.layer[v] = round;
+      result.shell_order.push_back(v);
+    }
+    for (VertexId v : frontier) {
+      if (result.layer[v] != round) continue;
+      for (VertexId w : graph.Neighbors(v)) {
+        if (removed[w] || is_pinned[w]) continue;
+        if (--degree[w] < k && degree[w] + 1 >= k) {
+          // w just crossed the threshold; schedule exactly once.
+          next.push_back(w);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  result.rounds = round;
+  return result;
+}
+
+}  // namespace avt

@@ -1,0 +1,44 @@
+// Onion layers: the deletion-round structure used by the OLAK baseline.
+//
+// Peeling a graph at threshold k proceeds in rounds: round 1 removes every
+// vertex with degree < k, round 2 removes vertices made deficient by round
+// 1, and so on; survivors form the k-core. OLAK (Zhang et al., PVLDB'17)
+// organizes the non-k-core vertices by this round index ("onion layers"):
+// anchoring a vertex can only save chains of vertices along non-decreasing
+// layers, which bounds its follower search.
+
+#ifndef AVT_CORELIB_LAYERS_H_
+#define AVT_CORELIB_LAYERS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace avt {
+
+/// Layer index of k-core survivors.
+inline constexpr uint32_t kCoreLayer = std::numeric_limits<uint32_t>::max();
+
+/// Onion-layer decomposition at a fixed threshold k.
+struct OnionLayers {
+  /// layer[v]: removal round (1-based) for non-core vertices, kCoreLayer
+  /// for k-core members.
+  std::vector<uint32_t> layer;
+  /// Number of peel rounds executed.
+  uint32_t rounds = 0;
+  /// Vertices outside the k-core, ordered by (layer, removal order).
+  std::vector<VertexId> shell_order;
+
+  bool InCore(VertexId v) const { return layer[v] == kCoreLayer; }
+};
+
+/// Computes onion layers of `graph` at threshold k. `pinned` vertices are
+/// never removed (used when OLAK re-peels with chosen anchors fixed).
+OnionLayers ComputeOnionLayers(const Graph& graph, uint32_t k,
+                               const std::vector<VertexId>& pinned = {});
+
+}  // namespace avt
+
+#endif  // AVT_CORELIB_LAYERS_H_

@@ -1,0 +1,37 @@
+// Churn-snapshot workload: the paper's synthetic evolution protocol.
+//
+// Section 6.1: for the non-temporal datasets the authors generate 30
+// snapshots by, at each step, randomly removing 100-250 edges and then
+// randomly adding 100-250 new edges. MakeChurnSnapshots reproduces this:
+// deletions sample uniformly from current edges, insertions sample
+// uniformly from absent pairs, and each transition is recorded as an
+// EdgeDelta so IncAVT sees exactly the paper's E+/E- stream.
+
+#ifndef AVT_GEN_CHURN_H_
+#define AVT_GEN_CHURN_H_
+
+#include <cstdint>
+
+#include "graph/snapshots.h"
+#include "util/random.h"
+
+namespace avt {
+
+/// Parameters of the churn protocol.
+struct ChurnOptions {
+  size_t num_snapshots = 30;   // T
+  uint32_t min_churn = 100;    // per-step edge removals and insertions
+  uint32_t max_churn = 250;
+  /// When true (paper protocol) the number of removals and insertions are
+  /// drawn independently; when false both equal one draw (edge count
+  /// stays constant).
+  bool independent_draws = true;
+};
+
+/// Builds a T-snapshot sequence by applying random churn to `initial`.
+SnapshotSequence MakeChurnSnapshots(const Graph& initial,
+                                    const ChurnOptions& options, Rng& rng);
+
+}  // namespace avt
+
+#endif  // AVT_GEN_CHURN_H_

@@ -1,0 +1,145 @@
+#include "gen/datasets.h"
+
+#include <algorithm>
+
+#include "gen/churn.h"
+#include "gen/models.h"
+#include "gen/temporal.h"
+#include "util/status.h"
+
+namespace avt {
+
+const std::vector<DatasetInfo>& AllDatasets() {
+  static const std::vector<DatasetInfo>* datasets =
+      new std::vector<DatasetInfo>{
+          {"email-Enron", DatasetKind::kChurn, "Communication", 36'692,
+           183'831, 10.02, 0, {5, 10, 15, 20}, 10},
+          {"Gnutella", DatasetKind::kChurn, "P2P Network", 62'586, 147'878,
+           4.73, 0, {2, 3, 4}, 3},
+          {"Deezer", DatasetKind::kChurn, "Social Network", 41'773, 125'826,
+           6.02, 0, {2, 3, 4, 5}, 3},
+          {"eu-core", DatasetKind::kTemporal, "Email", 986, 332'334, 25.28,
+           803, {2, 3, 4, 5}, 3},
+          {"mathoverflow", DatasetKind::kTemporal, "Question&Answer",
+           13'840, 195'330, 5.86, 2'350, {2, 3, 4, 5}, 3},
+          {"CollegeMsg", DatasetKind::kTemporal, "Social Network", 1'899,
+           59'835, 10.69, 193, {5, 10, 15, 20}, 10},
+      };
+  return *datasets;
+}
+
+const DatasetInfo& DatasetByName(const std::string& name) {
+  for (const DatasetInfo& info : AllDatasets()) {
+    if (info.name == name) return info;
+  }
+  AVT_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
+  __builtin_unreachable();
+}
+
+namespace {
+
+VertexId ScaledNodes(const DatasetInfo& info, double scale) {
+  double n = static_cast<double>(info.paper_nodes) * scale;
+  return static_cast<VertexId>(std::max(64.0, n));
+}
+
+uint64_t ScaledEvents(const DatasetInfo& info, double scale) {
+  double m = static_cast<double>(info.paper_edges) * scale;
+  return static_cast<uint64_t>(std::max(512.0, m));
+}
+
+TemporalEventLog MakeEventLog(const DatasetInfo& info, double scale,
+                              uint64_t seed) {
+  Rng rng(seed ^ 0x7e3a9d1fULL);
+  TemporalGenOptions options;
+  options.num_vertices = ScaledNodes(info, scale);
+  options.num_events = ScaledEvents(info, scale);
+  options.num_days = info.paper_days;
+
+  // Recurrence rates are calibrated so the union of distinct pairs lands
+  // near the paper's static edge counts (e.g. eu-core: 332k events but
+  // only ~12.5k distinct edges -> ~96% of events repeat a known pair).
+  if (info.name == "eu-core") {
+    // Dense intra-institution email: strong departments, heavy recurrence.
+    options.recurrence = 0.96;
+    return GenCommunityEmailEvents(options, /*communities=*/28,
+                                   /*p_intra=*/0.85, rng);
+  }
+  if (info.name == "mathoverflow") {
+    options.recurrence = 0.78;
+    return GenPowerLawActivityEvents(options, /*alpha=*/2.1, rng);
+  }
+  AVT_CHECK_MSG(info.name == "CollegeMsg", "unknown temporal dataset");
+  options.recurrence = 0.82;
+  return GenBurstyMessageEvents(options, /*burst_fraction=*/0.1,
+                                /*burst_multiplier=*/6.0, rng);
+}
+
+uint32_t WindowDaysFor(const DatasetInfo& info) {
+  // The paper states W = 365 days for mathoverflow; the other logs use
+  // windows tight enough that per-window graphs keep a low-core
+  // periphery (eu-core traffic is so dense that wide windows would put
+  // every user in the 3-core).
+  if (info.name == "mathoverflow") return 365;
+  if (info.name == "eu-core") return 45;
+  return std::max<uint32_t>(info.paper_days / 6, 30);
+}
+
+}  // namespace
+
+Graph MakeDatasetGraph(const DatasetInfo& info, double scale,
+                       uint64_t seed) {
+  Rng rng(seed ^ 0x51ed2706ULL);
+  const VertexId n = ScaledNodes(info, scale);
+
+  if (info.kind == DatasetKind::kChurn) {
+    if (info.name == "email-Enron") {
+      // Heavy-tailed communication graph.
+      return ChungLuPowerLaw(n, info.paper_avg_degree, /*alpha=*/2.0,
+                             /*max_degree=*/std::max<uint32_t>(n / 25, 50),
+                             rng);
+    }
+    if (info.name == "Gnutella") {
+      // P2P overlays have near-flat degree distributions.
+      uint64_t m = static_cast<uint64_t>(info.paper_avg_degree *
+                                         static_cast<double>(n) / 2.0);
+      return ErdosRenyi(n, m, rng);
+    }
+    AVT_CHECK_MSG(info.name == "Deezer", "unknown churn dataset");
+    return ChungLuPowerLaw(n, info.paper_avg_degree, /*alpha=*/2.3,
+                           /*max_degree=*/std::max<uint32_t>(n / 40, 40),
+                           rng);
+  }
+
+  // Temporal: the "graph" is the union of all distinct interacting pairs
+  // (what Table 2's node/edge/davg columns describe for these datasets).
+  TemporalEventLog log = MakeEventLog(info, scale, seed);
+  Graph g(log.num_vertices);
+  for (const TemporalEdge& e : log.events) g.AddEdge(e.u, e.v);
+  return g;
+}
+
+SnapshotSequence MakeDatasetSnapshots(const DatasetInfo& info, double scale,
+                                      size_t T, uint64_t seed) {
+  AVT_CHECK(T >= 1);
+  if (info.kind == DatasetKind::kChurn) {
+    Graph initial = MakeDatasetGraph(info, scale, seed);
+    Rng rng(seed ^ 0x2c6b51a4ULL);
+    ChurnOptions options;
+    options.num_snapshots = T;
+    // The paper churns 100-250 edges per step at full size; scale the
+    // churn with the replica so relative churn matches.
+    double churn_scale =
+        static_cast<double>(initial.NumEdges()) /
+        std::max<double>(1.0, static_cast<double>(info.paper_edges));
+    options.min_churn = std::max<uint32_t>(
+        10, static_cast<uint32_t>(100 * churn_scale));
+    options.max_churn = std::max<uint32_t>(
+        options.min_churn + 5, static_cast<uint32_t>(250 * churn_scale));
+    return MakeChurnSnapshots(initial, options, rng);
+  }
+  TemporalEventLog log = MakeEventLog(info, scale, seed);
+  return WindowSnapshots(log, T, WindowDaysFor(info));
+}
+
+}  // namespace avt

@@ -1,0 +1,132 @@
+#include "gen/degree_sequence.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace avt {
+
+bool IsGraphical(std::vector<uint32_t> degrees) {
+  if (degrees.empty()) return true;
+  std::sort(degrees.rbegin(), degrees.rend());
+  const size_t n = degrees.size();
+  if (degrees[0] >= n) return false;
+
+  uint64_t total = std::accumulate(degrees.begin(), degrees.end(),
+                                   uint64_t{0});
+  if (total % 2 != 0) return false;
+
+  // Erdos-Gallai with prefix sums.
+  std::vector<uint64_t> prefix(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + degrees[i];
+  for (size_t kk = 1; kk <= n; ++kk) {
+    uint64_t lhs = prefix[kk];
+    uint64_t rhs = static_cast<uint64_t>(kk) * (kk - 1);
+    for (size_t i = kk; i < n; ++i) {
+      rhs += std::min<uint64_t>(degrees[i], kk);
+    }
+    if (lhs > rhs) return false;
+  }
+  return true;
+}
+
+Graph RealizeDegreeSequence(const std::vector<uint32_t>& degrees) {
+  const VertexId n = static_cast<VertexId>(degrees.size());
+  Graph g(n);
+  // Havel-Hakimi: repeatedly connect the highest-residual vertex to the
+  // next-highest ones.
+  std::vector<std::pair<uint32_t, VertexId>> residual(n);
+  for (VertexId v = 0; v < n; ++v) residual[v] = {degrees[v], v};
+
+  while (true) {
+    std::sort(residual.rbegin(), residual.rend());
+    if (residual.empty() || residual[0].first == 0) break;
+    uint32_t d = residual[0].first;
+    VertexId v = residual[0].second;
+    AVT_CHECK_MSG(d < residual.size(), "sequence not graphical");
+    for (uint32_t i = 1; i <= d; ++i) {
+      AVT_CHECK_MSG(residual[i].first > 0, "sequence not graphical");
+      AVT_CHECK(g.AddEdge(v, residual[i].second));
+      --residual[i].first;
+    }
+    residual[0].first = 0;
+  }
+  return g;
+}
+
+uint64_t RewireDoubleEdgeSwaps(Graph& graph, uint64_t swaps, Rng& rng) {
+  std::vector<Edge> edges = graph.CollectEdges();
+  if (edges.size() < 2) return 0;
+  uint64_t successes = 0;
+  for (uint64_t attempt = 0; attempt < swaps; ++attempt) {
+    size_t i = static_cast<size_t>(rng.Uniform(edges.size()));
+    size_t j = static_cast<size_t>(rng.Uniform(edges.size()));
+    if (i == j) continue;
+    Edge a = edges[i];
+    Edge b = edges[j];
+    // Orientation: (a.u—a.v), (b.u—b.v) -> (a.u—b.v), (b.u—a.v);
+    // randomly flip b to explore both pairings.
+    VertexId bu = b.u, bv = b.v;
+    if (rng.Bernoulli(0.5)) std::swap(bu, bv);
+    if (a.u == bu || a.u == bv || a.v == bu || a.v == bv) continue;
+    if (graph.HasEdge(a.u, bv) || graph.HasEdge(bu, a.v)) continue;
+    AVT_CHECK(graph.RemoveEdge(a.u, a.v));
+    AVT_CHECK(graph.RemoveEdge(b.u, b.v));
+    AVT_CHECK(graph.AddEdge(a.u, bv));
+    AVT_CHECK(graph.AddEdge(bu, a.v));
+    edges[i] = Edge(a.u, bv);
+    edges[j] = Edge(bu, a.v);
+    ++successes;
+  }
+  return successes;
+}
+
+std::vector<uint32_t> SamplePowerLawDegrees(VertexId n,
+                                            double average_degree,
+                                            double alpha,
+                                            uint32_t max_degree, Rng& rng) {
+  std::vector<uint32_t> degrees(n);
+  double sum = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = static_cast<uint32_t>(rng.PowerLaw(alpha, max_degree));
+    sum += degrees[v];
+  }
+  // Rescale multiplicatively toward the requested mean (rounded).
+  double factor = average_degree * static_cast<double>(n) / sum;
+  for (uint32_t& d : degrees) {
+    d = std::max<uint32_t>(
+        1, static_cast<uint32_t>(d * factor + rng.NextDouble()));
+    d = std::min(d, static_cast<uint32_t>(n > 1 ? n - 1 : 0));
+  }
+  // Make the total even, then trim the largest degrees until graphical.
+  uint64_t total = std::accumulate(degrees.begin(), degrees.end(),
+                                   uint64_t{0});
+  if (total % 2 != 0) {
+    auto it = std::max_element(degrees.begin(), degrees.end());
+    if (*it > 1) {
+      --*it;
+    } else {
+      ++*it;
+    }
+  }
+  while (!IsGraphical(degrees)) {
+    auto it = std::max_element(degrees.begin(), degrees.end());
+    AVT_CHECK_MSG(*it > 1, "cannot repair degree sequence");
+    *it -= 2;  // keep parity
+    if (*it == 0) *it = 2;
+  }
+  return degrees;
+}
+
+Graph ConfigurationModel(VertexId n, double average_degree, double alpha,
+                         uint32_t max_degree, Rng& rng) {
+  std::vector<uint32_t> degrees =
+      SamplePowerLawDegrees(n, average_degree, alpha, max_degree, rng);
+  Graph g = RealizeDegreeSequence(degrees);
+  // 4m swap attempts give a well-mixed sample in practice.
+  RewireDoubleEdgeSwaps(g, g.NumEdges() * 4, rng);
+  return g;
+}
+
+}  // namespace avt

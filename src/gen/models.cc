@@ -1,0 +1,190 @@
+#include "gen/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace avt {
+namespace {
+
+uint64_t PackEdge(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+// Weighted endpoint sampler: binary search over the prefix-sum of weights.
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(const std::vector<double>& weights) {
+    prefix_.reserve(weights.size());
+    double total = 0;
+    for (double w : weights) {
+      total += w;
+      prefix_.push_back(total);
+    }
+  }
+  VertexId Sample(Rng& rng) const {
+    double target = rng.NextDouble() * prefix_.back();
+    auto it = std::lower_bound(prefix_.begin(), prefix_.end(), target);
+    return static_cast<VertexId>(it - prefix_.begin());
+  }
+
+ private:
+  std::vector<double> prefix_;
+};
+
+}  // namespace
+
+Graph ErdosRenyi(VertexId n, uint64_t m, Rng& rng) {
+  Graph g(n);
+  if (n < 2) return g;
+  uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::unordered_set<uint64_t> used;
+  used.reserve(m * 2);
+  while (g.NumEdges() < m) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(n));
+    VertexId v = static_cast<VertexId>(rng.Uniform(n));
+    if (u == v) continue;
+    if (!used.insert(PackEdge(u, v)).second) continue;
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph ChungLu(const std::vector<double>& weights, Rng& rng) {
+  const VertexId n = static_cast<VertexId>(weights.size());
+  Graph g(n);
+  if (n < 2) return g;
+  double total = 0;
+  for (double w : weights) total += w;
+  const uint64_t target_edges = static_cast<uint64_t>(total / 2.0);
+  if (target_edges == 0) return g;
+
+  WeightedSampler sampler(weights);
+  // Ball-dropping: sample endpoint pairs weight-proportionally. Collisions
+  // and self-loops are redrawn; cap attempts to avoid pathological loops
+  // on degenerate weight vectors.
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = target_edges * 20 + 1000;
+  while (g.NumEdges() < target_edges && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = sampler.Sample(rng);
+    VertexId v = sampler.Sample(rng);
+    if (u == v) continue;
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph ChungLuPowerLaw(VertexId n, double average_degree, double alpha,
+                      uint32_t max_degree, Rng& rng) {
+  std::vector<double> weights(n);
+  double sum = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    weights[v] = static_cast<double>(rng.PowerLaw(alpha, max_degree));
+    sum += weights[v];
+  }
+  // Rescale to the requested average degree.
+  double factor = average_degree * static_cast<double>(n) / sum;
+  for (double& w : weights) w *= factor;
+  return ChungLu(weights, rng);
+}
+
+Graph BarabasiAlbert(VertexId n, uint32_t edges_per_vertex, Rng& rng) {
+  Graph g(n);
+  if (n == 0) return g;
+  const uint32_t m0 = std::max<uint32_t>(edges_per_vertex, 1);
+  // `targets` holds one entry per half-edge: degree-proportional sampling.
+  std::vector<VertexId> targets;
+  targets.reserve(static_cast<size_t>(n) * edges_per_vertex * 2);
+
+  // Seed clique over the first m0+1 vertices (or all if n is small).
+  VertexId seed = std::min<VertexId>(n, m0 + 1);
+  for (VertexId u = 0; u < seed; ++u) {
+    for (VertexId v = u + 1; v < seed; ++v) {
+      if (g.AddEdge(u, v)) {
+        targets.push_back(u);
+        targets.push_back(v);
+      }
+    }
+  }
+  for (VertexId v = seed; v < n; ++v) {
+    uint32_t added = 0;
+    uint32_t attempts = 0;
+    while (added < edges_per_vertex && attempts < 20 * edges_per_vertex) {
+      ++attempts;
+      VertexId target =
+          targets.empty()
+              ? static_cast<VertexId>(rng.Uniform(v))
+              : targets[rng.Uniform(targets.size())];
+      if (target == v) continue;
+      if (g.AddEdge(v, target)) {
+        targets.push_back(v);
+        targets.push_back(target);
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+Graph WattsStrogatz(VertexId n, uint32_t lattice_degree, double beta,
+                    Rng& rng) {
+  Graph g(n);
+  if (n < 3) return g;
+  uint32_t half = std::max<uint32_t>(lattice_degree / 2, 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= half; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng.Bernoulli(beta)) {
+        // Rewire: keep u, pick a uniform non-duplicate target.
+        for (int tries = 0; tries < 16; ++tries) {
+          VertexId w = static_cast<VertexId>(rng.Uniform(n));
+          if (w != u && !g.HasEdge(u, w)) {
+            v = w;
+            break;
+          }
+        }
+      }
+      g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph PlantedPartition(VertexId n, uint32_t communities, uint64_t m,
+                       double p_intra, Rng& rng) {
+  Graph g(n);
+  if (n < 2 || communities == 0) return g;
+  const VertexId block = std::max<VertexId>(n / communities, 2);
+  uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+
+  std::unordered_set<uint64_t> used;
+  used.reserve(m * 2);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = m * 40 + 1000;
+  while (g.NumEdges() < m && attempts < max_attempts) {
+    ++attempts;
+    VertexId u, v;
+    if (rng.Bernoulli(p_intra)) {
+      // Intra-community pair.
+      uint32_t c = static_cast<uint32_t>(rng.Uniform(communities));
+      VertexId lo = static_cast<VertexId>(c) * block;
+      VertexId hi = std::min<VertexId>(lo + block, n);
+      if (hi - lo < 2) continue;
+      u = lo + static_cast<VertexId>(rng.Uniform(hi - lo));
+      v = lo + static_cast<VertexId>(rng.Uniform(hi - lo));
+    } else {
+      u = static_cast<VertexId>(rng.Uniform(n));
+      v = static_cast<VertexId>(rng.Uniform(n));
+    }
+    if (u == v) continue;
+    if (!used.insert(PackEdge(u, v)).second) continue;
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+}  // namespace avt

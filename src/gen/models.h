@@ -1,0 +1,52 @@
+// Random graph models used to synthesize workloads.
+//
+// The benchmark datasets are synthetic replicas of the paper's six SNAP
+// graphs (datasets.h); these generators provide the underlying models:
+// Erdos-Renyi G(n, m) for flat-degree networks (Gnutella-like), Chung-Lu
+// for power-law social graphs (Enron/Deezer-like), Barabasi-Albert and
+// Watts-Strogatz for structural variety in tests, and planted partitions
+// (stochastic block model) for community-heavy graphs (eu-core-like).
+// Every generator takes an explicit Rng for reproducibility and returns a
+// simple graph (self-loops/multi-edges resolved internally).
+
+#ifndef AVT_GEN_MODELS_H_
+#define AVT_GEN_MODELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace avt {
+
+/// G(n, m): exactly m distinct uniform edges (m clamped to n(n-1)/2).
+Graph ErdosRenyi(VertexId n, uint64_t m, Rng& rng);
+
+/// Chung-Lu with an explicit expected-degree sequence: ~m edges where m =
+/// sum(weights)/2, degree of v concentrated around weights[v].
+Graph ChungLu(const std::vector<double>& weights, Rng& rng);
+
+/// Chung-Lu with a truncated-Pareto weight sequence tuned to hit the
+/// requested average degree. `alpha` is the power-law exponent (typical
+/// social networks: 2.0-2.5); `max_degree` truncates the tail.
+Graph ChungLuPowerLaw(VertexId n, double average_degree, double alpha,
+                      uint32_t max_degree, Rng& rng);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches
+/// `edges_per_vertex` edges to degree-proportional targets.
+Graph BarabasiAlbert(VertexId n, uint32_t edges_per_vertex, Rng& rng);
+
+/// Watts-Strogatz small world: ring lattice with `lattice_degree` (even)
+/// neighbors, each edge rewired with probability `beta`.
+Graph WattsStrogatz(VertexId n, uint32_t lattice_degree, double beta,
+                    Rng& rng);
+
+/// Planted partition / SBM: n vertices in `communities` equal blocks,
+/// m edges, each intra-community with probability `p_intra`.
+Graph PlantedPartition(VertexId n, uint32_t communities, uint64_t m,
+                       double p_intra, Rng& rng);
+
+}  // namespace avt
+
+#endif  // AVT_GEN_MODELS_H_

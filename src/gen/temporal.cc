@@ -1,0 +1,264 @@
+#include "gen/temporal.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace avt {
+namespace {
+
+// Assigns event i of `total` a day in [0, days): uniform spread plus
+// small jitter so daily volumes vary.
+int64_t EventDay(uint64_t i, uint64_t total, uint32_t days, Rng& rng) {
+  if (total == 0 || days == 0) return 0;
+  double base = static_cast<double>(i) / static_cast<double>(total) *
+                static_cast<double>(days);
+  int64_t day = static_cast<int64_t>(base) +
+                rng.UniformInt(-2, 2);
+  if (day < 0) day = 0;
+  if (day >= days) day = days - 1;
+  return day;
+}
+
+// Power-law per-vertex activity: real interaction networks have a few
+// prolific users and a long tail of barely-active ones; without this the
+// windowed snapshots have no low-core periphery for anchors to recruit
+// from.
+class ActivitySampler {
+ public:
+  ActivitySampler(VertexId n, double alpha, Rng& rng) {
+    prefix_.resize(n);
+    double total = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      total += static_cast<double>(rng.PowerLaw(alpha, 1000));
+      prefix_[v] = total;
+    }
+  }
+  VertexId Sample(Rng& rng) const {
+    double target = rng.NextDouble() * prefix_.back();
+    auto it = std::lower_bound(prefix_.begin(), prefix_.end(), target);
+    return static_cast<VertexId>(it - prefix_.begin());
+  }
+
+ private:
+  std::vector<double> prefix_;
+};
+
+// Pair-recurrence memory shared by the generators.
+class PairMemory {
+ public:
+  bool Empty() const { return pairs_.empty(); }
+  void Remember(VertexId u, VertexId v) {
+    pairs_.emplace_back(u, v);
+  }
+  std::pair<VertexId, VertexId> SampleRecent(Rng& rng) const {
+    // Strong recency bias keeps sliding windows stationary: most repeat
+    // traffic targets recently active pairs, so stale pairs age out of
+    // the window instead of being refreshed forever.
+    size_t n = pairs_.size();
+    size_t index;
+    if (n > 16 && rng.Bernoulli(0.75)) {
+      size_t recent = std::max<size_t>(n / 10, 8);
+      index = n - recent + static_cast<size_t>(rng.Uniform(recent));
+    } else {
+      index = static_cast<size_t>(rng.Uniform(n));
+    }
+    return pairs_[index];
+  }
+
+ private:
+  std::vector<std::pair<VertexId, VertexId>> pairs_;
+};
+
+}  // namespace
+
+TemporalEventLog GenCommunityEmailEvents(const TemporalGenOptions& options,
+                                         uint32_t communities,
+                                         double p_intra, Rng& rng) {
+  TemporalEventLog log;
+  log.num_vertices = options.num_vertices;
+  const VertexId n = options.num_vertices;
+  if (n < 2 || communities == 0) return log;
+  const VertexId block = std::max<VertexId>(n / communities, 2);
+  PairMemory memory;
+  ActivitySampler activity(n, /*alpha=*/1.6, rng);
+
+  // Picks a community member with activity bias: draw active users and
+  // keep the first that lands in the block (cheap rejection).
+  auto sample_in_block = [&](VertexId lo, VertexId hi) {
+    for (int tries = 0; tries < 8; ++tries) {
+      VertexId v = activity.Sample(rng);
+      if (v >= lo && v < hi) return v;
+    }
+    return lo + static_cast<VertexId>(rng.Uniform(hi - lo));
+  };
+
+  log.events.reserve(options.num_events);
+  for (uint64_t i = 0; i < options.num_events; ++i) {
+    VertexId u, v;
+    if (!memory.Empty() && rng.Bernoulli(options.recurrence)) {
+      auto pair = memory.SampleRecent(rng);
+      u = pair.first;
+      v = pair.second;
+    } else if (rng.Bernoulli(p_intra)) {
+      uint32_t c = static_cast<uint32_t>(rng.Uniform(communities));
+      VertexId lo = static_cast<VertexId>(c) * block;
+      VertexId hi = std::min<VertexId>(lo + block, n);
+      if (hi - lo < 2) continue;
+      u = sample_in_block(lo, hi);
+      v = sample_in_block(lo, hi);
+      if (u == v) continue;
+      memory.Remember(u, v);
+    } else {
+      u = activity.Sample(rng);
+      v = activity.Sample(rng);
+      if (u == v) continue;
+      memory.Remember(u, v);
+    }
+    log.events.push_back(
+        {u, v, EventDay(i, options.num_events, options.num_days, rng)});
+  }
+  std::stable_sort(log.events.begin(), log.events.end());
+  return log;
+}
+
+TemporalEventLog GenPowerLawActivityEvents(const TemporalGenOptions& options,
+                                           double alpha, Rng& rng) {
+  TemporalEventLog log;
+  log.num_vertices = options.num_vertices;
+  const VertexId n = options.num_vertices;
+  if (n < 2) return log;
+
+  // Per-vertex activity weights: truncated power law.
+  std::vector<double> prefix(n);
+  double total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    total += static_cast<double>(rng.PowerLaw(alpha, 2000));
+    prefix[v] = total;
+  }
+  auto sample_vertex = [&]() {
+    double target = rng.NextDouble() * total;
+    auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    return static_cast<VertexId>(it - prefix.begin());
+  };
+
+  PairMemory memory;
+  log.events.reserve(options.num_events);
+  for (uint64_t i = 0; i < options.num_events; ++i) {
+    VertexId u, v;
+    if (!memory.Empty() && rng.Bernoulli(options.recurrence)) {
+      auto pair = memory.SampleRecent(rng);
+      u = pair.first;
+      v = pair.second;
+    } else {
+      u = sample_vertex();
+      v = sample_vertex();
+      if (u == v) continue;
+      memory.Remember(u, v);
+    }
+    log.events.push_back(
+        {u, v, EventDay(i, options.num_events, options.num_days, rng)});
+  }
+  std::stable_sort(log.events.begin(), log.events.end());
+  return log;
+}
+
+TemporalEventLog GenBurstyMessageEvents(const TemporalGenOptions& options,
+                                        double burst_fraction,
+                                        double burst_multiplier, Rng& rng) {
+  TemporalEventLog log;
+  log.num_vertices = options.num_vertices;
+  const VertexId n = options.num_vertices;
+  if (n < 2) return log;
+
+  // Mark burst days; events land on burst days with boosted probability
+  // by re-mapping the uniform day assignment through a weighted table.
+  std::vector<double> day_weight(options.num_days, 1.0);
+  for (uint32_t d = 0; d < options.num_days; ++d) {
+    if (rng.Bernoulli(burst_fraction)) day_weight[d] = burst_multiplier;
+  }
+  std::vector<double> day_prefix(options.num_days);
+  double day_total = 0;
+  for (uint32_t d = 0; d < options.num_days; ++d) {
+    day_total += day_weight[d];
+    day_prefix[d] = day_total;
+  }
+  auto sample_day = [&]() {
+    double target = rng.NextDouble() * day_total;
+    auto it = std::lower_bound(day_prefix.begin(), day_prefix.end(), target);
+    return static_cast<int64_t>(it - day_prefix.begin());
+  };
+
+  PairMemory memory;
+  ActivitySampler activity(n, /*alpha=*/2.0, rng);
+  log.events.reserve(options.num_events);
+  for (uint64_t i = 0; i < options.num_events; ++i) {
+    VertexId u, v;
+    if (!memory.Empty() && rng.Bernoulli(options.recurrence)) {
+      auto pair = memory.SampleRecent(rng);
+      u = pair.first;
+      v = pair.second;
+    } else {
+      u = activity.Sample(rng);
+      v = activity.Sample(rng);
+      if (u == v) continue;
+      memory.Remember(u, v);
+    }
+    log.events.push_back({u, v, sample_day()});
+  }
+  std::stable_sort(log.events.begin(), log.events.end());
+  return log;
+}
+
+SnapshotSequence WindowSnapshots(const TemporalEventLog& log, size_t T,
+                                 uint32_t window_days) {
+  AVT_CHECK(T >= 1);
+  const int64_t t_min = log.MinTimestamp();
+  const int64_t t_max = log.MaxTimestamp();
+  const double span =
+      std::max<double>(1.0, static_cast<double>(t_max - t_min + 1));
+
+  // last_seen[pair] -> most recent timestamp; recomputed per boundary by
+  // a single sweep (events are sorted by time).
+  std::unordered_map<uint64_t, int64_t> last_seen;
+  auto pack = [](VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  };
+
+  std::vector<Graph> snapshots;
+  size_t cursor = 0;
+  for (size_t t = 1; t <= T; ++t) {
+    int64_t boundary =
+        t_min +
+        static_cast<int64_t>(span * static_cast<double>(t) /
+                             static_cast<double>(T)) -
+        1;
+    while (cursor < log.events.size() &&
+           log.events[cursor].timestamp <= boundary) {
+      const TemporalEdge& e = log.events[cursor];
+      last_seen[pack(e.u, e.v)] = e.timestamp;
+      ++cursor;
+    }
+    Graph g(log.num_vertices);
+    int64_t horizon = boundary - static_cast<int64_t>(window_days);
+    for (const auto& [key, when] : last_seen) {
+      if (when > horizon) {
+        VertexId u = static_cast<VertexId>(key >> 32);
+        VertexId v = static_cast<VertexId>(key & 0xffffffffu);
+        g.AddEdge(u, v);
+      }
+    }
+    snapshots.push_back(std::move(g));
+  }
+
+  SnapshotSequence sequence(snapshots.front());
+  Graph previous = snapshots.front();
+  for (size_t t = 1; t < snapshots.size(); ++t) {
+    sequence.PushDelta(DiffGraphs(previous, snapshots[t]));
+    previous = snapshots[t];
+  }
+  return sequence;
+}
+
+}  // namespace avt

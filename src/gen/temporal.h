@@ -1,0 +1,57 @@
+// Temporal event streams and sliding-window snapshot construction.
+//
+// The paper's three temporal datasets (eu-core, mathoverflow, CollegeMsg)
+// are interaction logs: (u, v, timestamp) events over a span of days. The
+// paper divides the span into T periods and declares an edge present in
+// G_t when it was active within a time window W ending at period t
+// (W = 365 days for mathoverflow); E+/E- follow from consecutive windows.
+//
+// Generators here synthesize event logs with the statistical signatures
+// of the three datasets: community-recurrent email traffic (SBM-flavored),
+// power-law activity Q&A interactions, and bursty messaging.
+
+#ifndef AVT_GEN_TEMPORAL_H_
+#define AVT_GEN_TEMPORAL_H_
+
+#include <cstdint>
+
+#include "graph/io.h"
+#include "graph/snapshots.h"
+#include "util/random.h"
+
+namespace avt {
+
+/// Common knobs for temporal event generation.
+struct TemporalGenOptions {
+  VertexId num_vertices = 1000;
+  uint64_t num_events = 50'000;
+  uint32_t num_days = 365;
+  /// Probability an event re-activates a previously seen pair.
+  double recurrence = 0.6;
+};
+
+/// Email-style traffic: strong communities, heavy pair recurrence
+/// (eu-core replica).
+TemporalEventLog GenCommunityEmailEvents(const TemporalGenOptions& options,
+                                         uint32_t communities,
+                                         double p_intra, Rng& rng);
+
+/// Q&A-interaction traffic: power-law vertex activity
+/// (mathoverflow replica).
+TemporalEventLog GenPowerLawActivityEvents(const TemporalGenOptions& options,
+                                           double alpha, Rng& rng);
+
+/// Messaging traffic with bursty days (CollegeMsg replica).
+TemporalEventLog GenBurstyMessageEvents(const TemporalGenOptions& options,
+                                        double burst_fraction,
+                                        double burst_multiplier, Rng& rng);
+
+/// Splits a log into T snapshots: G_t contains every pair whose most
+/// recent event falls in (boundary_t - window_days, boundary_t], where
+/// boundary_t is the end of the t-th of T equal periods.
+SnapshotSequence WindowSnapshots(const TemporalEventLog& log, size_t T,
+                                 uint32_t window_days);
+
+}  // namespace avt
+
+#endif  // AVT_GEN_TEMPORAL_H_

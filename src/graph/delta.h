@@ -1,0 +1,71 @@
+// Edge deltas between consecutive snapshots of an evolving graph.
+//
+// The paper writes G_t = G_{t-1} (+) E+ (-) E-: an insertion batch and a
+// deletion batch. EdgeDelta carries both; SnapshotSequence (snapshots.h)
+// stores the initial graph plus one delta per transition so an evolving
+// network with T snapshots costs O(m + T * churn) memory instead of
+// O(T * m).
+
+#ifndef AVT_GRAPH_DELTA_H_
+#define AVT_GRAPH_DELTA_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace avt {
+
+/// One evolution step: edges inserted (E+) and deleted (E-).
+struct EdgeDelta {
+  std::vector<Edge> insertions;
+  std::vector<Edge> deletions;
+
+  bool Empty() const { return insertions.empty() && deletions.empty(); }
+  size_t Size() const { return insertions.size() + deletions.size(); }
+
+  /// Applies the delta to `graph` in place: deletions first, then
+  /// insertions (the order the paper's IncAVT uses is the opposite —
+  /// insertions then deletions — and Apply matches IncAVT when
+  /// insert_first is true). Edges already present/absent are skipped.
+  void Apply(Graph& graph, bool insert_first = true) const {
+    if (insert_first) {
+      for (const Edge& e : insertions) graph.AddEdge(e.u, e.v);
+      for (const Edge& e : deletions) graph.RemoveEdge(e.u, e.v);
+    } else {
+      for (const Edge& e : deletions) graph.RemoveEdge(e.u, e.v);
+      for (const Edge& e : insertions) graph.AddEdge(e.u, e.v);
+    }
+  }
+
+  /// The delta that undoes this one.
+  EdgeDelta Inverse() const {
+    EdgeDelta inv;
+    inv.insertions = deletions;
+    inv.deletions = insertions;
+    return inv;
+  }
+};
+
+/// Computes the delta that transforms `from` into `to` (same vertex set).
+inline EdgeDelta DiffGraphs(const Graph& from, const Graph& to) {
+  AVT_CHECK(from.NumVertices() == to.NumVertices());
+  EdgeDelta delta;
+  std::vector<Edge> a = from.CollectEdges();
+  std::vector<Edge> b = to.CollectEdges();
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+      delta.deletions.push_back(a[i++]);
+    } else if (i == a.size() || b[j] < a[i]) {
+      delta.insertions.push_back(b[j++]);
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return delta;
+}
+
+}  // namespace avt
+
+#endif  // AVT_GRAPH_DELTA_H_

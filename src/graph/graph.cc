@@ -1,0 +1,77 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace avt {
+
+Graph Graph::FromEdges(VertexId num_vertices, const std::vector<Edge>& edges) {
+  Graph g(num_vertices);
+  for (const Edge& e : edges) {
+    AVT_CHECK_MSG(e.u < num_vertices && e.v < num_vertices,
+                  "edge endpoint out of range");
+    g.AddEdge(e.u, e.v);
+  }
+  return g;
+}
+
+bool Graph::AddEdge(VertexId u, VertexId v) {
+  AVT_DCHECK(u < NumVertices() && v < NumVertices());
+  if (u == v) return false;
+  if (HasEdge(u, v)) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::RemoveEdge(VertexId u, VertexId v) {
+  AVT_DCHECK(u < NumVertices() && v < NumVertices());
+  if (u == v) return false;
+  auto erase_one = [this](VertexId from, VertexId target) {
+    auto& list = adjacency_[from];
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i] == target) {
+        list[i] = list.back();
+        list.pop_back();
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!erase_one(u, v)) return false;
+  AVT_CHECK(erase_one(v, u));
+  --num_edges_;
+  return true;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  AVT_DCHECK(u < NumVertices() && v < NumVertices());
+  // Scan the shorter list.
+  const auto& a = adjacency_[u].size() <= adjacency_[v].size()
+                      ? adjacency_[u]
+                      : adjacency_[v];
+  VertexId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(a.begin(), a.end(), target) != a.end();
+}
+
+std::vector<Edge> Graph::CollectEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : adjacency_[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t best = 0;
+  for (const auto& list : adjacency_) {
+    best = std::max(best, static_cast<uint32_t>(list.size()));
+  }
+  return best;
+}
+
+}  // namespace avt

@@ -1,0 +1,121 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace avt {
+namespace {
+
+// Remaps arbitrary file ids to dense [0, n); insertion order.
+class IdCompactor {
+ public:
+  VertexId Map(uint64_t raw) {
+    auto [it, inserted] = ids_.emplace(raw, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  VertexId size() const { return next_; }
+
+ private:
+  std::unordered_map<uint64_t, VertexId> ids_;
+  VertexId next_ = 0;
+};
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (char c : line) {
+    if (c == '#' || c == '%') return true;
+    if (!isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Graph> ParseEdgeList(const std::string& body) {
+  std::istringstream in(body);
+  std::string line;
+  IdCompactor compact;
+  std::vector<std::pair<VertexId, VertexId>> raw_edges;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ls(line);
+    uint64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) {
+      return Status::Corruption("bad edge at line " +
+                                std::to_string(line_number));
+    }
+    // Sequence the two Map calls: argument evaluation order is
+    // unspecified and first-appearance compaction must follow the file.
+    VertexId mapped_a = compact.Map(a);
+    VertexId mapped_b = compact.Map(b);
+    raw_edges.emplace_back(mapped_a, mapped_b);
+  }
+  Graph g(compact.size());
+  for (auto [u, v] : raw_edges) g.AddEdge(u, v);
+  return g;
+}
+
+StatusOr<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseEdgeList(buffer.str());
+}
+
+StatusOr<TemporalEventLog> LoadTemporalEdgeList(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  TemporalEventLog log;
+  IdCompactor compact;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ls(line);
+    uint64_t a = 0, b = 0;
+    int64_t t = 0;
+    if (!(ls >> a >> b >> t)) {
+      return Status::Corruption("bad temporal edge at line " +
+                                std::to_string(line_number));
+    }
+    if (a == b) continue;
+    log.events.push_back({compact.Map(a), compact.Map(b), t});
+  }
+  log.num_vertices = compact.size();
+  std::stable_sort(log.events.begin(), log.events.end());
+  return log;
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file << "# avt edge list: n=" << graph.NumVertices()
+       << " m=" << graph.NumEdges() << "\n";
+  for (const Edge& e : graph.CollectEdges()) {
+    file << e.u << ' ' << e.v << '\n';
+  }
+  if (!file) return Status::IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+Status SaveTemporalEdgeList(const TemporalEventLog& log,
+                            const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file << "# avt temporal edge list: n=" << log.num_vertices
+       << " events=" << log.events.size() << "\n";
+  for (const TemporalEdge& e : log.events) {
+    file << e.u << ' ' << e.v << ' ' << e.timestamp << '\n';
+  }
+  if (!file) return Status::IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+}  // namespace avt

@@ -1,0 +1,67 @@
+// Text IO for graphs: SNAP-style edge lists and temporal edge lists.
+//
+// Formats (whitespace-separated, '#' comment lines ignored):
+//   edge list:           "u v" per line
+//   temporal edge list:  "u v timestamp" per line (seconds or days)
+//
+// Vertex ids in files may be sparse; loaders compact them to dense
+// [0, n) ids and can report the mapping.
+
+#ifndef AVT_GRAPH_IO_H_
+#define AVT_GRAPH_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace avt {
+
+/// One timestamped interaction; vertex ids already dense.
+struct TemporalEdge {
+  VertexId u;
+  VertexId v;
+  int64_t timestamp;
+
+  friend bool operator<(const TemporalEdge& a, const TemporalEdge& b) {
+    return a.timestamp < b.timestamp;
+  }
+  friend bool operator==(const TemporalEdge& a, const TemporalEdge& b) {
+    return a.u == b.u && a.v == b.v && a.timestamp == b.timestamp;
+  }
+};
+
+/// A loaded temporal dataset: events sorted by time.
+struct TemporalEventLog {
+  VertexId num_vertices = 0;
+  std::vector<TemporalEdge> events;
+
+  int64_t MinTimestamp() const {
+    return events.empty() ? 0 : events.front().timestamp;
+  }
+  int64_t MaxTimestamp() const {
+    return events.empty() ? 0 : events.back().timestamp;
+  }
+};
+
+/// Reads a static edge list. Self-loops and duplicates are dropped.
+StatusOr<Graph> LoadEdgeList(const std::string& path);
+
+/// Reads a temporal edge list (u v t per line), sorted by timestamp.
+StatusOr<TemporalEventLog> LoadTemporalEdgeList(const std::string& path);
+
+/// Writes "u v" lines (normalized, sorted) with a stats header comment.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+/// Writes "u v t" lines in event order.
+Status SaveTemporalEdgeList(const TemporalEventLog& log,
+                            const std::string& path);
+
+/// Parses an in-memory edge-list body (used by tests; same grammar).
+StatusOr<Graph> ParseEdgeList(const std::string& body);
+
+}  // namespace avt
+
+#endif  // AVT_GRAPH_IO_H_

@@ -1,0 +1,75 @@
+// Evolving-network container: initial snapshot + per-step edge deltas.
+//
+// G = {G_1, ..., G_T} is stored as G_1 and T-1 deltas. Materialize(t)
+// replays deltas to produce any snapshot; ForEachSnapshot streams
+// snapshots in order reusing one working graph, which is how the static
+// trackers (OLAK/Greedy/RCM re-run per snapshot) and IncAVT consume the
+// sequence.
+
+#ifndef AVT_GRAPH_SNAPSHOTS_H_
+#define AVT_GRAPH_SNAPSHOTS_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/delta.h"
+#include "graph/graph.h"
+
+namespace avt {
+
+/// A T-snapshot evolving graph with shared vertex universe.
+class SnapshotSequence {
+ public:
+  SnapshotSequence() = default;
+  explicit SnapshotSequence(Graph initial)
+      : initial_(std::move(initial)) {}
+
+  /// Number of snapshots T (>= 1 once initialized).
+  size_t NumSnapshots() const { return deltas_.size() + 1; }
+  VertexId NumVertices() const { return initial_.NumVertices(); }
+
+  const Graph& initial() const { return initial_; }
+  const std::vector<EdgeDelta>& deltas() const { return deltas_; }
+
+  /// Appends the transition G_t -> G_{t+1}.
+  void PushDelta(EdgeDelta delta) { deltas_.push_back(std::move(delta)); }
+
+  /// Materializes snapshot index t in [0, NumSnapshots()).
+  Graph Materialize(size_t t) const {
+    AVT_CHECK(t < NumSnapshots());
+    Graph g = initial_;
+    for (size_t i = 0; i < t; ++i) deltas_[i].Apply(g);
+    return g;
+  }
+
+  /// Streams snapshots in order. The callback receives (t, graph, delta)
+  /// where delta is the transition applied to reach t (empty at t = 0).
+  /// The same Graph instance is mutated between calls.
+  void ForEachSnapshot(
+      const std::function<void(size_t, const Graph&, const EdgeDelta&)>&
+          callback) const {
+    Graph g = initial_;
+    EdgeDelta empty;
+    callback(0, g, empty);
+    for (size_t i = 0; i < deltas_.size(); ++i) {
+      deltas_[i].Apply(g);
+      callback(i + 1, g, deltas_[i]);
+    }
+  }
+
+  /// Total churn (|E+| + |E-|) across all transitions.
+  size_t TotalChurn() const {
+    size_t total = 0;
+    for (const auto& d : deltas_) total += d.Size();
+    return total;
+  }
+
+ private:
+  Graph initial_;
+  std::vector<EdgeDelta> deltas_;
+};
+
+}  // namespace avt
+
+#endif  // AVT_GRAPH_SNAPSHOTS_H_

@@ -1,0 +1,145 @@
+#include "maint/traversal_maintainer.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "corelib/decomposition.h"
+
+namespace avt {
+
+void TraversalMaintainer::Reset(const Graph& graph) {
+  graph_ = graph;
+  core_ = DecomposeCores(graph_).core;
+  last_changed_.clear();
+  in_queue_.Resize(graph_.NumVertices());
+  candidate_.Resize(graph_.NumVertices());
+  support_.Resize(graph_.NumVertices());
+}
+
+uint32_t TraversalMaintainer::LocalHIndex(VertexId v) const {
+  // Count neighbors with core >= h for descending h; O(deg log deg) via
+  // sorting a small buffer would also work, but a counting pass over
+  // possible h values bounded by degree is simpler.
+  uint32_t degree = graph_.Degree(v);
+  if (degree == 0) return 0;
+  // bucket[c] = #neighbors with min(core, degree) == c
+  std::vector<uint32_t> bucket(degree + 1, 0);
+  for (VertexId w : graph_.Neighbors(v)) {
+    ++bucket[std::min(core_[w], degree)];
+  }
+  uint32_t at_least = 0;
+  for (uint32_t h = degree;; --h) {
+    at_least += bucket[h];
+    if (at_least >= h) return h;
+    if (h == 0) break;
+  }
+  return 0;
+}
+
+void TraversalMaintainer::RelaxDownward(std::vector<VertexId> seeds) {
+  // Standard chaotic relaxation from above: core numbers only decrease,
+  // and each decrease wakes the neighbors.
+  std::queue<VertexId> queue;
+  in_queue_.Clear();
+  for (VertexId s : seeds) {
+    if (!in_queue_.Get(s)) {
+      in_queue_.Set(s, 1);
+      queue.push(s);
+    }
+  }
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop();
+    in_queue_.Set(v, 0);
+    uint32_t h = LocalHIndex(v);
+    if (h < core_[v]) {
+      core_[v] = h;
+      last_changed_.push_back(v);
+      for (VertexId w : graph_.Neighbors(v)) {
+        if (core_[w] > h && !in_queue_.Get(w)) {
+          in_queue_.Set(w, 1);
+          queue.push(w);
+        }
+      }
+    }
+  }
+}
+
+void TraversalMaintainer::PropagateUpward(VertexId root) {
+  // Single-edge insertion raises cores by at most one, only within the
+  // region of vertices with core == K reachable from the root through
+  // same-core vertices (the "purecore"). Collect the region, then
+  // eliminate members lacking K+1 prospective supporters.
+  const uint32_t K = core_[root];
+  candidate_.Clear();
+  support_.Clear();
+
+  std::vector<VertexId> region;
+  std::queue<VertexId> bfs;
+  candidate_.Set(root, 1);
+  bfs.push(root);
+  while (!bfs.empty()) {
+    VertexId v = bfs.front();
+    bfs.pop();
+    region.push_back(v);
+    for (VertexId w : graph_.Neighbors(v)) {
+      if (core_[w] == K && !candidate_.Get(w)) {
+        candidate_.Set(w, 1);
+        bfs.push(w);
+      }
+    }
+  }
+
+  // support(v) = neighbors that could be at level K+1 afterwards:
+  // old core > K, or region members still candidates.
+  std::queue<VertexId> review;
+  for (VertexId v : region) {
+    uint32_t s = 0;
+    for (VertexId w : graph_.Neighbors(v)) {
+      if (core_[w] > K || candidate_.Get(w)) ++s;
+    }
+    support_.Set(v, s);
+    if (s <= K) review.push(v);
+  }
+  while (!review.empty()) {
+    VertexId v = review.front();
+    review.pop();
+    if (!candidate_.Get(v)) continue;
+    if (support_.Get(v) > K) continue;
+    candidate_.Set(v, 0);
+    for (VertexId w : graph_.Neighbors(v)) {
+      if (candidate_.Get(w)) {
+        support_.Add(w, static_cast<uint32_t>(-1));
+        if (support_.Get(w) <= K) review.push(w);
+      }
+    }
+  }
+  for (VertexId v : region) {
+    if (candidate_.Get(v)) {
+      core_[v] = K + 1;
+      last_changed_.push_back(v);
+    }
+  }
+}
+
+bool TraversalMaintainer::InsertEdge(VertexId u, VertexId v) {
+  if (!graph_.AddEdge(u, v)) return false;
+  last_changed_.clear();
+  VertexId root = core_[u] <= core_[v] ? u : v;
+  PropagateUpward(root);
+  return true;
+}
+
+bool TraversalMaintainer::RemoveEdge(VertexId u, VertexId v) {
+  if (!graph_.RemoveEdge(u, v)) return false;
+  last_changed_.clear();
+  RelaxDownward({u, v});
+  return true;
+}
+
+void TraversalMaintainer::ApplyDelta(const EdgeDelta& delta) {
+  for (const Edge& e : delta.insertions) InsertEdge(e.u, e.v);
+  for (const Edge& e : delta.deletions) RemoveEdge(e.u, e.v);
+}
+
+}  // namespace avt

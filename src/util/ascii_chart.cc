@@ -1,0 +1,169 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace avt {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+// Log-safe transform: values <= 0 map below the smallest positive value.
+double Transform(double v, bool log_scale, double floor_value) {
+  if (!log_scale) return v;
+  return std::log10(std::max(v, floor_value));
+}
+
+std::string FormatTick(double v, bool log_scale) {
+  char buf[32];
+  if (log_scale) {
+    std::snprintf(buf, sizeof(buf), "1e%+03d",
+                  static_cast<int>(std::lround(v)));
+  } else if (std::fabs(v) >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderAsciiChart(const std::vector<std::string>& x_labels,
+                             const std::vector<ChartSeries>& series,
+                             const ChartOptions& options) {
+  if (series.empty() || x_labels.empty()) return "(empty chart)\n";
+
+  // Establish the y range across all series.
+  double raw_min = 0, raw_max = 0;
+  bool first = true;
+  double positive_floor = 1.0;
+  for (const ChartSeries& s : series) {
+    for (double v : s.values) {
+      if (v > 0 && (v < positive_floor || positive_floor == 1.0)) {
+        positive_floor = std::min(positive_floor, v);
+      }
+      if (first) {
+        raw_min = raw_max = v;
+        first = false;
+      } else {
+        raw_min = std::min(raw_min, v);
+        raw_max = std::max(raw_max, v);
+      }
+    }
+  }
+  if (first) return "(empty chart)\n";
+  if (positive_floor <= 0) positive_floor = 1.0;
+  // For log charts zeros plot half a decade below the smallest positive.
+  double floor_value = positive_floor / 3.0;
+
+  double lo = Transform(options.log_scale ? std::max(raw_min, floor_value)
+                                          : raw_min,
+                        options.log_scale, floor_value);
+  double hi = Transform(std::max(raw_max, floor_value), options.log_scale,
+                        floor_value);
+  if (raw_min <= 0 && options.log_scale) {
+    lo = Transform(floor_value, true, floor_value);
+  }
+  if (hi - lo < 1e-9) hi = lo + 1.0;
+
+  const uint32_t height = std::max(options.height, 4u);
+  const uint32_t width = std::max<uint32_t>(
+      options.width, static_cast<uint32_t>(x_labels.size()));
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+
+  auto row_of = [&](double v) {
+    double t = Transform(options.log_scale && v <= 0 ? floor_value : v,
+                         options.log_scale, floor_value);
+    double frac = (t - lo) / (hi - lo);
+    frac = std::clamp(frac, 0.0, 1.0);
+    return static_cast<uint32_t>(
+        std::lround((1.0 - frac) * (height - 1)));
+  };
+  auto col_of = [&](size_t index, size_t count) {
+    if (count <= 1) return 0u;
+    return static_cast<uint32_t>(index * (width - 1) / (count - 1));
+  };
+
+  for (size_t s = 0; s < series.size(); ++s) {
+    char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    const std::vector<double>& values = series[s].values;
+    uint32_t prev_col = 0, prev_row = 0;
+    for (size_t i = 0; i < values.size() && i < x_labels.size(); ++i) {
+      uint32_t col = col_of(i, std::min(values.size(), x_labels.size()));
+      uint32_t row = row_of(values[i]);
+      canvas[row][col] = glyph;
+      // Connect consecutive points with a light trace.
+      if (i > 0) {
+        uint32_t c0 = prev_col, c1 = col;
+        for (uint32_t c = c0 + 1; c < c1; ++c) {
+          double frac = static_cast<double>(c - c0) /
+                        static_cast<double>(c1 - c0);
+          uint32_t r = static_cast<uint32_t>(std::lround(
+              prev_row + frac * (static_cast<double>(row) - prev_row)));
+          if (canvas[r][c] == ' ') canvas[r][c] = '.';
+        }
+      }
+      prev_col = col;
+      prev_row = row;
+    }
+  }
+
+  // Compose with y ticks on the left.
+  std::string out;
+  if (!options.y_label.empty()) {
+    out += options.y_label + "\n";
+  }
+  const std::string top_tick = FormatTick(hi, options.log_scale);
+  const std::string bottom_tick = FormatTick(lo, options.log_scale);
+  size_t tick_width = std::max(top_tick.size(), bottom_tick.size());
+  for (uint32_t r = 0; r < height; ++r) {
+    std::string tick;
+    if (r == 0) {
+      tick = top_tick;
+    } else if (r == height - 1) {
+      tick = bottom_tick;
+    } else if (r == height / 2) {
+      tick = FormatTick(lo + (hi - lo) / 2, options.log_scale);
+    }
+    tick.insert(tick.begin(), tick_width - std::min(tick.size(), tick_width),
+                ' ');
+    out += tick + " |" + canvas[r] + "\n";
+  }
+  out.append(tick_width + 1, ' ');
+  out += '+';
+  out.append(width, '-');
+  out += '\n';
+
+  // X labels: first, middle, last.
+  std::string x_axis(tick_width + 2 + width, ' ');
+  auto place = [&x_axis, tick_width](uint32_t col, const std::string& text) {
+    size_t start = tick_width + 2 + col;
+    if (start + text.size() > x_axis.size()) {
+      if (text.size() >= x_axis.size()) return;
+      start = x_axis.size() - text.size();
+    }
+    x_axis.replace(start, text.size(), text);
+  };
+  place(0, x_labels.front());
+  if (x_labels.size() > 2) {
+    place(col_of(x_labels.size() / 2, x_labels.size()),
+          x_labels[x_labels.size() / 2]);
+  }
+  if (x_labels.size() > 1) {
+    place(col_of(x_labels.size() - 1, x_labels.size()), x_labels.back());
+  }
+  out += x_axis + "  (" + options.x_label + ")\n";
+
+  // Legend.
+  for (size_t s = 0; s < series.size(); ++s) {
+    out += "  ";
+    out += kGlyphs[s % sizeof(kGlyphs)];
+    out += " = " + series[s].label;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace avt

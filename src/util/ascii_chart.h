@@ -1,0 +1,40 @@
+// ASCII line charts for the experiment harness.
+//
+// Each bench binary reproduces a paper figure; besides the data table it
+// renders the series as a log- or linear-scale ASCII chart so the
+// figure's *shape* (orderings, crossovers, trends) is visible directly in
+// the terminal, mirroring the plots in the paper.
+
+#ifndef AVT_UTIL_ASCII_CHART_H_
+#define AVT_UTIL_ASCII_CHART_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace avt {
+
+/// One plotted series: a label and y values over the shared x axis.
+struct ChartSeries {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Rendering options.
+struct ChartOptions {
+  uint32_t width = 64;    // plot columns
+  uint32_t height = 16;   // plot rows
+  bool log_scale = true;  // log10 y axis (the paper's figures are log)
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders series over shared x labels into a multi-line string.
+/// Each series is drawn with its own glyph; a legend follows the plot.
+std::string RenderAsciiChart(const std::vector<std::string>& x_labels,
+                             const std::vector<ChartSeries>& series,
+                             const ChartOptions& options);
+
+}  // namespace avt
+
+#endif  // AVT_UTIL_ASCII_CHART_H_

@@ -1,0 +1,67 @@
+// Epoch-stamped scratch arrays: O(1) logical reset of per-vertex state.
+//
+// The follower oracle evaluates thousands of hypothetical anchor sets per
+// snapshot; each evaluation needs clean per-vertex scratch (candidate
+// flags, candidate degrees, supports) without paying O(n) to clear or
+// allocating. EpochArray stamps each slot with the epoch that wrote it;
+// bumping the epoch invalidates everything at once.
+
+#ifndef AVT_UTIL_EPOCH_H_
+#define AVT_UTIL_EPOCH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace avt {
+
+/// Per-index value store with O(1) whole-array reset.
+template <typename T>
+class EpochArray {
+ public:
+  EpochArray() = default;
+  explicit EpochArray(size_t size, T default_value = T{})
+      : default_(default_value) {
+    Resize(size);
+  }
+
+  void Resize(size_t size) {
+    values_.assign(size, default_);
+    stamps_.assign(size, 0);
+    epoch_ = 1;
+  }
+
+  size_t size() const { return values_.size(); }
+
+  /// Invalidates all slots in O(1).
+  void Clear() { ++epoch_; }
+
+  bool Contains(size_t i) const { return stamps_[i] == epoch_; }
+
+  /// Current value, or the default if the slot is stale.
+  T Get(size_t i) const {
+    return stamps_[i] == epoch_ ? values_[i] : default_;
+  }
+
+  void Set(size_t i, T value) {
+    stamps_[i] = epoch_;
+    values_[i] = value;
+  }
+
+  /// Adds `delta` to the slot (initializing from the default) and returns
+  /// the new value.
+  T Add(size_t i, T delta) {
+    T next = Get(i) + delta;
+    Set(i, next);
+    return next;
+  }
+
+ private:
+  std::vector<T> values_;
+  std::vector<uint64_t> stamps_;
+  uint64_t epoch_ = 1;
+  T default_{};
+};
+
+}  // namespace avt
+
+#endif  // AVT_UTIL_EPOCH_H_

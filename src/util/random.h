@@ -1,0 +1,167 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components of the library (graph generators, churn
+// workloads, randomized tests) take an explicit seed and route through
+// Rng so that every experiment in EXPERIMENTS.md is exactly
+// reproducible. The engine is xoshiro256**, seeded via SplitMix64,
+// which is the standard seeding recipe recommended by the xoshiro
+// authors.
+
+#ifndef AVT_UTIL_RANDOM_H_
+#define AVT_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avt {
+
+/// SplitMix64 step; used for seeding and as a cheap hash.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience sampling helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound) {
+    AVT_DCHECK(bound > 0);
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    AVT_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Geometric-ish power-law sample: returns x >= 1 with
+  /// P(x) ~ x^(-alpha), truncated at max_value. Uses inverse-CDF of the
+  /// continuous Pareto and rounds down.
+  uint64_t PowerLaw(double alpha, uint64_t max_value) {
+    AVT_DCHECK(alpha > 1.0);
+    AVT_DCHECK(max_value >= 1);
+    // Inverse CDF of Pareto(x_m = 1): x = (1-u)^(-1/(alpha-1)).
+    double u = NextDouble();
+    double x = 1.0;
+    double inv = -1.0 / (alpha - 1.0);
+    // Guard pow against u == 0.
+    if (u > 0.0) x = __builtin_pow(1.0 - u, inv);
+    if (x > static_cast<double>(max_value)) {
+      return max_value;
+    }
+    uint64_t result = static_cast<uint64_t>(x);
+    return result < 1 ? 1 : result;
+  }
+
+  /// Standard-ish exponential sample with the given rate.
+  double Exponential(double rate) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999;
+    return -__builtin_log(1.0 - u) / rate;
+  }
+
+  /// Fisher-Yates shuffle of the whole vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) (count <= n).
+  /// Floyd's algorithm; O(count) expected time.
+  std::vector<uint64_t> SampleDistinct(uint64_t n, uint64_t count);
+
+  /// Forks an independent stream (useful for parallel deterministic work).
+  Rng Fork() { return Rng(Next() ^ 0xA3C59AC2ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+inline std::vector<uint64_t> Rng::SampleDistinct(uint64_t n, uint64_t count) {
+  AVT_CHECK(count <= n);
+  // Floyd's sampling; for dense requests fall back to shuffle-prefix.
+  if (count * 2 >= n) {
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(all);
+    all.resize(count);
+    return all;
+  }
+  std::vector<uint64_t> result;
+  result.reserve(count);
+  // Simple hash-set-free variant: Floyd with linear membership check is
+  // fine for the small `count` used by churn generation; keep a sorted
+  // vector for O(log) membership.
+  std::vector<uint64_t> seen;
+  seen.reserve(count);
+  auto contains = [&seen](uint64_t x) {
+    for (uint64_t s : seen) {
+      if (s == x) return true;
+    }
+    return false;
+  };
+  for (uint64_t j = n - count; j < n; ++j) {
+    uint64_t t = Uniform(j + 1);
+    if (contains(t)) t = j;
+    seen.push_back(t);
+    result.push_back(t);
+  }
+  return result;
+}
+
+}  // namespace avt
+
+#endif  // AVT_UTIL_RANDOM_H_

@@ -1,0 +1,56 @@
+// Small numeric-summary helpers shared by generators, benches and tests.
+
+#ifndef AVT_UTIL_STATS_H_
+#define AVT_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace avt {
+
+/// Streaming mean/min/max/variance accumulator (Welford).
+class Summary {
+ public:
+  void Add(double x) {
+    ++n_;
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Percentile over a copy of the data (p in [0,100]).
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = lo + 1 < values.size() ? lo + 1 : lo;
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace avt
+
+#endif  // AVT_UTIL_STATS_H_

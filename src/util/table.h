@@ -1,0 +1,118 @@
+// Plain-text table / CSV rendering for the experiment harness.
+//
+// Every bench binary prints (a) a human-readable aligned table matching
+// the rows/series of the corresponding paper figure and (b) a CSV block
+// that downstream plotting can consume. TablePrinter implements both from
+// one row buffer.
+
+#ifndef AVT_UTIL_TABLE_H_
+#define AVT_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace avt {
+
+/// Buffers rows of string cells and renders aligned text or CSV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience for mixed scalar rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TablePrinter* table) : table_(table) {}
+    RowBuilder& Str(const std::string& s) {
+      cells_.push_back(s);
+      return *this;
+    }
+    RowBuilder& Int(int64_t v) {
+      cells_.push_back(std::to_string(v));
+      return *this;
+    }
+    RowBuilder& UInt(uint64_t v) {
+      cells_.push_back(std::to_string(v));
+      return *this;
+    }
+    RowBuilder& Double(double v, int precision = 3) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+      cells_.emplace_back(buf);
+      return *this;
+    }
+    ~RowBuilder() { table_->AddRow(std::move(cells_)); }
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    TablePrinter* table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder Row() { return RowBuilder(this); }
+
+  /// Renders an aligned, pipe-separated table.
+  std::string ToText() const {
+    std::vector<size_t> width(header_.size(), 0);
+    auto widen = [&width](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        if (row[i].size() > width[i]) width[i] = row[i].size();
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    std::string out;
+    auto emit = [&out, &width](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < width.size(); ++i) {
+        const std::string cell = i < row.size() ? row[i] : "";
+        out += (i == 0 ? "| " : " ");
+        out += cell;
+        out.append(width[i] - cell.size(), ' ');
+        out += " |";
+      }
+      out += '\n';
+    };
+    emit(header_);
+    std::string rule = "|";
+    for (size_t w : width) {
+      rule.append(w + 2 + 1, '-');
+      rule.back() = '|';
+    }
+    out += rule + "\n";
+    for (const auto& row : rows_) emit(row);
+    return out;
+  }
+
+  /// Renders RFC-ish CSV (no quoting needed: cells are numeric/identifiers).
+  std::string ToCsv() const {
+    std::string out;
+    auto emit = [&out](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i) out += ',';
+        out += row[i];
+      }
+      out += '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+    return out;
+  }
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace avt
+
+#endif  // AVT_UTIL_TABLE_H_

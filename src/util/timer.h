@@ -1,0 +1,74 @@
+// Wall-clock timing helpers used by the benchmark harness and trackers.
+
+#ifndef AVT_UTIL_TIMER_H_
+#define AVT_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace avt {
+
+/// Monotonic stopwatch. Start() resets the origin; elapsed readings are
+/// taken without stopping.
+class Timer {
+ public:
+  Timer() { Start(); }
+
+  void Start() { origin_ = Clock::now(); }
+
+  /// Elapsed time since Start() in nanoseconds.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             origin_)
+            .count());
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() * 1e-3; }
+  double ElapsedMillis() const { return ElapsedNanos() * 1e-6; }
+  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point origin_;
+};
+
+/// Accumulates wall time across multiple timed sections.
+class AccumulatingTimer {
+ public:
+  void Add(double millis) {
+    total_millis_ += millis;
+    ++count_;
+  }
+  double total_millis() const { return total_millis_; }
+  uint64_t count() const { return count_; }
+  double mean_millis() const {
+    return count_ == 0 ? 0.0 : total_millis_ / static_cast<double>(count_);
+  }
+  void Reset() {
+    total_millis_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  double total_millis_ = 0;
+  uint64_t count_ = 0;
+};
+
+/// RAII helper: adds the scope's wall time to an AccumulatingTimer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(AccumulatingTimer* sink) : sink_(sink) {}
+  ~ScopedTimer() { sink_->Add(timer_.ElapsedMillis()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  AccumulatingTimer* sink_;
+  Timer timer_;
+};
+
+}  // namespace avt
+
+#endif  // AVT_UTIL_TIMER_H_

@@ -1,0 +1,196 @@
+// Tests for the avt_cli command layer (driven in-process through
+// cli_commands.h; stdout/stderr captured via temp files).
+
+#include "cli_commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace avt {
+namespace cli {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    auto path =
+        std::filesystem::temp_directory_path() / ("avt_cli_" + name);
+    created_.push_back(path.string());
+    return path.string();
+  }
+
+  void TearDown() override {
+    for (const std::string& path : created_) std::remove(path.c_str());
+  }
+
+  // Runs a command capturing stdout/stderr into strings.
+  int Run(const std::vector<std::string>& args, std::string* out_text,
+          std::string* err_text = nullptr) {
+    std::vector<std::string> full = {"avt_cli"};
+    full.insert(full.end(), args.begin(), args.end());
+    std::vector<char*> argv;
+    for (std::string& s : full) argv.push_back(s.data());
+
+    std::string out_path = TempPath("out.txt");
+    std::string err_path = TempPath("err.txt");
+    FILE* out = fopen(out_path.c_str(), "w+");
+    FILE* err = fopen(err_path.c_str(), "w+");
+    int rc = RunCli(static_cast<int>(argv.size()), argv.data(), out, err);
+    fclose(out);
+    fclose(err);
+    if (out_text) *out_text = Slurp(out_path);
+    if (err_text) *err_text = Slurp(err_path);
+    return rc;
+  }
+
+  static std::string Slurp(const std::string& path) {
+    std::ifstream file(path);
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+  }
+
+  std::vector<std::string> created_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  std::string out, err;
+  EXPECT_EQ(Run({}, &out, &err), 2);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpSucceeds) {
+  std::string out;
+  EXPECT_EQ(Run({"help"}, &out), 0);
+  EXPECT_NE(out.find("anchors"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  std::string out, err;
+  EXPECT_EQ(Run({"frobnicate"}, &out, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, GenThenStats) {
+  std::string graph_path = TempPath("g.txt");
+  std::string out;
+  ASSERT_EQ(Run({"gen", "--model=er", "--n=200", "--avg-degree=5",
+                 "--out=" + graph_path},
+                &out),
+            0);
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+
+  ASSERT_EQ(Run({"stats", graph_path}, &out), 0);
+  EXPECT_NE(out.find("vertices            200"), std::string::npos);
+  EXPECT_NE(out.find("average degree"), std::string::npos);
+  EXPECT_NE(out.find("degeneracy"), std::string::npos);
+}
+
+TEST_F(CliTest, GenRejectsUnknownModel) {
+  std::string out, err;
+  EXPECT_EQ(Run({"gen", "--model=nope", "--out=" + TempPath("x.txt")},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("unknown --model"), std::string::npos);
+}
+
+TEST_F(CliTest, GenRequiresOut) {
+  std::string out, err;
+  EXPECT_EQ(Run({"gen", "--model=er"}, &out, &err), 2);
+  EXPECT_NE(err.find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, CoreProfileAndSpecificK) {
+  std::string graph_path = TempPath("core.txt");
+  std::string out;
+  ASSERT_EQ(Run({"gen", "--model=ba", "--n=300", "--avg-degree=6",
+                 "--out=" + graph_path},
+                &out),
+            0);
+  ASSERT_EQ(Run({"core", graph_path}, &out), 0);
+  EXPECT_NE(out.find("degeneracy"), std::string::npos);
+  EXPECT_NE(out.find("k=1"), std::string::npos);
+
+  ASSERT_EQ(Run({"core", graph_path, "--k=3"}, &out), 0);
+  EXPECT_NE(out.find("|C_3|"), std::string::npos);
+}
+
+TEST_F(CliTest, AnchorsAllAlgorithms) {
+  std::string graph_path = TempPath("anchors.txt");
+  std::string out;
+  ASSERT_EQ(Run({"gen", "--model=chung-lu", "--n=250", "--avg-degree=6",
+                 "--out=" + graph_path},
+                &out),
+            0);
+  for (const char* algo : {"greedy", "olak", "rcm"}) {
+    ASSERT_EQ(Run({"anchors", graph_path, "--k=3", "--l=3",
+                   std::string("--algo=") + algo},
+                  &out),
+              0)
+        << algo;
+    EXPECT_NE(out.find("anchors"), std::string::npos) << algo;
+    EXPECT_NE(out.find("|F| ="), std::string::npos) << algo;
+  }
+}
+
+TEST_F(CliTest, AnchorsRejectsBadAlgo) {
+  std::string graph_path = TempPath("bad.txt");
+  std::string out, err;
+  ASSERT_EQ(Run({"gen", "--model=er", "--n=50", "--avg-degree=4",
+                 "--out=" + graph_path},
+                &out),
+            0);
+  EXPECT_EQ(Run({"anchors", graph_path, "--algo=magic"}, &out, &err), 2);
+  EXPECT_NE(err.find("unknown --algo"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsMissingFileFails) {
+  std::string out, err;
+  EXPECT_EQ(Run({"stats", "/nonexistent/graph.txt"}, &out, &err), 2);
+  EXPECT_NE(err.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, TrackOnDatasetReplica) {
+  std::string out;
+  ASSERT_EQ(Run({"track", "--dataset=CollegeMsg", "--t=4", "--k=3",
+                 "--l=3", "--scale=0.3", "--algo=incavt"},
+                &out),
+            0);
+  EXPECT_NE(out.find("followers"), std::string::npos);
+  EXPECT_NE(out.find("smoothness"), std::string::npos);
+}
+
+TEST_F(CliTest, TrackRequiresSource) {
+  std::string out, err;
+  EXPECT_EQ(Run({"track", "--t=3"}, &out, &err), 2);
+  EXPECT_NE(err.find("--dataset"), std::string::npos);
+}
+
+TEST_F(CliTest, ConvertWindowsTemporalLog) {
+  // Write a tiny temporal log, convert, and expect snapshot files.
+  std::string log_path = TempPath("log.txt");
+  {
+    std::ofstream file(log_path);
+    file << "0 1 0\n1 2 10\n2 3 20\n0 2 30\n1 3 40\n";
+  }
+  std::string prefix = TempPath("snap");
+  std::string out;
+  ASSERT_EQ(Run({"convert", log_path, "--t=2", "--window=25",
+                 "--out-prefix=" + prefix},
+                &out),
+            0);
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+  for (int t = 0; t < 2; ++t) {
+    std::string path = prefix + "_" + std::to_string(t) + ".txt";
+    created_.push_back(path);
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+  }
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace avt

@@ -1,0 +1,188 @@
+// Unit tests for core decomposition (Definitions 1-2, Algorithm 1).
+
+#include "corelib/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/models.h"
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+Graph Triangle() {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  return g;
+}
+
+TEST(Decomposition, EmptyGraph) {
+  Graph g(5);
+  CoreDecomposition cores = DecomposeCores(g);
+  EXPECT_EQ(cores.max_core, 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(cores.core[v], 0u);
+  EXPECT_EQ(cores.peel_order.size(), 5u);
+}
+
+TEST(Decomposition, SingleEdge) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  CoreDecomposition cores = DecomposeCores(g);
+  EXPECT_EQ(cores.core[0], 1u);
+  EXPECT_EQ(cores.core[1], 1u);
+  EXPECT_EQ(cores.max_core, 1u);
+}
+
+TEST(Decomposition, TriangleIsTwoCore) {
+  CoreDecomposition cores = DecomposeCores(Triangle());
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(cores.core[v], 2u);
+}
+
+TEST(Decomposition, PathHasCoreOne) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  CoreDecomposition cores = DecomposeCores(g);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(cores.core[v], 1u);
+}
+
+TEST(Decomposition, CliqueCore) {
+  const VertexId n = 6;
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  CoreDecomposition cores = DecomposeCores(g);
+  for (VertexId v = 0; v < n; ++v) EXPECT_EQ(cores.core[v], n - 1);
+  EXPECT_EQ(cores.max_core, n - 1);
+}
+
+TEST(Decomposition, StarIsOneCore) {
+  Graph g(7);
+  for (VertexId v = 1; v < 7; ++v) g.AddEdge(0, v);
+  CoreDecomposition cores = DecomposeCores(g);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(cores.core[v], 1u);
+}
+
+// Clique with a pendant path: mixed core numbers.
+TEST(Decomposition, CliquePlusTail) {
+  Graph g(7);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) g.AddEdge(u, v);
+  }
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 6);
+  CoreDecomposition cores = DecomposeCores(g);
+  EXPECT_EQ(cores.core[0], 3u);
+  EXPECT_EQ(cores.core[3], 3u);
+  EXPECT_EQ(cores.core[4], 1u);
+  EXPECT_EQ(cores.core[6], 1u);
+}
+
+TEST(Decomposition, PeelOrderGroupedByCore) {
+  Rng rng(7);
+  Graph g = BarabasiAlbert(200, 3, rng);
+  CoreDecomposition cores = DecomposeCores(g);
+  uint32_t level = 0;
+  for (VertexId v : cores.peel_order) {
+    EXPECT_GE(cores.core[v], level);
+    level = std::max(level, cores.core[v]);
+  }
+  EXPECT_EQ(cores.peel_order.size(), g.NumVertices());
+}
+
+TEST(Decomposition, MatchesNaiveOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    Graph g = ErdosRenyi(120, 360, rng);
+    CoreDecomposition fast = DecomposeCores(g);
+    CoreDecomposition naive = DecomposeCoresNaive(g);
+    EXPECT_EQ(fast.core, naive.core) << "seed " << seed;
+    EXPECT_EQ(fast.max_core, naive.max_core) << "seed " << seed;
+  }
+}
+
+TEST(Decomposition, MatchesNaiveOnPowerLawGraphs) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed + 100);
+    Graph g = ChungLuPowerLaw(150, 6.0, 2.2, 40, rng);
+    CoreDecomposition fast = DecomposeCores(g);
+    CoreDecomposition naive = DecomposeCoresNaive(g);
+    EXPECT_EQ(fast.core, naive.core) << "seed " << seed;
+  }
+}
+
+// Definition-level check: core(v) >= k iff v survives peeling at k.
+TEST(Decomposition, CoreNumbersAreSelfConsistent) {
+  Rng rng(11);
+  Graph g = WattsStrogatz(150, 6, 0.2, rng);
+  CoreDecomposition cores = DecomposeCores(g);
+  for (uint32_t k = 1; k <= cores.max_core + 1; ++k) {
+    // Peel at k and compare membership.
+    std::vector<uint32_t> degree(g.NumVertices());
+    std::vector<uint8_t> removed(g.NumVertices(), 0);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) degree[v] = g.Degree(v);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (removed[v] || degree[v] >= k) continue;
+        removed[v] = 1;
+        changed = true;
+        for (VertexId w : g.Neighbors(v)) {
+          if (!removed[w]) --degree[w];
+        }
+      }
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(cores.core[v] >= k, !removed[v])
+          << "k=" << k << " v=" << v;
+    }
+  }
+}
+
+TEST(Decomposition, PinnedVerticesNeverPeel) {
+  Graph g(5);
+  g.AddEdge(0, 1);  // pendant pair attached to a triangle
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(2, 4);
+  CoreDecomposition pinned = DecomposeCores(g, {0});
+  EXPECT_EQ(pinned.core[0], kPinnedCore);
+  // Vertex 1 now leans on the pinned vertex 0: peel still removes it at
+  // k=2 because 0 counts as a neighbor forever -> degree 2 at start.
+  EXPECT_EQ(pinned.core[1], 2u);
+}
+
+TEST(Decomposition, KCoreAndShellMembers) {
+  Graph g = Triangle();
+  CoreDecomposition cores = DecomposeCores(g);
+  EXPECT_EQ(KCoreMembers(cores, 2).size(), 3u);
+  EXPECT_EQ(KCoreMembers(cores, 3).size(), 0u);
+  EXPECT_EQ(KShellMembers(cores, 2).size(), 3u);
+  EXPECT_EQ(KShellMembers(cores, 1).size(), 0u);
+}
+
+TEST(Decomposition, MaxCoreDegreeDefinition) {
+  // Example 10 shape: mcd counts neighbors with core >= own core.
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);  // triangle: cores 2
+  g.AddEdge(2, 3);  // pendant chain: cores 1
+  g.AddEdge(3, 4);
+  CoreDecomposition cores = DecomposeCores(g);
+  EXPECT_EQ(cores.core[2], 2u);
+  EXPECT_EQ(cores.core[3], 1u);
+  EXPECT_EQ(MaxCoreDegree(g, cores, 3), 2u);  // both 2 and 4 have core >= 1
+  EXPECT_EQ(MaxCoreDegree(g, cores, 2), 2u);  // 0 and 1 (core 2), not 3
+}
+
+}  // namespace
+}  // namespace avt

@@ -1,0 +1,112 @@
+// Tests for the configuration-model pipeline: graphicality testing,
+// Havel-Hakimi realization, and degree-preserving rewiring.
+
+#include "gen/degree_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+TEST(Graphicality, ClassicCases) {
+  EXPECT_TRUE(IsGraphical({}));
+  EXPECT_TRUE(IsGraphical({0, 0, 0}));
+  EXPECT_TRUE(IsGraphical({1, 1}));
+  EXPECT_TRUE(IsGraphical({2, 2, 2}));          // triangle
+  EXPECT_TRUE(IsGraphical({3, 3, 3, 3}));       // K4
+  EXPECT_TRUE(IsGraphical({3, 2, 2, 2, 1}));
+  EXPECT_FALSE(IsGraphical({1}));               // odd sum
+  EXPECT_FALSE(IsGraphical({3, 1, 1}));         // odd sum
+  EXPECT_TRUE(IsGraphical({4, 1, 1, 1, 1}));    // star K_{1,4}
+}
+
+TEST(Graphicality, HubTooLargeFails) {
+  // n = 4 but one vertex wants degree 4 > n-1.
+  EXPECT_FALSE(IsGraphical({4, 1, 1, 1}));
+  // Erdos-Gallai beyond the trivial bound: {3,3,1,1} has even sum and
+  // max < n, but the two high-degree vertices cannot be satisfied.
+  EXPECT_FALSE(IsGraphical({3, 3, 1, 1}));
+}
+
+TEST(HavelHakimi, RealizesExactDegrees) {
+  std::vector<uint32_t> degrees{3, 2, 2, 2, 1};
+  // sum = 10, even; graphical.
+  ASSERT_TRUE(IsGraphical(degrees));
+  Graph g = RealizeDegreeSequence(degrees);
+  for (VertexId v = 0; v < degrees.size(); ++v) {
+    EXPECT_EQ(g.Degree(v), degrees[v]) << "vertex " << v;
+  }
+}
+
+TEST(HavelHakimi, RegularGraph) {
+  std::vector<uint32_t> degrees(10, 3);
+  Graph g = RealizeDegreeSequence(degrees);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(g.Degree(v), 3u);
+  EXPECT_EQ(g.NumEdges(), 15u);
+}
+
+TEST(Rewiring, PreservesDegreesExactly) {
+  Rng rng(5);
+  std::vector<uint32_t> degrees = SamplePowerLawDegrees(120, 5.0, 2.2, 30,
+                                                        rng);
+  Graph g = RealizeDegreeSequence(degrees);
+  std::vector<uint32_t> before(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) before[v] = g.Degree(v);
+  uint64_t edges_before = g.NumEdges();
+
+  uint64_t swaps = RewireDoubleEdgeSwaps(g, 2000, rng);
+  EXPECT_GT(swaps, 0u);
+  EXPECT_EQ(g.NumEdges(), edges_before);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.Degree(v), before[v]) << "vertex " << v;
+  }
+}
+
+TEST(Rewiring, ActuallyChangesTopology) {
+  Rng rng(7);
+  std::vector<uint32_t> degrees(40, 4);
+  Graph g = RealizeDegreeSequence(degrees);
+  Graph original = g;
+  RewireDoubleEdgeSwaps(g, 1000, rng);
+  EXPECT_FALSE(g == original);
+}
+
+TEST(SampleDegrees, GraphicalAndNearTarget) {
+  Rng rng(9);
+  for (double target : {3.0, 6.0, 10.0}) {
+    std::vector<uint32_t> degrees =
+        SamplePowerLawDegrees(300, target, 2.1, 60, rng);
+    EXPECT_TRUE(IsGraphical(degrees));
+    double mean = 0;
+    for (uint32_t d : degrees) mean += d;
+    mean /= 300.0;
+    EXPECT_NEAR(mean, target, target * 0.35) << "target " << target;
+  }
+}
+
+TEST(ConfigurationModel, EndToEnd) {
+  Rng rng(11);
+  Graph g = ConfigurationModel(400, 6.0, 2.2, 50, rng);
+  EXPECT_EQ(g.NumVertices(), 400u);
+  EXPECT_NEAR(g.AverageDegree(), 6.0, 2.0);
+  // Simple graph: no self-loops or duplicates by construction.
+  std::vector<Edge> edges = g.CollectEdges();
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    EXPECT_FALSE(edges[i] == edges[i + 1]);
+  }
+  for (const Edge& e : edges) EXPECT_NE(e.u, e.v);
+}
+
+TEST(ConfigurationModel, Deterministic) {
+  Rng a(13), b(13);
+  Graph ga = ConfigurationModel(200, 5.0, 2.2, 40, a);
+  Graph gb = ConfigurationModel(200, 5.0, 2.2, 40, b);
+  EXPECT_TRUE(ga == gb);
+}
+
+}  // namespace
+}  // namespace avt

@@ -1,0 +1,211 @@
+// Differential tests: the order-based follower oracle must agree exactly
+// with the pinned-peel ground truth on every graph model and anchor set.
+
+#include "anchor/follower_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "anchor/anchored_core.h"
+#include "anchor/candidates.h"
+#include "corelib/korder.h"
+#include "gen/models.h"
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+std::vector<VertexId> Sorted(std::vector<VertexId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(FollowerOracle, EmptyAnchorsNoFollowers) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  KOrder order;
+  order.Build(g);
+  FollowerOracle oracle(&g, &order);
+  EXPECT_EQ(oracle.CountFollowers({}, 2), 0u);
+}
+
+TEST(FollowerOracle, ChainCascade) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  KOrder order;
+  order.Build(g);
+  FollowerOracle oracle(&g, &order);
+  std::vector<VertexId> anchors{5};
+  std::vector<VertexId> followers;
+  EXPECT_EQ(oracle.CountFollowers(anchors, 2, &followers), 2u);
+  EXPECT_EQ(Sorted(followers), (std::vector<VertexId>{3, 4}));
+}
+
+TEST(FollowerOracle, AnchorInsideKCoreIsNeutral) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  KOrder order;
+  order.Build(g);
+  FollowerOracle oracle(&g, &order);
+  std::vector<VertexId> anchors{0};  // core 2 at k=2: already in C_2
+  EXPECT_EQ(oracle.CountFollowers(anchors, 2),
+            CountFollowersExact(g, 2, anchors));
+}
+
+TEST(FollowerOracle, DuplicateAnchorsDoNotDoubleCount) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  KOrder order;
+  order.Build(g);
+  FollowerOracle oracle(&g, &order);
+  std::vector<VertexId> once{4};
+  std::vector<VertexId> twice{4, 4};
+  EXPECT_EQ(oracle.CountFollowers(once, 2),
+            oracle.CountFollowers(twice, 2));
+}
+
+TEST(FollowerOracle, MultiAnchorSynergyBelowShell) {
+  // Same topology as the anchored_core test: follower of plain core 1.
+  Graph g(8);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 7);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 7);
+  g.AddEdge(2, 7);
+  g.AddEdge(3, 4);
+  g.AddEdge(3, 5);
+  g.AddEdge(3, 0);
+  KOrder order;
+  order.Build(g);
+  FollowerOracle oracle(&g, &order);
+  std::vector<VertexId> anchors{4, 5};
+  std::vector<VertexId> followers;
+  EXPECT_EQ(oracle.CountFollowers(anchors, 3, &followers), 1u);
+  EXPECT_EQ(followers, (std::vector<VertexId>{3}));
+}
+
+// ---------------------------------------------------------------------
+// Randomized differential sweep over models, k, and anchor-set sizes.
+// ---------------------------------------------------------------------
+
+struct OracleCase {
+  const char* label;
+  int model;
+  VertexId n;
+  uint32_t k;
+  uint32_t anchor_count;
+};
+
+class FollowerOracleDiffTest : public ::testing::TestWithParam<OracleCase> {
+};
+
+Graph MakeOracleGraph(const OracleCase& c, Rng& rng) {
+  switch (c.model) {
+    case 0: return ErdosRenyi(c.n, static_cast<uint64_t>(c.n) * 3, rng);
+    case 1: return BarabasiAlbert(c.n, 3, rng);
+    case 2: return ChungLuPowerLaw(c.n, 7.0, 2.1, 50, rng);
+    case 3: return WattsStrogatz(c.n, 6, 0.3, rng);
+    default: return PlantedPartition(c.n, 6, static_cast<uint64_t>(c.n) * 4,
+                                     0.85, rng);
+  }
+}
+
+TEST_P(FollowerOracleDiffTest, MatchesExactPeel) {
+  const OracleCase& c = GetParam();
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 977 + c.model);
+    Graph g = MakeOracleGraph(c, rng);
+    KOrder order;
+    order.Build(g);
+    FollowerOracle oracle(&g, &order);
+
+    // Anchor sets biased toward useful candidates plus random extras.
+    std::vector<VertexId> pool = CollectAnchorCandidates(g, order, c.k);
+    std::vector<VertexId> anchors;
+    for (uint32_t i = 0; i < c.anchor_count; ++i) {
+      if (!pool.empty() && rng.Bernoulli(0.7)) {
+        anchors.push_back(pool[rng.Uniform(pool.size())]);
+      } else {
+        anchors.push_back(static_cast<VertexId>(rng.Uniform(c.n)));
+      }
+    }
+
+    std::vector<VertexId> fast;
+    uint32_t fast_count = oracle.CountFollowers(anchors, c.k, &fast);
+    AnchoredCoreResult exact = ComputeAnchoredKCore(g, c.k, anchors);
+    EXPECT_EQ(fast_count, exact.followers.size())
+        << c.label << " seed " << seed;
+    EXPECT_EQ(Sorted(fast), Sorted(exact.followers))
+        << c.label << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FollowerOracleDiffTest,
+    ::testing::Values(OracleCase{"er_k3_a1", 0, 120, 3, 1},
+                      OracleCase{"er_k3_a4", 0, 120, 3, 4},
+                      OracleCase{"er_k5_a8", 0, 150, 5, 8},
+                      OracleCase{"ba_k3_a2", 1, 120, 3, 2},
+                      OracleCase{"ba_k4_a6", 1, 150, 4, 6},
+                      OracleCase{"cl_k3_a3", 2, 140, 3, 3},
+                      OracleCase{"cl_k6_a5", 2, 140, 6, 5},
+                      OracleCase{"ws_k3_a4", 3, 120, 3, 4},
+                      OracleCase{"ws_k4_a2", 3, 120, 4, 2},
+                      OracleCase{"sbm_k4_a5", 4, 150, 4, 5},
+                      OracleCase{"sbm_k2_a3", 4, 100, 2, 3}),
+    [](const ::testing::TestParamInfo<OracleCase>& info) {
+      return std::string(info.param.label);
+    });
+
+// The oracle must be repeatable and side-effect free: evaluating many
+// different sets then re-evaluating the first gives identical answers.
+TEST(FollowerOracle, NonDestructiveAcrossQueries) {
+  Rng rng(555);
+  Graph g = ChungLuPowerLaw(200, 6.0, 2.2, 40, rng);
+  KOrder order;
+  order.Build(g);
+  FollowerOracle oracle(&g, &order);
+  std::vector<VertexId> pool = CollectAnchorCandidates(g, order, 3);
+  if (pool.size() < 4) GTEST_SKIP() << "degenerate sample";
+
+  std::vector<VertexId> first{pool[0], pool[1]};
+  uint32_t reference = oracle.CountFollowers(first, 3);
+  for (size_t i = 0; i + 1 < std::min<size_t>(pool.size(), 40); ++i) {
+    std::vector<VertexId> probe{pool[i], pool[i + 1]};
+    oracle.CountFollowers(probe, 3);
+  }
+  EXPECT_EQ(oracle.CountFollowers(first, 3), reference);
+}
+
+TEST(FollowerOracle, StatsAccumulate) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  KOrder order;
+  order.Build(g);
+  FollowerOracle oracle(&g, &order);
+  std::vector<VertexId> anchors{4};
+  oracle.CountFollowers(anchors, 2);
+  EXPECT_EQ(oracle.stats().queries, 1u);
+  EXPECT_GT(oracle.stats().visited, 0u);
+}
+
+}  // namespace
+}  // namespace avt

@@ -1,0 +1,155 @@
+// Unit tests for the dynamic graph substrate.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/delta.h"
+#include "graph/snapshots.h"
+
+namespace avt {
+namespace {
+
+TEST(Graph, EmptyConstruction) {
+  Graph g(10);
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.AverageDegree(), 0.0);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+}
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_FALSE(g.AddEdge(1, 1));
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(1, 0));
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.RemoveEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(Graph, AddVertexGrowsUniverse) {
+  Graph g(2);
+  VertexId v = g.AddVertex();
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_TRUE(g.AddEdge(0, v));
+}
+
+TEST(Graph, CollectEdgesNormalizedAndSorted) {
+  Graph g(4);
+  g.AddEdge(3, 1);
+  g.AddEdge(2, 0);
+  g.AddEdge(1, 0);
+  std::vector<Edge> edges = g.CollectEdges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], Edge(0, 1));
+  EXPECT_EQ(edges[1], Edge(0, 2));
+  EXPECT_EQ(edges[2], Edge(1, 3));
+}
+
+TEST(Graph, FromEdgesSkipsJunk) {
+  std::vector<Edge> edges{Edge(0, 1), Edge(1, 0), Edge(2, 2), Edge(1, 2)};
+  Graph g = Graph::FromEdges(3, edges);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(Graph, EqualityIsStructural) {
+  Graph a(3), b(3);
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  b.AddEdge(2, 1);
+  b.AddEdge(1, 0);
+  EXPECT_TRUE(a == b);
+  b.RemoveEdge(1, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(EdgeDelta, ApplyAndInverseRoundTrip) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  Graph original = g;
+
+  EdgeDelta delta;
+  delta.insertions.push_back(Edge(2, 3));
+  delta.insertions.push_back(Edge(3, 4));
+  delta.deletions.push_back(Edge(0, 1));
+  delta.Apply(g);
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+
+  delta.Inverse().Apply(g);
+  EXPECT_TRUE(g == original);
+}
+
+TEST(EdgeDelta, DiffGraphsReconstructsTarget) {
+  Graph a(4), b(4);
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(0, 3);
+  EdgeDelta delta = DiffGraphs(a, b);
+  EXPECT_EQ(delta.deletions.size(), 1u);
+  EXPECT_EQ(delta.insertions.size(), 2u);
+  delta.Apply(a);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(SnapshotSequence, MaterializeAndStream) {
+  Graph g0(4);
+  g0.AddEdge(0, 1);
+  SnapshotSequence sequence(g0);
+
+  EdgeDelta d1;
+  d1.insertions.push_back(Edge(1, 2));
+  sequence.PushDelta(d1);
+  EdgeDelta d2;
+  d2.insertions.push_back(Edge(2, 3));
+  d2.deletions.push_back(Edge(0, 1));
+  sequence.PushDelta(d2);
+
+  EXPECT_EQ(sequence.NumSnapshots(), 3u);
+  Graph g2 = sequence.Materialize(2);
+  EXPECT_TRUE(g2.HasEdge(2, 3));
+  EXPECT_FALSE(g2.HasEdge(0, 1));
+  EXPECT_EQ(sequence.TotalChurn(), 3u);
+
+  size_t calls = 0;
+  sequence.ForEachSnapshot(
+      [&](size_t t, const Graph& graph, const EdgeDelta& delta) {
+        EXPECT_TRUE(graph == sequence.Materialize(t));
+        if (t == 0) {
+          EXPECT_TRUE(delta.Empty());
+        } else {
+          EXPECT_FALSE(delta.Empty());
+        }
+        ++calls;
+      });
+  EXPECT_EQ(calls, 3u);
+}
+
+}  // namespace
+}  // namespace avt

@@ -1,0 +1,106 @@
+// Tests for edge-list / temporal-edge-list IO.
+
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace avt {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return (std::filesystem::temp_directory_path() / ("avt_io_" + name))
+        .string();
+  }
+  void TearDown() override {
+    for (const std::string& path : created_) {
+      std::remove(path.c_str());
+    }
+  }
+  std::string Track(const std::string& path) {
+    created_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(IoTest, ParseEdgeListBasic) {
+  auto result = ParseEdgeList("# comment\n0 1\n1 2\n\n2 0\n");
+  ASSERT_TRUE(result.ok());
+  const Graph& g = result.value();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+}
+
+TEST_F(IoTest, ParseCompactsSparseIds) {
+  auto result = ParseEdgeList("100 200\n200 300\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumVertices(), 3u);
+  EXPECT_EQ(result.value().NumEdges(), 2u);
+}
+
+TEST_F(IoTest, ParseRejectsGarbage) {
+  auto result = ParseEdgeList("0 1\nnot numbers\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, ParseSkipsSelfLoopsAndDuplicates) {
+  auto result = ParseEdgeList("0 0\n0 1\n1 0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumEdges(), 1u);
+}
+
+TEST_F(IoTest, SaveLoadRoundTrip) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  std::string path = Track(TempPath("roundtrip.txt"));
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value() == g);
+}
+
+TEST_F(IoTest, LoadMissingFileFails) {
+  auto result = LoadEdgeList("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, TemporalRoundTrip) {
+  TemporalEventLog log;
+  log.num_vertices = 3;
+  log.events = {{0, 1, 5}, {1, 2, 7}, {0, 2, 9}};
+  std::string path = Track(TempPath("temporal.txt"));
+  ASSERT_TRUE(SaveTemporalEdgeList(log, path).ok());
+  auto loaded = LoadTemporalEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().events.size(), 3u);
+  EXPECT_EQ(loaded.value().MinTimestamp(), 5);
+  EXPECT_EQ(loaded.value().MaxTimestamp(), 9);
+}
+
+TEST_F(IoTest, TemporalEventsSortedOnLoad) {
+  std::string path = Track(TempPath("unsorted.txt"));
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("0 1 30\n1 2 10\n0 2 20\n", f);
+    fclose(f);
+  }
+  auto loaded = LoadTemporalEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto& events = loaded.value().events;
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LE(events[0].timestamp, events[1].timestamp);
+  EXPECT_LE(events[1].timestamp, events[2].timestamp);
+}
+
+}  // namespace
+}  // namespace avt

@@ -1,0 +1,160 @@
+// Unit tests for the K-order index (Definition 5) and its invariants.
+
+#include "corelib/korder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "corelib/invariants.h"
+#include "gen/models.h"
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+TEST(KOrder, BuildOnEmptyGraph) {
+  Graph g(4);
+  KOrder order;
+  order.Build(g);
+  EXPECT_EQ(order.LevelSize(0), 4u);
+  EXPECT_TRUE(CheckKOrderInvariants(g, order).ok);
+}
+
+TEST(KOrder, LevelsMatchCores) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);  // triangle: core 2
+  g.AddEdge(2, 3);  // tail: core 1
+  KOrder order;
+  order.Build(g);
+  EXPECT_EQ(order.CoreOf(0), 2u);
+  EXPECT_EQ(order.CoreOf(3), 1u);
+  EXPECT_EQ(order.CoreOf(4), 0u);
+  EXPECT_EQ(order.LevelSize(2), 3u);
+  EXPECT_EQ(order.LevelSize(1), 1u);
+  EXPECT_EQ(order.LevelSize(0), 2u);
+}
+
+TEST(KOrder, PrecedesIsStrictTotalOrderOverLevels) {
+  Rng rng(3);
+  Graph g = ErdosRenyi(60, 150, rng);
+  KOrder order;
+  order.Build(g);
+  std::vector<VertexId> all = order.FullOrder();
+  ASSERT_EQ(all.size(), g.NumVertices());
+  for (size_t i = 0; i + 1 < all.size(); ++i) {
+    EXPECT_TRUE(order.Precedes(all[i], all[i + 1]));
+    EXPECT_FALSE(order.Precedes(all[i + 1], all[i]));
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_FALSE(order.Precedes(v, v));
+  }
+}
+
+TEST(KOrder, DegPlusMatchesDefinition) {
+  Rng rng(5);
+  Graph g = BarabasiAlbert(100, 3, rng);
+  KOrder order;
+  order.Build(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    uint32_t manual = 0;
+    for (VertexId w : g.Neighbors(v)) {
+      if (order.Precedes(v, w)) ++manual;
+    }
+    EXPECT_EQ(order.DegPlus(v), manual);
+    // Invariant: remaining degree never exceeds the core number.
+    EXPECT_LE(order.DegPlus(v), order.CoreOf(v));
+  }
+}
+
+TEST(KOrder, InvariantSuitePassesAfterBuild) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    Graph g = ChungLuPowerLaw(120, 5.0, 2.2, 30, rng);
+    KOrder order;
+    order.Build(g);
+    InvariantReport report = CheckKOrderInvariants(g, order);
+    EXPECT_TRUE(report.ok) << report.failure;
+  }
+}
+
+TEST(KOrder, MoveToLevelFrontAndBack) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  KOrder order;
+  order.Build(g);
+  // All of {0,1,2} on level 2; move 1 to the front and 0 to the back.
+  order.MoveToLevelFront(1, 2);
+  EXPECT_EQ(order.LevelFront(2), 1u);
+  order.MoveToLevelBack(0, 2);
+  EXPECT_EQ(order.LevelBack(2), 0u);
+  std::vector<VertexId> level = order.LevelVertices(2);
+  ASSERT_EQ(level.size(), 3u);
+  EXPECT_EQ(level.front(), 1u);
+  EXPECT_EQ(level.back(), 0u);
+  EXPECT_TRUE(order.Precedes(1, 2));
+  EXPECT_TRUE(order.Precedes(2, 0));
+}
+
+TEST(KOrder, MoveAcrossLevelsUpdatesCoreOf) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  KOrder order;
+  order.Build(g);
+  EXPECT_EQ(order.CoreOf(2), 0u);
+  order.MoveToLevelFront(2, 3);  // levels grow on demand
+  EXPECT_EQ(order.CoreOf(2), 3u);
+  EXPECT_EQ(order.LevelSize(3), 1u);
+  EXPECT_EQ(order.LevelSize(0), 1u);
+}
+
+// Stress the tag allocator: repeated front insertion must trigger
+// relabeling and keep the order intact.
+TEST(KOrder, FrontInsertionRelabelStress) {
+  const VertexId n = 300;
+  Graph g(n);  // edgeless: everyone on level 0
+  KOrder order;
+  order.Build(g);
+  // Repeatedly move the current back vertex to the front; tags shrink by
+  // one gap (2^20) per move from the 2^40 origin, so ~1M moves exhaust
+  // the space and force a relabel.
+  for (int round = 0; round < 1'100'000; ++round) {
+    VertexId back = order.LevelBack(0);
+    order.MoveToLevelFront(back, 0);
+  }
+  // The list is still a permutation with strictly increasing tags.
+  std::vector<VertexId> level = order.LevelVertices(0);
+  EXPECT_EQ(level.size(), n);
+  std::vector<VertexId> sorted = level;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < n; ++v) EXPECT_EQ(sorted[v], v);
+  for (size_t i = 0; i + 1 < level.size(); ++i) {
+    EXPECT_TRUE(order.Precedes(level[i], level[i + 1]));
+  }
+  EXPECT_GT(order.relabel_count(), 0u);
+}
+
+TEST(KOrder, FullOrderIsAValidPeelSequence) {
+  Rng rng(9);
+  Graph g = PlantedPartition(100, 5, 300, 0.8, rng);
+  KOrder order;
+  order.Build(g);
+  // Peel in the listed order: each vertex must have at most core(v)
+  // unpeeled neighbors at its turn.
+  std::vector<uint8_t> peeled(g.NumVertices(), 0);
+  for (VertexId v : order.FullOrder()) {
+    uint32_t remaining = 0;
+    for (VertexId w : g.Neighbors(v)) {
+      if (!peeled[w]) ++remaining;
+    }
+    EXPECT_LE(remaining, order.CoreOf(v)) << "vertex " << v;
+    peeled[v] = 1;
+  }
+}
+
+}  // namespace
+}  // namespace avt

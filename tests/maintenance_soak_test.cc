@@ -1,0 +1,177 @@
+// Long-horizon soak tests: the maintained K-order must stay exactly
+// equivalent to a rebuilt one across hundreds of churn steps, large
+// batches, adversarial patterns (hub collapse, community merge), and the
+// dataset replicas' own delta streams.
+
+#include <gtest/gtest.h>
+
+#include "corelib/invariants.h"
+#include "gen/churn.h"
+#include "gen/datasets.h"
+#include "gen/models.h"
+#include "maint/maintainer.h"
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+void ExpectEquivalentToRebuild(const CoreMaintainer& maintainer,
+                               const std::string& context) {
+  InvariantReport report =
+      CheckKOrderInvariants(maintainer.graph(), maintainer.order());
+  ASSERT_TRUE(report.ok) << context << ": " << report.failure;
+}
+
+TEST(MaintenanceSoak, LongUniformChurn) {
+  Rng rng(101);
+  Graph g = ChungLuPowerLaw(300, 6.0, 2.2, 60, rng);
+  CoreMaintainer m;
+  m.Reset(g);
+  for (int step = 0; step < 400; ++step) {
+    if (rng.Bernoulli(0.5) && m.graph().NumEdges() > 0) {
+      std::vector<Edge> edges = m.graph().CollectEdges();
+      const Edge& e = edges[rng.Uniform(edges.size())];
+      m.RemoveEdge(e.u, e.v);
+    } else {
+      m.InsertEdge(static_cast<VertexId>(rng.Uniform(300)),
+                   static_cast<VertexId>(rng.Uniform(300)));
+    }
+    if (step % 40 == 39) {
+      ExpectEquivalentToRebuild(m, "uniform churn step " +
+                                       std::to_string(step));
+    }
+  }
+  ExpectEquivalentToRebuild(m, "uniform churn end");
+}
+
+TEST(MaintenanceSoak, HubCollapseAndRebirth) {
+  // Remove every edge of the largest hub, then rebuild it: exercises
+  // deep demotion cascades followed by deep promotions.
+  Rng rng(103);
+  Graph g = BarabasiAlbert(250, 4, rng);
+  CoreMaintainer m;
+  m.Reset(g);
+
+  VertexId hub = 0;
+  for (VertexId v = 1; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) > g.Degree(hub)) hub = v;
+  }
+  std::vector<VertexId> neighbors(m.graph().Neighbors(hub).begin(),
+                                  m.graph().Neighbors(hub).end());
+  for (VertexId w : neighbors) {
+    ASSERT_TRUE(m.RemoveEdge(hub, w));
+  }
+  ExpectEquivalentToRebuild(m, "hub collapsed");
+  EXPECT_EQ(m.CoreOf(hub), 0u);
+  for (VertexId w : neighbors) {
+    ASSERT_TRUE(m.InsertEdge(hub, w));
+  }
+  ExpectEquivalentToRebuild(m, "hub rebuilt");
+}
+
+TEST(MaintenanceSoak, CommunityMergeAndSplit) {
+  // Two dense blocks joined then cut by a thick bridge.
+  Rng rng(107);
+  Graph g(120);
+  for (VertexId u = 0; u < 60; ++u) {
+    for (int j = 0; j < 5; ++j) {
+      g.AddEdge(u, static_cast<VertexId>(rng.Uniform(60)));
+    }
+  }
+  for (VertexId u = 60; u < 120; ++u) {
+    for (int j = 0; j < 5; ++j) {
+      g.AddEdge(u, 60 + static_cast<VertexId>(rng.Uniform(60)));
+    }
+  }
+  CoreMaintainer m;
+  m.Reset(g);
+
+  std::vector<Edge> bridge;
+  for (int j = 0; j < 40; ++j) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(60));
+    VertexId v = 60 + static_cast<VertexId>(rng.Uniform(60));
+    if (m.InsertEdge(u, v)) bridge.push_back(Edge(u, v));
+  }
+  ExpectEquivalentToRebuild(m, "merged");
+  for (const Edge& e : bridge) {
+    ASSERT_TRUE(m.RemoveEdge(e.u, e.v));
+  }
+  ExpectEquivalentToRebuild(m, "split");
+}
+
+TEST(MaintenanceSoak, LargeBatchDeltas) {
+  Rng rng(109);
+  Graph g = ErdosRenyi(400, 1600, rng);
+  CoreMaintainer m;
+  m.Reset(g);
+  ChurnOptions options;
+  options.num_snapshots = 6;
+  options.min_churn = 200;  // paper-scale batches
+  options.max_churn = 250;
+  SnapshotSequence sequence = MakeChurnSnapshots(g, options, rng);
+  for (const EdgeDelta& delta : sequence.deltas()) {
+    m.ApplyDelta(delta);
+    ExpectEquivalentToRebuild(m, "large batch");
+  }
+  EXPECT_TRUE(m.graph() ==
+              sequence.Materialize(sequence.NumSnapshots() - 1));
+}
+
+TEST(MaintenanceSoak, DatasetReplicaDeltaStreams) {
+  for (const char* name : {"eu-core", "CollegeMsg"}) {
+    const DatasetInfo& info = DatasetByName(name);
+    SnapshotSequence sequence = MakeDatasetSnapshots(info, 0.25, 8, 55);
+    CoreMaintainer m;
+    m.Reset(sequence.initial());
+    for (const EdgeDelta& delta : sequence.deltas()) {
+      m.ApplyDelta(delta);
+    }
+    ExpectEquivalentToRebuild(m, name);
+    EXPECT_TRUE(m.graph() ==
+                sequence.Materialize(sequence.NumSnapshots() - 1))
+        << name;
+  }
+}
+
+TEST(MaintenanceSoak, EmptyToDenseToEmpty) {
+  const VertexId n = 60;
+  CoreMaintainer m;
+  m.Reset(Graph(n));
+  Rng rng(113);
+  std::vector<Edge> inserted;
+  for (int i = 0; i < 600; ++i) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(n));
+    VertexId v = static_cast<VertexId>(rng.Uniform(n));
+    if (u != v && m.InsertEdge(u, v)) inserted.push_back(Edge(u, v));
+  }
+  ExpectEquivalentToRebuild(m, "densified");
+  rng.Shuffle(inserted);
+  for (const Edge& e : inserted) {
+    ASSERT_TRUE(m.RemoveEdge(e.u, e.v));
+  }
+  ExpectEquivalentToRebuild(m, "emptied");
+  for (VertexId v = 0; v < n; ++v) EXPECT_EQ(m.CoreOf(v), 0u);
+}
+
+// Deterministic worst-case-ish pattern: a long path repeatedly closed
+// into a cycle and reopened, shifting core numbers between 1 and 2
+// across the whole component.
+TEST(MaintenanceSoak, PathCycleFlapping) {
+  const VertexId n = 200;
+  Graph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  CoreMaintainer m;
+  m.Reset(g);
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(m.InsertEdge(n - 1, 0));  // close the cycle: all core 2
+    EXPECT_EQ(m.CoreOf(n / 2), 2u);
+    ExpectEquivalentToRebuild(m, "cycle closed");
+    ASSERT_TRUE(m.RemoveEdge(n - 1, 0));  // reopen: all core 1
+    EXPECT_EQ(m.CoreOf(n / 2), 1u);
+    ExpectEquivalentToRebuild(m, "cycle opened");
+  }
+  EXPECT_GE(m.stats().promotions, 20u * n / 2);
+}
+
+}  // namespace
+}  // namespace avt

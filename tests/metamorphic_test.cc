@@ -1,0 +1,177 @@
+// Metamorphic tests: transformations of the input with predictable
+// effects on the output. These catch bugs that direct unit tests miss
+// because they validate *relationships* between runs rather than fixed
+// expected values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "anchor/anchored_core.h"
+#include "anchor/follower_oracle.h"
+#include "anchor/greedy.h"
+#include "corelib/decomposition.h"
+#include "corelib/korder.h"
+#include "gen/models.h"
+#include "maint/maintainer.h"
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+// Applies a vertex permutation to a graph.
+Graph Relabel(const Graph& g, const std::vector<VertexId>& perm) {
+  Graph out(g.NumVertices());
+  for (const Edge& e : g.CollectEdges()) {
+    out.AddEdge(perm[e.u], perm[e.v]);
+  }
+  return out;
+}
+
+std::vector<VertexId> RandomPermutation(VertexId n, Rng& rng) {
+  std::vector<VertexId> perm(n);
+  for (VertexId v = 0; v < n; ++v) perm[v] = v;
+  rng.Shuffle(perm);
+  return perm;
+}
+
+// Core numbers are isomorphism-invariant: core(v) == core'(perm(v)).
+TEST(Metamorphic, CoreNumbersInvariantUnderRelabeling) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed + 3);
+    Graph g = ChungLuPowerLaw(150, 6.0, 2.2, 40, rng);
+    std::vector<VertexId> perm = RandomPermutation(g.NumVertices(), rng);
+    Graph h = Relabel(g, perm);
+    CoreDecomposition cg = DecomposeCores(g);
+    CoreDecomposition ch = DecomposeCores(h);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(cg.core[v], ch.core[perm[v]]) << "seed " << seed;
+    }
+  }
+}
+
+// Follower sets map through the permutation.
+TEST(Metamorphic, FollowersMapUnderRelabeling) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed + 13);
+    Graph g = BarabasiAlbert(120, 3, rng);
+    std::vector<VertexId> perm = RandomPermutation(g.NumVertices(), rng);
+    Graph h = Relabel(g, perm);
+
+    std::vector<VertexId> anchors{
+        static_cast<VertexId>(rng.Uniform(g.NumVertices())),
+        static_cast<VertexId>(rng.Uniform(g.NumVertices()))};
+    std::vector<VertexId> mapped_anchors{perm[anchors[0]],
+                                         perm[anchors[1]]};
+
+    std::vector<VertexId> fg =
+        ComputeAnchoredKCore(g, 3, anchors).followers;
+    std::vector<VertexId> fh =
+        ComputeAnchoredKCore(h, 3, mapped_anchors).followers;
+    std::vector<VertexId> fg_mapped;
+    fg_mapped.reserve(fg.size());
+    for (VertexId v : fg) fg_mapped.push_back(perm[v]);
+    std::sort(fg_mapped.begin(), fg_mapped.end());
+    std::sort(fh.begin(), fh.end());
+    ASSERT_EQ(fg_mapped, fh) << "seed " << seed;
+  }
+}
+
+// Adding a disconnected component never changes follower counts in the
+// original component.
+TEST(Metamorphic, DisjointUnionIsNeutral) {
+  Rng rng(23);
+  Graph g = ChungLuPowerLaw(100, 5.0, 2.2, 30, rng);
+  KOrder order;
+  order.Build(g);
+  FollowerOracle oracle(&g, &order);
+  std::vector<VertexId> anchors{3, 7};
+  uint32_t before = CountFollowersExact(g, 3, anchors);
+
+  // Append an unrelated clique.
+  Graph extended = g;
+  VertexId base = extended.NumVertices();
+  for (int i = 0; i < 6; ++i) extended.AddVertex();
+  for (VertexId u = base; u < base + 6; ++u) {
+    for (VertexId v = u + 1; v < base + 6; ++v) extended.AddEdge(u, v);
+  }
+  EXPECT_EQ(CountFollowersExact(extended, 3, anchors), before);
+}
+
+// Removing an edge not incident to the anchored k-core region cannot
+// increase the follower count.
+TEST(Metamorphic, EdgeRemovalNeverHelpsAnchors) {
+  Rng rng(31);
+  Graph g = ChungLuPowerLaw(120, 6.0, 2.2, 40, rng);
+  std::vector<VertexId> anchors{5, 9};
+  size_t before = ComputeAnchoredKCore(g, 3, anchors).members.size();
+  // Remove 20 random edges; anchored-core size is monotone in edges.
+  std::vector<Edge> edges = g.CollectEdges();
+  rng.Shuffle(edges);
+  for (size_t i = 0; i < 20 && i < edges.size(); ++i) {
+    g.RemoveEdge(edges[i].u, edges[i].v);
+  }
+  size_t after = ComputeAnchoredKCore(g, 3, anchors).members.size();
+  EXPECT_LE(after, before);
+}
+
+// Maintenance path-independence: applying a delta as one batch, edge by
+// edge, or in randomized order must produce identical core numbers and
+// equivalent (invariant-satisfying) orders.
+TEST(Metamorphic, MaintenanceIsPathIndependent) {
+  Rng rng(37);
+  Graph g = ErdosRenyi(150, 450, rng);
+
+  EdgeDelta delta;
+  std::vector<Edge> edges = g.CollectEdges();
+  for (size_t i = 0; i < 20; ++i) delta.deletions.push_back(edges[i]);
+  Graph shadow = g;
+  int added = 0;
+  while (added < 20) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(150));
+    VertexId v = static_cast<VertexId>(rng.Uniform(150));
+    if (u == v) continue;
+    Edge e(u, v);
+    bool deleted = false;
+    for (const Edge& d : delta.deletions) {
+      if (d == e) deleted = true;
+    }
+    if (deleted) continue;
+    if (shadow.AddEdge(u, v)) {
+      delta.insertions.push_back(e);
+      ++added;
+    }
+  }
+
+  CoreMaintainer batch;
+  batch.Reset(g);
+  batch.ApplyDelta(delta);
+
+  CoreMaintainer shuffled;
+  shuffled.Reset(g);
+  EdgeDelta mixed = delta;
+  rng.Shuffle(mixed.insertions);
+  rng.Shuffle(mixed.deletions);
+  shuffled.ApplyDelta(mixed);
+
+  ASSERT_TRUE(batch.graph() == shuffled.graph());
+  for (VertexId v = 0; v < batch.graph().NumVertices(); ++v) {
+    ASSERT_EQ(batch.CoreOf(v), shuffled.CoreOf(v)) << "vertex " << v;
+  }
+}
+
+// Greedy solution quality is invariant under relabeling (the anchors may
+// differ, but the follower count may not).
+TEST(Metamorphic, GreedyQualityInvariantUnderRelabeling) {
+  Rng rng(41);
+  Graph g = ChungLuPowerLaw(130, 6.0, 2.2, 40, rng);
+  std::vector<VertexId> perm = RandomPermutation(g.NumVertices(), rng);
+  Graph h = Relabel(g, perm);
+  GreedySolver greedy;
+  SolverResult a = greedy.Solve(g, 3, 4);
+  SolverResult b = greedy.Solve(h, 3, 4);
+  EXPECT_EQ(a.num_followers(), b.num_followers());
+}
+
+}  // namespace
+}  // namespace avt

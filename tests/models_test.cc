@@ -1,0 +1,146 @@
+// Tests for the random graph generators.
+
+#include "gen/models.h"
+
+#include <gtest/gtest.h>
+
+#include "corelib/graph_stats.h"
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(100, 250, rng);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 250u);
+}
+
+TEST(ErdosRenyi, ClampsToCompleteGraph) {
+  Rng rng(2);
+  Graph g = ErdosRenyi(5, 1000, rng);
+  EXPECT_EQ(g.NumEdges(), 10u);
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  Rng a(3), b(3);
+  Graph ga = ErdosRenyi(60, 120, a);
+  Graph gb = ErdosRenyi(60, 120, b);
+  EXPECT_TRUE(ga == gb);
+}
+
+TEST(ChungLu, HitsTargetEdgeCountApproximately) {
+  Rng rng(4);
+  std::vector<double> weights(200, 5.0);  // 2m = 1000 -> m = 500
+  Graph g = ChungLu(weights, rng);
+  EXPECT_GT(g.NumEdges(), 400u);
+  EXPECT_LE(g.NumEdges(), 500u);
+}
+
+TEST(ChungLuPowerLaw, AverageDegreeNearTarget) {
+  Rng rng(5);
+  Graph g = ChungLuPowerLaw(2000, 8.0, 2.2, 200, rng);
+  EXPECT_NEAR(g.AverageDegree(), 8.0, 1.6);
+}
+
+TEST(ChungLuPowerLaw, ProducesSkewedDegrees) {
+  Rng rng(6);
+  Graph g = ChungLuPowerLaw(2000, 6.0, 2.0, 400, rng);
+  // Max degree should far exceed the mean for a heavy-tailed graph.
+  EXPECT_GT(g.MaxDegree(), 4 * static_cast<uint32_t>(g.AverageDegree()));
+}
+
+TEST(BarabasiAlbert, DegreesAtLeastAttachment) {
+  Rng rng(7);
+  Graph g = BarabasiAlbert(300, 3, rng);
+  EXPECT_EQ(g.NumVertices(), 300u);
+  // m edges per arriving vertex: ~3(n - seed) total edges.
+  EXPECT_GT(g.NumEdges(), 800u);
+  // Preferential attachment yields hubs.
+  EXPECT_GT(g.MaxDegree(), 15u);
+}
+
+TEST(WattsStrogatz, LatticeDegreePreserved) {
+  Rng rng(8);
+  Graph g = WattsStrogatz(200, 6, 0.0, rng);  // no rewiring: pure ring
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.Degree(v), 6u);
+  }
+}
+
+TEST(WattsStrogatz, RewiringKeepsEdgeCount) {
+  Rng rng(9);
+  Graph ring = WattsStrogatz(200, 6, 0.0, rng);
+  Graph rewired = WattsStrogatz(200, 6, 0.5, rng);
+  EXPECT_EQ(ring.NumEdges(), 600u);
+  // Rewiring may lose a handful of edges to duplicate targets.
+  EXPECT_GE(rewired.NumEdges(), 570u);
+  EXPECT_LE(rewired.NumEdges(), 600u);
+}
+
+TEST(PlantedPartition, IntraCommunityBias) {
+  Rng rng(10);
+  const VertexId n = 300;
+  const uint32_t communities = 6;
+  Graph g = PlantedPartition(n, communities, 1500, 0.9, rng);
+  const VertexId block = n / communities;
+  uint64_t intra = 0;
+  for (const Edge& e : g.CollectEdges()) {
+    if (e.u / block == e.v / block) ++intra;
+  }
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(g.NumEdges()),
+            0.7);
+}
+
+TEST(Models, AllSimpleGraphs) {
+  Rng rng(11);
+  std::vector<Graph> graphs;
+  graphs.push_back(ErdosRenyi(80, 200, rng));
+  graphs.push_back(ChungLuPowerLaw(80, 5.0, 2.2, 30, rng));
+  graphs.push_back(BarabasiAlbert(80, 2, rng));
+  graphs.push_back(WattsStrogatz(80, 4, 0.3, rng));
+  graphs.push_back(PlantedPartition(80, 4, 200, 0.8, rng));
+  for (const Graph& g : graphs) {
+    // CollectEdges normalizes; a simple graph has no duplicates.
+    std::vector<Edge> edges = g.CollectEdges();
+    for (size_t i = 0; i + 1 < edges.size(); ++i) {
+      EXPECT_FALSE(edges[i] == edges[i + 1]);
+      EXPECT_NE(edges[i].u, edges[i].v);
+    }
+  }
+}
+
+TEST(GraphStats, CountsTrianglesExactly) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);  // triangle 1
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(2, 4);  // triangle 2
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.triangle_estimate, 2u);
+  EXPECT_EQ(stats.degeneracy, 2u);
+  EXPECT_EQ(stats.num_edges, 6u);
+  EXPECT_EQ(stats.isolated_vertices, 0u);
+}
+
+TEST(GraphStats, DegreeHistogramAndComponents) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  std::vector<uint64_t> histogram = DegreeHistogram(g);
+  EXPECT_EQ(histogram[0], 1u);  // vertex 5
+  EXPECT_EQ(histogram[1], 4u);  // 0,1,2,4
+  EXPECT_EQ(histogram[2], 1u);  // 3
+  std::vector<uint64_t> components = ComponentSizes(g);
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], 3u);
+  EXPECT_EQ(components[1], 2u);
+  EXPECT_EQ(components[2], 1u);
+}
+
+}  // namespace
+}  // namespace avt

@@ -1,0 +1,243 @@
+// Golden tests against the paper's running example (Figure 1,
+// Examples 1-5 and 10).
+//
+// The paper never prints Figure 1's edge list, so tests/ uses a 17-vertex
+// reconstruction that reproduces the quantities the text evaluates:
+//   * the 3-core of G_1 is {u8, u9, u12, u13, u16} (5 users);
+//   * anchoring {u7, u10} at t=1 yields followers
+//     {u2, u3, u5, u6, u11} and |C_3(S)| = 12 (Examples 1/3);
+//   * anchoring u15 at t=1 brings u14 into the 3-core (Example 5);
+//   * mcd(u14) = 3 via neighbors {u9, u15, u16} (Example 10);
+//   * G_2 = G_1 + (u2,u5) - (u2,u11); anchoring {u7, u15} gives
+//     |C_3(S)| = 14 while {u7, u10} gives only 11 (Example 1);
+//   * core(u9)=3, core(u14)=2, core(u15)=2, core(u16)=3, core(u17)=1.
+//
+// Caveat: the true figure's edges are unknown, so assertions about WHICH
+// anchors an algorithm selects are stated as quality bounds (>= the
+// paper's sets) rather than identities — in this reconstruction some
+// anchor pairs beat the paper's example picks.
+//
+// Vertex u_i maps to id i-1.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "anchor/anchored_core.h"
+#include "anchor/follower_oracle.h"
+#include "anchor/greedy.h"
+#include "core/avt.h"
+#include "corelib/decomposition.h"
+#include "corelib/korder.h"
+#include "graph/snapshots.h"
+#include "maint/maintainer.h"
+
+namespace avt {
+namespace {
+
+constexpr VertexId U(int i) { return static_cast<VertexId>(i - 1); }
+
+Graph PaperGraphT1() {
+  Graph g(17);
+  // 3-core block {u8,u9,u12,u13,u16}.
+  g.AddEdge(U(8), U(9));
+  g.AddEdge(U(8), U(12));
+  g.AddEdge(U(8), U(13));
+  g.AddEdge(U(8), U(16));
+  g.AddEdge(U(9), U(12));
+  g.AddEdge(U(9), U(13));
+  g.AddEdge(U(12), U(16));
+  g.AddEdge(U(13), U(16));
+  // Periphery.
+  g.AddEdge(U(1), U(4));
+  g.AddEdge(U(1), U(8));
+  g.AddEdge(U(4), U(8));
+  g.AddEdge(U(2), U(7));
+  g.AddEdge(U(2), U(3));
+  g.AddEdge(U(2), U(11));
+  g.AddEdge(U(3), U(7));
+  g.AddEdge(U(3), U(8));
+  g.AddEdge(U(3), U(11));
+  g.AddEdge(U(3), U(6));
+  g.AddEdge(U(5), U(10));
+  g.AddEdge(U(5), U(6));
+  g.AddEdge(U(5), U(9));
+  g.AddEdge(U(6), U(10));
+  g.AddEdge(U(10), U(9));
+  g.AddEdge(U(11), U(13));
+  g.AddEdge(U(11), U(15));
+  g.AddEdge(U(14), U(9));
+  g.AddEdge(U(14), U(15));
+  g.AddEdge(U(14), U(16));
+  g.AddEdge(U(17), U(16));
+  return g;
+}
+
+Graph PaperGraphT2() {
+  Graph g = PaperGraphT1();
+  g.AddEdge(U(2), U(5));     // new friendship (purple dotted)
+  g.RemoveEdge(U(2), U(11)); // broken friendship (white dotted)
+  return g;
+}
+
+std::vector<VertexId> SortedIds(std::vector<VertexId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(PaperExample, ThreeCoreOfG1) {
+  CoreDecomposition cores = DecomposeCores(PaperGraphT1());
+  std::vector<VertexId> expected{U(8), U(9), U(12), U(13), U(16)};
+  EXPECT_EQ(SortedIds(KCoreMembers(cores, 3)), SortedIds(expected));
+}
+
+TEST(PaperExample, Example10CoreNumbers) {
+  CoreDecomposition cores = DecomposeCores(PaperGraphT1());
+  EXPECT_EQ(cores.core[U(9)], 3u);
+  EXPECT_EQ(cores.core[U(14)], 2u);
+  EXPECT_EQ(cores.core[U(15)], 2u);
+  EXPECT_EQ(cores.core[U(16)], 3u);
+  EXPECT_EQ(cores.core[U(17)], 1u);
+}
+
+TEST(PaperExample, Example10MaxCoreDegree) {
+  Graph g = PaperGraphT1();
+  CoreDecomposition cores = DecomposeCores(g);
+  EXPECT_EQ(MaxCoreDegree(g, cores, U(14)), 3u);
+}
+
+TEST(PaperExample, AnchoringU7U10AtT1) {
+  Graph g = PaperGraphT1();
+  std::vector<VertexId> anchors{U(7), U(10)};
+  AnchoredCoreResult result = ComputeAnchoredKCore(g, 3, anchors);
+  std::vector<VertexId> expected_followers{U(2), U(3), U(5), U(6), U(11)};
+  EXPECT_EQ(SortedIds(result.followers), SortedIds(expected_followers));
+  // |C_3(S)| grows from 5 to 12 (Example 1).
+  EXPECT_EQ(result.members.size(), 12u);
+}
+
+TEST(PaperExample, Example5AnchoringU15BringsU14) {
+  Graph g = PaperGraphT1();
+  AnchoredCoreResult result = ComputeAnchoredKCore(g, 3, {U(15)});
+  EXPECT_TRUE(std::find(result.followers.begin(), result.followers.end(),
+                        U(14)) != result.followers.end());
+}
+
+TEST(PaperExample, OracleAgreesWithExactOnU15) {
+  Graph g = PaperGraphT1();
+  KOrder order;
+  order.Build(g);
+  FollowerOracle oracle(&g, &order);
+  std::vector<VertexId> anchors{U(15)};
+  std::vector<VertexId> followers;
+  uint32_t count = oracle.CountFollowers(anchors, 3, &followers);
+  AnchoredCoreResult exact = ComputeAnchoredKCore(g, 3, anchors);
+  EXPECT_EQ(count, exact.followers.size());
+  EXPECT_EQ(SortedIds(followers), SortedIds(exact.followers));
+}
+
+TEST(PaperExample, T2AnchoringU7U15Gives14) {
+  Graph g = PaperGraphT2();
+  // The 3-core stays {u8,u9,u12,u13,u16}.
+  CoreDecomposition cores = DecomposeCores(g);
+  EXPECT_EQ(KCoreMembers(cores, 3).size(), 5u);
+  AnchoredCoreResult result = ComputeAnchoredKCore(g, 3, {U(7), U(15)});
+  EXPECT_EQ(result.members.size(), 14u);  // "increase from 5 to 14"
+  EXPECT_EQ(result.followers.size(), 7u);
+}
+
+TEST(PaperExample, T2AnchoringU7U10GivesOnly11) {
+  Graph g = PaperGraphT2();
+  AnchoredCoreResult result = ComputeAnchoredKCore(g, 3, {U(7), U(10)});
+  EXPECT_EQ(result.members.size(), 11u);  // "would only increase to 11"
+}
+
+TEST(PaperExample, GreedyMatchesPaperQualityAtT1) {
+  // The paper's chosen pair {u7, u10} yields 5 followers; Greedy must do
+  // at least as well with the same budget.
+  GreedySolver greedy;
+  SolverResult result = greedy.Solve(PaperGraphT1(), 3, 2);
+  EXPECT_GE(result.num_followers(), 5u);
+  // The reported follower set must be exact for the reported anchors.
+  EXPECT_EQ(result.num_followers(),
+            CountFollowersExact(PaperGraphT1(), 3, result.anchors));
+}
+
+TEST(PaperExample, GreedyMatchesPaperQualityAtT2) {
+  GreedySolver greedy;
+  SolverResult result = greedy.Solve(PaperGraphT2(), 3, 2);
+  EXPECT_GE(result.num_followers(), 7u);  // {u7, u15} achieves 7
+  EXPECT_EQ(result.num_followers(),
+            CountFollowersExact(PaperGraphT2(), 3, result.anchors));
+}
+
+TEST(PaperExample, MaintainerTracksTheTransition) {
+  CoreMaintainer m;
+  m.Reset(PaperGraphT1());
+  EdgeDelta delta;
+  delta.insertions.push_back(Edge(U(2), U(5)));
+  delta.deletions.push_back(Edge(U(2), U(11)));
+  m.ApplyDelta(delta);
+  EXPECT_EQ(m.graph(), PaperGraphT2());
+  CoreDecomposition cores = DecomposeCores(PaperGraphT2());
+  for (VertexId v = 0; v < 17; ++v) {
+    EXPECT_EQ(m.CoreOf(v), cores.core[v]) << "vertex id " << v;
+  }
+}
+
+TEST(PaperExample, IncAvtTracksAnchorShift) {
+  // Example 4: S = {S1, S2} with S1 = {u7, u10}, S2 = {u7, u15}.
+  SnapshotSequence sequence(PaperGraphT1());
+  EdgeDelta delta;
+  delta.insertions.push_back(Edge(U(2), U(5)));
+  delta.deletions.push_back(Edge(U(2), U(11)));
+  sequence.PushDelta(delta);
+
+  AvtRunResult run = RunAvt(sequence, AvtAlgorithm::kIncAvt, 3, 2);
+  ASSERT_EQ(run.snapshots.size(), 2u);
+  // The paper's picks achieve 5 (t=1) and 7 (t=2) followers; the tracker
+  // must match or beat them, and its accounting must be exact.
+  EXPECT_GE(run.snapshots[0].num_followers, 5u);
+  EXPECT_GE(run.snapshots[0].anchored_core_size, 12u);
+  EXPECT_GE(run.snapshots[1].num_followers, 7u);
+  EXPECT_GE(run.snapshots[1].anchored_core_size, 14u);
+  for (const AvtSnapshotResult& snap : run.snapshots) {
+    Graph g = snap.t == 0 ? PaperGraphT1() : PaperGraphT2();
+    EXPECT_EQ(snap.num_followers,
+              CountFollowersExact(g, 3, snap.anchors));
+    EXPECT_EQ(snap.kcore_size, 5u);
+  }
+}
+
+TEST(PaperExample, AllAlgorithmsMatchOptimumOnBothSnapshots) {
+  SnapshotSequence sequence(PaperGraphT1());
+  EdgeDelta delta;
+  delta.insertions.push_back(Edge(U(2), U(5)));
+  delta.deletions.push_back(Edge(U(2), U(11)));
+  sequence.PushDelta(delta);
+
+  // Brute force is the optimum; every heuristic must reach the paper's
+  // example quality (5 at t=1, 7 at t=2) and never beat brute force.
+  AvtRunResult best = RunAvt(sequence, AvtAlgorithm::kBruteForce, 3, 2);
+  ASSERT_EQ(best.snapshots.size(), 2u);
+  EXPECT_GE(best.snapshots[0].num_followers, 5u);
+  EXPECT_GE(best.snapshots[1].num_followers, 7u);
+  for (AvtAlgorithm algorithm :
+       {AvtAlgorithm::kGreedy, AvtAlgorithm::kOlak, AvtAlgorithm::kRcm,
+        AvtAlgorithm::kIncAvt}) {
+    AvtRunResult run = RunAvt(sequence, algorithm, 3, 2);
+    EXPECT_GE(run.snapshots[0].num_followers, 5u)
+        << AvtAlgorithmName(algorithm);
+    EXPECT_LE(run.snapshots[0].num_followers,
+              best.snapshots[0].num_followers)
+        << AvtAlgorithmName(algorithm);
+    EXPECT_GE(run.snapshots[1].num_followers, 7u)
+        << AvtAlgorithmName(algorithm);
+    EXPECT_LE(run.snapshots[1].num_followers,
+              best.snapshots[1].num_followers)
+        << AvtAlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace avt

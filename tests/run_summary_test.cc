@@ -1,0 +1,90 @@
+// Tests for the run-summary analytics (Jaccard stability, aggregates).
+
+#include "core/run_summary.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/churn.h"
+#include "gen/models.h"
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+TEST(Jaccard, BasicIdentities) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({5}, {}), 0.0);
+}
+
+TEST(Jaccard, OrderIndependent) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({3, 1, 2}, {2, 3, 1}), 1.0);
+}
+
+TEST(RunSummary, EmptyRun) {
+  AvtRunResult run;
+  run.algorithm = AvtAlgorithm::kGreedy;
+  RunSummary summary = SummarizeRun(run);
+  EXPECT_EQ(summary.snapshots, 0u);
+  EXPECT_DOUBLE_EQ(summary.anchor_stability, 1.0);
+}
+
+TEST(RunSummary, AggregatesAndStability) {
+  AvtRunResult run;
+  run.algorithm = AvtAlgorithm::kIncAvt;
+  AvtSnapshotResult s0;
+  s0.t = 0;
+  s0.anchors = {1, 2};
+  s0.num_followers = 4;
+  s0.millis = 2.0;
+  s0.candidates_visited = 10;
+  AvtSnapshotResult s1 = s0;
+  s1.t = 1;
+  s1.anchors = {1, 3};  // Jaccard 1/3
+  s1.num_followers = 6;
+  s1.millis = 4.0;
+  AvtSnapshotResult s2 = s1;
+  s2.t = 2;  // unchanged anchors: Jaccard 1
+  run.snapshots = {s0, s1, s2};
+
+  RunSummary summary = SummarizeRun(run);
+  EXPECT_EQ(summary.snapshots, 3u);
+  EXPECT_DOUBLE_EQ(summary.total_millis, 10.0);
+  EXPECT_DOUBLE_EQ(summary.max_millis, 4.0);
+  EXPECT_EQ(summary.total_candidates, 30u);
+  EXPECT_EQ(summary.total_followers, 16u);
+  EXPECT_NEAR(summary.anchor_stability, (1.0 / 3.0 + 1.0) / 2.0, 1e-9);
+  EXPECT_EQ(summary.anchor_changes, 1u);
+}
+
+TEST(RunSummary, FormatsReadably) {
+  AvtRunResult run;
+  AvtSnapshotResult snap;
+  snap.anchors = {1};
+  snap.num_followers = 2;
+  snap.millis = 1.5;
+  run.snapshots = {snap};
+  std::string text = FormatRunSummary(SummarizeRun(run));
+  EXPECT_NE(text.find("1 snapshots"), std::string::npos);
+  EXPECT_NE(text.find("followers/snapshot"), std::string::npos);
+}
+
+TEST(RunSummary, RealRunHasHighStabilityOnSmoothWorkload) {
+  Rng rng(71);
+  Graph initial = ChungLuPowerLaw(250, 6.0, 2.2, 50, rng);
+  ChurnOptions options;
+  options.num_snapshots = 6;
+  options.min_churn = 10;
+  options.max_churn = 25;
+  SnapshotSequence sequence = MakeChurnSnapshots(initial, options, rng);
+  AvtRunResult run = RunAvt(sequence, AvtAlgorithm::kIncAvt, 3, 5);
+  RunSummary summary = SummarizeRun(run);
+  EXPECT_EQ(summary.snapshots, 6u);
+  // Light churn: the tracked anchor set should be fairly stable.
+  EXPECT_GT(summary.anchor_stability, 0.4);
+}
+
+}  // namespace
+}  // namespace avt

@@ -1,0 +1,174 @@
+// Differential tests for the traversal-based maintenance engine, plus
+// three-way agreement with the order-based engine.
+
+#include "maint/traversal_maintainer.h"
+
+#include <gtest/gtest.h>
+
+#include "corelib/decomposition.h"
+#include "gen/models.h"
+#include "maint/maintainer.h"
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+void ExpectMatchesFresh(const TraversalMaintainer& m,
+                        const std::string& context) {
+  CoreDecomposition fresh = DecomposeCores(m.graph());
+  for (VertexId v = 0; v < m.graph().NumVertices(); ++v) {
+    ASSERT_EQ(m.CoreOf(v), fresh.core[v]) << context << " vertex " << v;
+  }
+}
+
+TEST(TraversalMaintainer, TriangleCloseAndBreak) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TraversalMaintainer m;
+  m.Reset(g);
+  EXPECT_TRUE(m.InsertEdge(0, 2));
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(m.CoreOf(v), 2u);
+  EXPECT_EQ(m.last_changed().size(), 3u);
+  EXPECT_TRUE(m.RemoveEdge(1, 2));
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(m.CoreOf(v), 1u);
+}
+
+TEST(TraversalMaintainer, DuplicatesRejected) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  TraversalMaintainer m;
+  m.Reset(g);
+  EXPECT_FALSE(m.InsertEdge(0, 1));
+  EXPECT_FALSE(m.RemoveEdge(0, 0));
+}
+
+struct TraversalCase {
+  const char* label;
+  int model;
+  VertexId n;
+};
+
+class TraversalChurnTest : public ::testing::TestWithParam<TraversalCase> {
+};
+
+TEST_P(TraversalChurnTest, MatchesFreshDecomposition) {
+  const TraversalCase& c = GetParam();
+  Rng rng(0xFEED ^ c.n);
+  Graph g;
+  switch (c.model) {
+    case 0: g = ErdosRenyi(c.n, static_cast<uint64_t>(c.n) * 3, rng); break;
+    case 1: g = BarabasiAlbert(c.n, 3, rng); break;
+    default: g = ChungLuPowerLaw(c.n, 6.0, 2.2, 40, rng); break;
+  }
+  TraversalMaintainer m;
+  m.Reset(g);
+  for (int step = 0; step < 150; ++step) {
+    if (rng.Bernoulli(0.5) || m.graph().NumEdges() == 0) {
+      VertexId u = static_cast<VertexId>(rng.Uniform(c.n));
+      VertexId v = static_cast<VertexId>(rng.Uniform(c.n));
+      if (u != v) m.InsertEdge(u, v);
+    } else {
+      std::vector<Edge> edges = m.graph().CollectEdges();
+      const Edge& e = edges[rng.Uniform(edges.size())];
+      m.RemoveEdge(e.u, e.v);
+    }
+    if (step % 25 == 24) {
+      ExpectMatchesFresh(m, std::string(c.label) + " step " +
+                                std::to_string(step));
+    }
+  }
+  ExpectMatchesFresh(m, c.label);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, TraversalChurnTest,
+    ::testing::Values(TraversalCase{"er", 0, 90},
+                      TraversalCase{"ba", 1, 100},
+                      TraversalCase{"cl", 2, 110}),
+    [](const ::testing::TestParamInfo<TraversalCase>& info) {
+      return std::string(info.param.label);
+    });
+
+// Three-way agreement: both engines track the same churn stream.
+TEST(TraversalMaintainer, AgreesWithOrderBasedEngine) {
+  Rng rng(404);
+  Graph g = ChungLuPowerLaw(200, 6.0, 2.2, 40, rng);
+  TraversalMaintainer traversal;
+  CoreMaintainer order_based;
+  traversal.Reset(g);
+  order_based.Reset(g);
+
+  for (int step = 0; step < 200; ++step) {
+    if (rng.Bernoulli(0.5) || traversal.graph().NumEdges() == 0) {
+      VertexId u = static_cast<VertexId>(rng.Uniform(200));
+      VertexId v = static_cast<VertexId>(rng.Uniform(200));
+      if (u == v) continue;
+      bool a = traversal.InsertEdge(u, v);
+      bool b = order_based.InsertEdge(u, v);
+      ASSERT_EQ(a, b);
+    } else {
+      std::vector<Edge> edges = traversal.graph().CollectEdges();
+      const Edge& e = edges[rng.Uniform(edges.size())];
+      ASSERT_TRUE(traversal.RemoveEdge(e.u, e.v));
+      ASSERT_TRUE(order_based.RemoveEdge(e.u, e.v));
+    }
+    for (VertexId v = 0; v < 200; ++v) {
+      ASSERT_EQ(traversal.CoreOf(v), order_based.CoreOf(v))
+          << "step " << step << " vertex " << v;
+    }
+  }
+}
+
+TEST(TraversalMaintainer, LastChangedCoversAllShifts) {
+  Rng rng(505);
+  Graph g = ErdosRenyi(120, 360, rng);
+  TraversalMaintainer m;
+  m.Reset(g);
+  for (int step = 0; step < 60; ++step) {
+    std::vector<uint32_t> before = m.cores();
+    VertexId u = static_cast<VertexId>(rng.Uniform(120));
+    VertexId v = static_cast<VertexId>(rng.Uniform(120));
+    if (u == v) continue;
+    bool inserted = m.InsertEdge(u, v);
+    if (!inserted) continue;
+    std::vector<uint8_t> reported(120, 0);
+    for (VertexId w : m.last_changed()) reported[w] = 1;
+    for (VertexId w = 0; w < 120; ++w) {
+      if (before[w] != m.CoreOf(w)) {
+        EXPECT_TRUE(reported[w]) << "step " << step << " vertex " << w;
+      }
+    }
+  }
+}
+
+TEST(TraversalMaintainer, BatchDelta) {
+  Rng rng(606);
+  Graph g = ChungLuPowerLaw(150, 5.0, 2.2, 30, rng);
+  TraversalMaintainer m;
+  m.Reset(g);
+  EdgeDelta delta;
+  std::vector<Edge> edges = g.CollectEdges();
+  for (size_t i = 0; i < 30; ++i) delta.deletions.push_back(edges[i]);
+  Graph shadow = g;
+  int added = 0;
+  while (added < 30) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(150));
+    VertexId v = static_cast<VertexId>(rng.Uniform(150));
+    if (u == v) continue;
+    Edge e(u, v);
+    bool del = false;
+    for (const Edge& d : delta.deletions) {
+      if (d == e) del = true;
+    }
+    if (!del && shadow.AddEdge(u, v)) {
+      delta.insertions.push_back(e);
+      ++added;
+    }
+  }
+  m.ApplyDelta(delta);
+  ExpectMatchesFresh(m, "batch");
+}
+
+}  // namespace
+}  // namespace avt

@@ -1,0 +1,220 @@
+// Tests for churn snapshots, temporal streams, window snapshots, and the
+// six dataset replicas.
+
+#include <gtest/gtest.h>
+
+#include "gen/churn.h"
+#include "gen/datasets.h"
+#include "gen/models.h"
+#include "gen/temporal.h"
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+TEST(Churn, ProducesRequestedSnapshotCount) {
+  Rng rng(1);
+  Graph initial = ErdosRenyi(200, 800, rng);
+  ChurnOptions options;
+  options.num_snapshots = 10;
+  options.min_churn = 20;
+  options.max_churn = 40;
+  SnapshotSequence sequence = MakeChurnSnapshots(initial, options, rng);
+  EXPECT_EQ(sequence.NumSnapshots(), 10u);
+  EXPECT_TRUE(sequence.initial() == initial);
+}
+
+TEST(Churn, DeltasWithinBounds) {
+  Rng rng(2);
+  Graph initial = ErdosRenyi(300, 1200, rng);
+  ChurnOptions options;
+  options.num_snapshots = 8;
+  options.min_churn = 15;
+  options.max_churn = 30;
+  SnapshotSequence sequence = MakeChurnSnapshots(initial, options, rng);
+  for (const EdgeDelta& delta : sequence.deltas()) {
+    EXPECT_GE(delta.deletions.size(), 15u);
+    EXPECT_LE(delta.deletions.size(), 30u);
+    EXPECT_GE(delta.insertions.size(), 15u);
+    EXPECT_LE(delta.insertions.size(), 30u);
+  }
+}
+
+TEST(Churn, InsertionsAndDeletionsDisjoint) {
+  Rng rng(3);
+  Graph initial = ErdosRenyi(100, 300, rng);
+  ChurnOptions options;
+  options.num_snapshots = 12;
+  options.min_churn = 30;
+  options.max_churn = 60;
+  SnapshotSequence sequence = MakeChurnSnapshots(initial, options, rng);
+  for (const EdgeDelta& delta : sequence.deltas()) {
+    for (const Edge& ins : delta.insertions) {
+      for (const Edge& del : delta.deletions) {
+        EXPECT_FALSE(ins == del);
+      }
+    }
+  }
+}
+
+TEST(Churn, DeltasReplayConsistently) {
+  Rng rng(4);
+  Graph initial = ErdosRenyi(150, 500, rng);
+  ChurnOptions options;
+  options.num_snapshots = 6;
+  SnapshotSequence sequence = MakeChurnSnapshots(initial, options, rng);
+  // Materializing via deltas must produce valid simple graphs with the
+  // expected edge counts (insert/delete bookkeeping is exact).
+  Graph g = sequence.initial();
+  for (const EdgeDelta& delta : sequence.deltas()) {
+    uint64_t before = g.NumEdges();
+    delta.Apply(g);
+    EXPECT_EQ(g.NumEdges(),
+              before + delta.insertions.size() - delta.deletions.size());
+  }
+}
+
+TEST(Temporal, CommunityEmailEventsSortedWithinSpan) {
+  Rng rng(5);
+  TemporalGenOptions options;
+  options.num_vertices = 200;
+  options.num_events = 5000;
+  options.num_days = 100;
+  TemporalEventLog log = GenCommunityEmailEvents(options, 8, 0.8, rng);
+  EXPECT_EQ(log.num_vertices, 200u);
+  EXPECT_GT(log.events.size(), 4000u);
+  for (size_t i = 0; i + 1 < log.events.size(); ++i) {
+    EXPECT_LE(log.events[i].timestamp, log.events[i + 1].timestamp);
+  }
+  EXPECT_GE(log.MinTimestamp(), 0);
+  EXPECT_LT(log.MaxTimestamp(), 100);
+}
+
+TEST(Temporal, PowerLawActivityConcentrates) {
+  Rng rng(6);
+  TemporalGenOptions options;
+  options.num_vertices = 500;
+  options.num_events = 20000;
+  options.num_days = 200;
+  options.recurrence = 0.0;  // isolate the activity distribution
+  TemporalEventLog log = GenPowerLawActivityEvents(options, 2.0, rng);
+  std::vector<uint64_t> appearances(500, 0);
+  for (const TemporalEdge& e : log.events) {
+    ++appearances[e.u];
+    ++appearances[e.v];
+  }
+  uint64_t max_count = 0, total = 0;
+  for (uint64_t a : appearances) {
+    max_count = std::max(max_count, a);
+    total += a;
+  }
+  double mean = static_cast<double>(total) / 500.0;
+  EXPECT_GT(static_cast<double>(max_count), 5.0 * mean);
+}
+
+TEST(Temporal, BurstyEventsStillCoverSpan) {
+  Rng rng(7);
+  TemporalGenOptions options;
+  options.num_vertices = 100;
+  options.num_events = 5000;
+  options.num_days = 50;
+  TemporalEventLog log = GenBurstyMessageEvents(options, 0.1, 8.0, rng);
+  EXPECT_GT(log.events.size(), 4000u);
+  EXPECT_LT(log.MaxTimestamp(), 50);
+}
+
+TEST(WindowSnapshots, BasicWindowing) {
+  TemporalEventLog log;
+  log.num_vertices = 4;
+  // Pair (0,1) active early only; (2,3) active throughout. With T=2 the
+  // first boundary falls at day 49, the second at day 99.
+  log.events = {{0, 1, 0}, {2, 3, 0}, {2, 3, 50}, {2, 3, 99}};
+  SnapshotSequence sequence = WindowSnapshots(log, 2, 60);
+  ASSERT_EQ(sequence.NumSnapshots(), 2u);
+  Graph g0 = sequence.Materialize(0);
+  Graph g1 = sequence.Materialize(1);
+  EXPECT_TRUE(g0.HasEdge(0, 1));   // day 0 within 60 days of day 49
+  EXPECT_FALSE(g1.HasEdge(0, 1));  // stale by day 99 (> 60 days old)
+  EXPECT_TRUE(g1.HasEdge(2, 3));   // refreshed at day 99
+}
+
+TEST(WindowSnapshots, TightWindowExpiresEarlyEdges) {
+  TemporalEventLog log;
+  log.num_vertices = 4;
+  log.events = {{0, 1, 0}, {2, 3, 0}, {2, 3, 50}, {2, 3, 99}};
+  SnapshotSequence sequence = WindowSnapshots(log, 2, 30);
+  Graph g0 = sequence.Materialize(0);
+  EXPECT_FALSE(g0.HasEdge(0, 1));  // 49 days stale at the first boundary
+  EXPECT_FALSE(g0.HasEdge(2, 3));
+  EXPECT_TRUE(sequence.Materialize(1).HasEdge(2, 3));
+}
+
+TEST(WindowSnapshots, DeltasMatchMaterialized) {
+  Rng rng(8);
+  TemporalGenOptions options;
+  options.num_vertices = 150;
+  options.num_events = 8000;
+  options.num_days = 120;
+  TemporalEventLog log = GenCommunityEmailEvents(options, 6, 0.8, rng);
+  SnapshotSequence sequence = WindowSnapshots(log, 6, 30);
+  EXPECT_EQ(sequence.NumSnapshots(), 6u);
+  // Windowing produces nonempty graphs and real churn.
+  EXPECT_GT(sequence.Materialize(3).NumEdges(), 0u);
+  EXPECT_GT(sequence.TotalChurn(), 0u);
+}
+
+TEST(Datasets, RegistryHasAllSixTableTwoRows) {
+  const auto& datasets = AllDatasets();
+  ASSERT_EQ(datasets.size(), 6u);
+  EXPECT_EQ(datasets[0].name, "email-Enron");
+  EXPECT_EQ(datasets[3].name, "eu-core");
+  EXPECT_EQ(datasets[3].paper_nodes, 986u);
+  EXPECT_EQ(datasets[5].paper_days, 193u);
+  EXPECT_EQ(DatasetByName("Deezer").paper_edges, 125'826u);
+}
+
+TEST(Datasets, ChurnReplicaMatchesScaledShape) {
+  const DatasetInfo& enron = DatasetByName("email-Enron");
+  Graph g = MakeDatasetGraph(enron, 0.05, 7);
+  // 5% of 36,692 vertices, average degree near the paper's 10.02.
+  EXPECT_NEAR(static_cast<double>(g.NumVertices()), 36'692 * 0.05, 5.0);
+  EXPECT_NEAR(g.AverageDegree(), 10.02, 3.0);
+}
+
+TEST(Datasets, GnutellaIsFlatDegree) {
+  const DatasetInfo& gnutella = DatasetByName("Gnutella");
+  Graph g = MakeDatasetGraph(gnutella, 0.05, 7);
+  EXPECT_NEAR(g.AverageDegree(), 4.73, 1.5);
+  // ER-like: no extreme hubs.
+  EXPECT_LT(g.MaxDegree(), 40u);
+}
+
+TEST(Datasets, TemporalReplicaProducesSnapshots) {
+  const DatasetInfo& eu = DatasetByName("eu-core");
+  SnapshotSequence sequence = MakeDatasetSnapshots(eu, 1.0, 10, 7);
+  EXPECT_EQ(sequence.NumSnapshots(), 10u);
+  EXPECT_EQ(sequence.NumVertices(), 986u);
+  EXPECT_GT(sequence.Materialize(5).NumEdges(), 500u);
+}
+
+TEST(Datasets, ChurnReplicaScalesChurnWithSize) {
+  const DatasetInfo& deezer = DatasetByName("Deezer");
+  SnapshotSequence sequence = MakeDatasetSnapshots(deezer, 0.05, 5, 9);
+  EXPECT_EQ(sequence.NumSnapshots(), 5u);
+  for (const EdgeDelta& delta : sequence.deltas()) {
+    EXPECT_GT(delta.Size(), 0u);
+    EXPECT_LT(delta.Size(), 200u);  // scaled-down churn
+  }
+}
+
+TEST(Datasets, DeterministicAcrossCalls) {
+  const DatasetInfo& msg = DatasetByName("CollegeMsg");
+  SnapshotSequence a = MakeDatasetSnapshots(msg, 0.5, 4, 11);
+  SnapshotSequence b = MakeDatasetSnapshots(msg, 0.5, 4, 11);
+  for (size_t t = 0; t < 4; ++t) {
+    EXPECT_TRUE(a.Materialize(t) == b.Materialize(t)) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace avt

@@ -1,0 +1,8 @@
+// avt_cli: command-line front end for the AVT library.
+// See cli_commands.h for the command reference.
+
+#include "cli_commands.h"
+
+int main(int argc, char** argv) {
+  return avt::cli::RunCli(argc, argv, stdout, stderr);
+}

@@ -1,0 +1,334 @@
+#include "cli_commands.h"
+
+#include <memory>
+
+#include "anchor/anchored_core.h"
+#include "anchor/brute_force.h"
+#include "anchor/greedy.h"
+#include "anchor/olak.h"
+#include "anchor/rcm.h"
+#include "core/avt.h"
+#include "corelib/coreness_history.h"
+#include "corelib/decomposition.h"
+#include "corelib/graph_stats.h"
+#include "gen/datasets.h"
+#include "gen/degree_sequence.h"
+#include "gen/models.h"
+#include "gen/temporal.h"
+#include "graph/io.h"
+#include "util/table.h"
+
+namespace avt {
+namespace cli {
+namespace {
+
+// Loads the graph named by the first positional argument.
+bool LoadPositionalGraph(const Flags& flags, FILE* err, Graph* graph) {
+  if (flags.positional().empty()) {
+    std::fprintf(err, "error: missing <edge-list> argument\n");
+    return false;
+  }
+  auto loaded = LoadEdgeList(flags.positional()[0]);
+  if (!loaded.ok()) {
+    std::fprintf(err, "error: %s\n", loaded.status().ToString().c_str());
+    return false;
+  }
+  *graph = std::move(loaded).value();
+  return true;
+}
+
+std::unique_ptr<AnchorSolver> MakeSolver(const std::string& name) {
+  if (name == "greedy") return std::make_unique<GreedySolver>();
+  if (name == "olak") return std::make_unique<OlakSolver>();
+  if (name == "rcm") return std::make_unique<RcmSolver>();
+  if (name == "brute") return std::make_unique<BruteForceSolver>();
+  return nullptr;
+}
+
+bool ParseAlgorithm(const std::string& name, AvtAlgorithm* algorithm) {
+  if (name == "greedy") {
+    *algorithm = AvtAlgorithm::kGreedy;
+  } else if (name == "olak") {
+    *algorithm = AvtAlgorithm::kOlak;
+  } else if (name == "rcm") {
+    *algorithm = AvtAlgorithm::kRcm;
+  } else if (name == "incavt") {
+    *algorithm = AvtAlgorithm::kIncAvt;
+  } else if (name == "brute") {
+    *algorithm = AvtAlgorithm::kBruteForce;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int RunGenCommand(const Flags& flags, FILE* out, FILE* err) {
+  const std::string model = flags.GetString("model", "chung-lu");
+  const VertexId n = static_cast<VertexId>(flags.GetInt("n", 1000));
+  const double avg_degree = flags.GetDouble("avg-degree", 6.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string path = flags.GetString("out", "");
+  if (path.empty()) {
+    std::fprintf(err, "error: --out=<path> is required\n");
+    return 2;
+  }
+
+  Rng rng(seed);
+  Graph g;
+  if (model == "chung-lu") {
+    g = ChungLuPowerLaw(n, avg_degree, flags.GetDouble("alpha", 2.2),
+                        static_cast<uint32_t>(flags.GetInt(
+                            "max-degree", std::max<int64_t>(n / 20, 16))),
+                        rng);
+  } else if (model == "er") {
+    g = ErdosRenyi(
+        n, static_cast<uint64_t>(avg_degree * static_cast<double>(n) / 2),
+        rng);
+  } else if (model == "ba") {
+    g = BarabasiAlbert(
+        n,
+        static_cast<uint32_t>(std::max<int64_t>(
+            1, static_cast<int64_t>(avg_degree / 2))),
+        rng);
+  } else if (model == "ws") {
+    g = WattsStrogatz(n,
+                      static_cast<uint32_t>(std::max<int64_t>(
+                          2, static_cast<int64_t>(avg_degree))),
+                      flags.GetDouble("beta", 0.2), rng);
+  } else if (model == "config") {
+    g = ConfigurationModel(n, avg_degree, flags.GetDouble("alpha", 2.2),
+                           static_cast<uint32_t>(flags.GetInt(
+                               "max-degree",
+                               std::max<int64_t>(n / 20, 16))),
+                           rng);
+  } else if (model == "sbm") {
+    g = PlantedPartition(
+        n, static_cast<uint32_t>(flags.GetInt("communities", 8)),
+        static_cast<uint64_t>(avg_degree * static_cast<double>(n) / 2),
+        flags.GetDouble("p-intra", 0.8), rng);
+  } else {
+    std::fprintf(err,
+                 "error: unknown --model '%s' (chung-lu, er, ba, ws, "
+                 "config, sbm)\n",
+                 model.c_str());
+    return 2;
+  }
+
+  Status status = SaveEdgeList(g, path);
+  if (!status.ok()) {
+    std::fprintf(err, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "wrote %s: %u vertices, %llu edges (model %s)\n",
+               path.c_str(), g.NumVertices(),
+               static_cast<unsigned long long>(g.NumEdges()),
+               model.c_str());
+  return 0;
+}
+
+int RunStatsCommand(const Flags& flags, FILE* out, FILE* err) {
+  Graph g;
+  if (!LoadPositionalGraph(flags, err, &g)) return 2;
+  GraphStats stats = ComputeGraphStats(g);
+  std::fprintf(out, "vertices            %u\n", stats.num_vertices);
+  std::fprintf(out, "edges               %llu\n",
+               static_cast<unsigned long long>(stats.num_edges));
+  std::fprintf(out, "average degree      %.3f\n", stats.average_degree);
+  std::fprintf(out, "max degree          %u\n", stats.max_degree);
+  std::fprintf(out, "degeneracy          %u\n", stats.degeneracy);
+  std::fprintf(out, "isolated vertices   %llu\n",
+               static_cast<unsigned long long>(stats.isolated_vertices));
+  std::fprintf(out, "triangles           %llu\n",
+               static_cast<unsigned long long>(stats.triangle_estimate));
+  std::fprintf(out, "global clustering   %.4f\n",
+               GlobalClusteringCoefficient(g));
+  std::fprintf(out, "assortativity       %.4f\n", DegreeAssortativity(g));
+  std::vector<uint64_t> components = ComponentSizes(g);
+  std::fprintf(out, "components          %zu (largest %llu)\n",
+               components.size(),
+               components.empty()
+                   ? 0ULL
+                   : static_cast<unsigned long long>(components[0]));
+  return 0;
+}
+
+int RunCoreCommand(const Flags& flags, FILE* out, FILE* err) {
+  Graph g;
+  if (!LoadPositionalGraph(flags, err, &g)) return 2;
+  CoreDecomposition cores = DecomposeCores(g);
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 0));
+  std::fprintf(out, "degeneracy %u\n", cores.max_core);
+  if (k > 0) {
+    std::vector<VertexId> members = KCoreMembers(cores, k);
+    std::fprintf(out, "|C_%u| = %zu\n", k, members.size());
+    if (flags.GetBool("list", false)) {
+      for (VertexId v : members) std::fprintf(out, "%u\n", v);
+    }
+  } else {
+    // Core-size profile: one line per k up to the degeneracy.
+    for (uint32_t level = 1; level <= cores.max_core; ++level) {
+      std::fprintf(out, "k=%-3u |C_k|=%zu\n", level,
+                   KCoreMembers(cores, level).size());
+    }
+  }
+  return 0;
+}
+
+int RunAnchorsCommand(const Flags& flags, FILE* out, FILE* err) {
+  Graph g;
+  if (!LoadPositionalGraph(flags, err, &g)) return 2;
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 3));
+  const uint32_t l = static_cast<uint32_t>(flags.GetInt("l", 5));
+  const std::string algo = flags.GetString("algo", "greedy");
+  std::unique_ptr<AnchorSolver> solver = MakeSolver(algo);
+  if (!solver) {
+    std::fprintf(err,
+                 "error: unknown --algo '%s' (greedy, olak, rcm, brute)\n",
+                 algo.c_str());
+    return 2;
+  }
+  SolverResult result = solver->Solve(g, k, l);
+  std::fprintf(out, "algorithm  %s\n", solver->name().c_str());
+  std::fprintf(out, "anchors   ");
+  for (VertexId a : result.anchors) std::fprintf(out, " %u", a);
+  std::fprintf(out, "\nfollowers ");
+  for (VertexId f : result.followers) std::fprintf(out, " %u", f);
+  std::fprintf(out, "\n|F| = %u, candidates visited = %llu\n",
+               result.num_followers(),
+               static_cast<unsigned long long>(result.candidates_visited));
+  AnchoredCoreResult exact = ComputeAnchoredKCore(g, k, result.anchors);
+  std::fprintf(out, "|C_%u(S)| = %zu\n", k, exact.members.size());
+  return 0;
+}
+
+int RunTrackCommand(const Flags& flags, FILE* out, FILE* err) {
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 3));
+  const uint32_t l = static_cast<uint32_t>(flags.GetInt("l", 5));
+  const size_t T = static_cast<size_t>(flags.GetInt("t", 10));
+  const std::string algo = flags.GetString("algo", "incavt");
+
+  AvtAlgorithm algorithm;
+  if (!ParseAlgorithm(algo, &algorithm)) {
+    std::fprintf(err,
+                 "error: unknown --algo '%s' (greedy, olak, rcm, incavt, "
+                 "brute)\n",
+                 algo.c_str());
+    return 2;
+  }
+
+  SnapshotSequence sequence;
+  const std::string dataset = flags.GetString("dataset", "");
+  const std::string temporal = flags.GetString("temporal", "");
+  if (!dataset.empty()) {
+    const DatasetInfo& info = DatasetByName(dataset);
+    sequence = MakeDatasetSnapshots(
+        info, flags.GetDouble("scale", 0.25), T,
+        static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  } else if (!temporal.empty()) {
+    auto log = LoadTemporalEdgeList(temporal);
+    if (!log.ok()) {
+      std::fprintf(err, "error: %s\n", log.status().ToString().c_str());
+      return 1;
+    }
+    sequence = WindowSnapshots(
+        log.value(), T,
+        static_cast<uint32_t>(flags.GetInt("window", 45)));
+  } else {
+    std::fprintf(err,
+                 "error: one of --dataset=<name> or --temporal=<file> is "
+                 "required\n");
+    return 2;
+  }
+
+  AvtRunResult run = RunAvt(sequence, algorithm, k, l);
+  TablePrinter table(
+      {"t", "followers", "anchored_core", "candidates", "millis"});
+  for (const AvtSnapshotResult& snap : run.snapshots) {
+    table.Row()
+        .UInt(snap.t)
+        .UInt(snap.num_followers)
+        .UInt(snap.anchored_core_size)
+        .UInt(snap.candidates_visited)
+        .Double(snap.millis, 2);
+  }
+  std::fprintf(out, "%s", table.ToText().c_str());
+
+  CorenessHistory history = CorenessHistory::Compute(sequence);
+  std::fprintf(out, "workload smoothness: %.4f of (vertex, transition) "
+                    "pairs keep their core number\n",
+               history.Smoothness());
+  return 0;
+}
+
+int RunConvertCommand(const Flags& flags, FILE* out, FILE* err) {
+  if (flags.positional().empty()) {
+    std::fprintf(err, "error: missing <temporal-edge-list> argument\n");
+    return 2;
+  }
+  auto log = LoadTemporalEdgeList(flags.positional()[0]);
+  if (!log.ok()) {
+    std::fprintf(err, "error: %s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  const size_t T = static_cast<size_t>(flags.GetInt("t", 10));
+  const uint32_t window =
+      static_cast<uint32_t>(flags.GetInt("window", 45));
+  const std::string prefix = flags.GetString("out-prefix", "snapshot");
+
+  SnapshotSequence sequence = WindowSnapshots(log.value(), T, window);
+  for (size_t t = 0; t < sequence.NumSnapshots(); ++t) {
+    std::string path = prefix + "_" + std::to_string(t) + ".txt";
+    Status status = SaveEdgeList(sequence.Materialize(t), path);
+    if (!status.ok()) {
+      std::fprintf(err, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(out, "wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+std::string UsageText() {
+  return
+      "usage: avt_cli <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  gen      generate a random graph      (--model --n --avg-degree "
+      "--out)\n"
+      "  stats    structural statistics        (<edge-list>)\n"
+      "  core     core decomposition           (<edge-list> [--k "
+      "[--list]])\n"
+      "  anchors  anchored k-core query        (<edge-list> --k --l "
+      "[--algo])\n"
+      "  track    AVT over an evolving graph   (--dataset|--temporal --t "
+      "--k --l [--algo])\n"
+      "  convert  temporal log -> snapshots    (<temporal> --t --window "
+      "--out-prefix)\n";
+}
+
+int RunCli(int argc, char** argv, FILE* out, FILE* err) {
+  if (argc < 2) {
+    std::fprintf(err, "%s", UsageText().c_str());
+    return 2;
+  }
+  std::string command = argv[1];
+  Flags flags = Flags::Parse(argc - 1, argv + 1);
+  if (command == "gen") return RunGenCommand(flags, out, err);
+  if (command == "stats") return RunStatsCommand(flags, out, err);
+  if (command == "core") return RunCoreCommand(flags, out, err);
+  if (command == "anchors") return RunAnchorsCommand(flags, out, err);
+  if (command == "track") return RunTrackCommand(flags, out, err);
+  if (command == "convert") return RunConvertCommand(flags, out, err);
+  if (command == "help" || command == "--help") {
+    std::fprintf(out, "%s", UsageText().c_str());
+    return 0;
+  }
+  std::fprintf(err, "error: unknown command '%s'\n%s", command.c_str(),
+               UsageText().c_str());
+  return 2;
+}
+
+}  // namespace cli
+}  // namespace avt

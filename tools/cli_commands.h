@@ -1,0 +1,55 @@
+// Command implementations behind the `avt_cli` tool.
+//
+// Each command is a plain function taking parsed flags and writing to a
+// FILE*, so the test suite can drive them without spawning processes:
+//
+//   avt_cli gen     --model=chung-lu --n=1000 --avg-degree=6 --out=g.txt
+//   avt_cli stats   graph.txt
+//   avt_cli core    graph.txt --k=3
+//   avt_cli anchors graph.txt --k=3 --l=5 [--algo=greedy|olak|rcm|brute]
+//   avt_cli track   --dataset=eu-core --t=10 --k=3 --l=5 [--algo=incavt]
+//   avt_cli convert temporal.txt --t=10 --window=45 --out-prefix=snap
+//
+// All commands return 0 on success and print diagnostics to `err` on
+// failure (no exceptions cross the boundary).
+
+#ifndef AVT_TOOLS_CLI_COMMANDS_H_
+#define AVT_TOOLS_CLI_COMMANDS_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+
+namespace avt {
+namespace cli {
+
+/// Generates a random graph to an edge-list file.
+int RunGenCommand(const Flags& flags, FILE* out, FILE* err);
+
+/// Prints structural statistics of an edge-list graph.
+int RunStatsCommand(const Flags& flags, FILE* out, FILE* err);
+
+/// Prints the core decomposition summary and k-core membership counts.
+int RunCoreCommand(const Flags& flags, FILE* out, FILE* err);
+
+/// Solves a single-snapshot anchored k-core query.
+int RunAnchorsCommand(const Flags& flags, FILE* out, FILE* err);
+
+/// Tracks anchors over a dataset replica or a temporal edge list.
+int RunTrackCommand(const Flags& flags, FILE* out, FILE* err);
+
+/// Converts a temporal edge list into windowed snapshot edge lists.
+int RunConvertCommand(const Flags& flags, FILE* out, FILE* err);
+
+/// Dispatches by command name; prints usage on unknown commands.
+int RunCli(int argc, char** argv, FILE* out, FILE* err);
+
+/// The usage text (exposed for tests).
+std::string UsageText();
+
+}  // namespace cli
+}  // namespace avt
+
+#endif  // AVT_TOOLS_CLI_COMMANDS_H_
