@@ -1,0 +1,25 @@
+# Shared compile/link options for every avt target, attached via the
+# avt_build_flags INTERFACE library.
+#
+#   AVT_WERROR   — promote warnings to errors (the source tree is clean
+#                  under -Wall -Wextra -Wpedantic -Wshadow; keep it so).
+#   AVT_SANITIZE — AddressSanitizer + UndefinedBehaviorSanitizer. All
+#                  suites currently pass under it at seed scale; CI runs
+#                  the `unit` label only because soak suites grow with
+#                  future dataset scale (see docs/TESTING.md).
+
+add_library(avt_build_flags INTERFACE)
+
+target_compile_options(avt_build_flags INTERFACE
+  -Wall -Wextra -Wpedantic -Wshadow)
+
+if(AVT_WERROR)
+  target_compile_options(avt_build_flags INTERFACE -Werror)
+endif()
+
+if(AVT_SANITIZE)
+  target_compile_options(avt_build_flags INTERFACE
+    -fsanitize=address,undefined -fno-omit-frame-pointer -g)
+  target_link_options(avt_build_flags INTERFACE
+    -fsanitize=address,undefined)
+endif()

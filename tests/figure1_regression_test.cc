@@ -1,0 +1,114 @@
+// Regression pins for the Figure-1 walkthrough numbers printed by
+// examples/figure1_walkthrough.cpp. tests/paper_example_test.cc checks
+// the paper-level invariants as bounds; this suite freezes the exact
+// quantities of our 17-user reconstruction so a library change that
+// silently shifts the walkthrough output fails CTest instead of only
+// changing the demo's stdout. (The example binary's stdout is also
+// regex-pinned by the `figure1_walkthrough_output` CTest entry.)
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "anchor/anchored_core.h"
+#include "core/avt.h"
+#include "corelib/decomposition.h"
+#include "graph/snapshots.h"
+
+namespace avt {
+namespace {
+
+constexpr VertexId U(int i) { return static_cast<VertexId>(i - 1); }
+
+// Same reconstruction as examples/figure1_walkthrough.cpp.
+Graph ReadingCommunityT1() {
+  Graph g(17);
+  g.AddEdge(U(8), U(9));
+  g.AddEdge(U(8), U(12));
+  g.AddEdge(U(8), U(13));
+  g.AddEdge(U(8), U(16));
+  g.AddEdge(U(9), U(12));
+  g.AddEdge(U(9), U(13));
+  g.AddEdge(U(12), U(16));
+  g.AddEdge(U(13), U(16));
+  g.AddEdge(U(1), U(4));
+  g.AddEdge(U(1), U(8));
+  g.AddEdge(U(4), U(8));
+  g.AddEdge(U(2), U(7));
+  g.AddEdge(U(2), U(3));
+  g.AddEdge(U(2), U(11));
+  g.AddEdge(U(3), U(7));
+  g.AddEdge(U(3), U(8));
+  g.AddEdge(U(3), U(11));
+  g.AddEdge(U(3), U(6));
+  g.AddEdge(U(5), U(10));
+  g.AddEdge(U(5), U(6));
+  g.AddEdge(U(5), U(9));
+  g.AddEdge(U(6), U(10));
+  g.AddEdge(U(10), U(9));
+  g.AddEdge(U(11), U(13));
+  g.AddEdge(U(11), U(15));
+  g.AddEdge(U(14), U(9));
+  g.AddEdge(U(14), U(15));
+  g.AddEdge(U(14), U(16));
+  g.AddEdge(U(17), U(16));
+  return g;
+}
+
+Graph ReadingCommunityT2() {
+  Graph g = ReadingCommunityT1();
+  g.AddEdge(U(2), U(5));
+  g.RemoveEdge(U(2), U(11));
+  return g;
+}
+
+TEST(Figure1Regression, NucleusIsFiveUsers) {
+  Graph t1 = ReadingCommunityT1();
+  CoreDecomposition cores = DecomposeCores(t1);
+  std::vector<VertexId> nucleus = KCoreMembers(cores, 3);
+  EXPECT_EQ(nucleus.size(), 5u);
+  for (int u : {8, 9, 12, 13, 16}) {
+    EXPECT_NE(std::find(nucleus.begin(), nucleus.end(), U(u)),
+              nucleus.end())
+        << "u" << u;
+  }
+}
+
+TEST(Figure1Regression, AnchoredCoreSizesAtT1) {
+  Graph t1 = ReadingCommunityT1();
+  AnchoredCoreResult ex3 = ComputeAnchoredKCore(t1, 3, {U(7), U(10)});
+  EXPECT_EQ(ex3.members.size(), 12u);
+  EXPECT_EQ(ex3.followers.size(), 5u);
+  AnchoredCoreResult ex5 = ComputeAnchoredKCore(t1, 3, {U(15)});
+  EXPECT_EQ(ex5.members.size(), 12u);
+  EXPECT_EQ(ex5.followers.size(), 6u);
+}
+
+TEST(Figure1Regression, AnchoredCoreSizesAtT2) {
+  Graph t2 = ReadingCommunityT2();
+  // Yesterday's anchors decay; the shifted pair recovers and improves.
+  EXPECT_EQ(ComputeAnchoredKCore(t2, 3, {U(7), U(10)}).members.size(), 11u);
+  EXPECT_EQ(ComputeAnchoredKCore(t2, 3, {U(7), U(15)}).members.size(), 14u);
+}
+
+TEST(Figure1Regression, IncAvtPerSnapshotNumbers) {
+  SnapshotSequence sequence(ReadingCommunityT1());
+  EdgeDelta delta;
+  delta.insertions.push_back(Edge(U(2), U(5)));
+  delta.deletions.push_back(Edge(U(2), U(11)));
+  sequence.PushDelta(delta);
+
+  AvtRunResult run = RunAvt(sequence, AvtAlgorithm::kIncAvt, 3, 2);
+  ASSERT_EQ(run.snapshots.size(), 2u);
+
+  const std::vector<VertexId> expected_anchors{U(7), U(15)};
+  for (const AvtSnapshotResult& snap : run.snapshots) {
+    EXPECT_EQ(snap.anchors, expected_anchors) << "t=" << snap.t;
+    EXPECT_EQ(snap.num_followers, 7u) << "t=" << snap.t;
+    EXPECT_EQ(snap.anchored_core_size, 14u) << "t=" << snap.t;
+  }
+}
+
+}  // namespace
+}  // namespace avt

@@ -167,8 +167,8 @@ INSTANTIATE_TEST_SUITE_P(
                       OracleCase{"ws_k4_a2", 3, 120, 4, 2},
                       OracleCase{"sbm_k4_a5", 4, 150, 4, 5},
                       OracleCase{"sbm_k2_a3", 4, 100, 2, 3}),
-    [](const ::testing::TestParamInfo<OracleCase>& info) {
-      return std::string(info.param.label);
+    [](const ::testing::TestParamInfo<OracleCase>& param_info) {
+      return std::string(param_info.param.label);
     });
 
 // The oracle must be repeatable and side-effect free: evaluating many

@@ -200,8 +200,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ChurnCase{"chung-lu", 100, 0, 2},
                       ChurnCase{"watts-strogatz", 80, 0, 3},
                       ChurnCase{"sbm", 100, 350, 4}),
-    [](const ::testing::TestParamInfo<ChurnCase>& info) {
-      std::string label = info.param.label;
+    [](const ::testing::TestParamInfo<ChurnCase>& param_info) {
+      std::string label = param_info.param.label;
       for (char& ch : label) {
         if (ch == '-') ch = '_';
       }

@@ -52,7 +52,9 @@ TEST_P(AnchoredPropertyTest, ContainmentAndDisjointness) {
   std::vector<uint8_t> member(g.NumVertices(), 0);
   for (VertexId v : result.members) member[v] = 1;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    if (cores.core[v] >= k) EXPECT_TRUE(member[v]);
+    if (cores.core[v] >= k) {
+      EXPECT_TRUE(member[v]);
+    }
   }
   for (VertexId a : anchors) EXPECT_TRUE(member[a]);
   for (VertexId f : result.followers) {
@@ -125,8 +127,8 @@ INSTANTIATE_TEST_SUITE_P(
                       PropertyCase{"ba_k4", 1, 130, 4},
                       PropertyCase{"cl_k3", 2, 140, 3},
                       PropertyCase{"cl_k4", 2, 140, 4}),
-    [](const ::testing::TestParamInfo<PropertyCase>& info) {
-      return std::string(info.param.label);
+    [](const ::testing::TestParamInfo<PropertyCase>& param_info) {
+      return std::string(param_info.param.label);
     });
 
 // --- The tractable cases of Theorem 1 -------------------------------

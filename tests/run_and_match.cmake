@@ -1,0 +1,21 @@
+# Runs BIN and requires BOTH exit code 0 and stdout matching EXPECT_REGEX
+# (plain PASS_REGULAR_EXPRESSION would let a crash after the match pass).
+
+foreach(var BIN EXPECT_REGEX)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_and_match.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${BIN}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} exited with ${rc}:\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "${EXPECT_REGEX}")
+  message(FATAL_ERROR
+    "output of ${BIN} does not match /${EXPECT_REGEX}/:\n${out}")
+endif()

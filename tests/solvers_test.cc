@@ -81,8 +81,8 @@ INSTANTIATE_TEST_SUITE_P(
                       SolverCase{"cl_k3", 2, 120, 3, 4},
                       SolverCase{"cl_k5", 2, 120, 5, 6},
                       SolverCase{"sbm_k4", 3, 120, 4, 5}),
-    [](const ::testing::TestParamInfo<SolverCase>& info) {
-      return std::string(info.param.label);
+    [](const ::testing::TestParamInfo<SolverCase>& param_info) {
+      return std::string(param_info.param.label);
     });
 
 TEST(BruteForce, OptimalOnTinyGraph) {

@@ -86,8 +86,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(TraversalCase{"er", 0, 90},
                       TraversalCase{"ba", 1, 100},
                       TraversalCase{"cl", 2, 110}),
-    [](const ::testing::TestParamInfo<TraversalCase>& info) {
-      return std::string(info.param.label);
+    [](const ::testing::TestParamInfo<TraversalCase>& param_info) {
+      return std::string(param_info.param.label);
     });
 
 // Three-way agreement: both engines track the same churn stream.

@@ -202,7 +202,7 @@ TEST(Summary, PercentileInterpolates) {
 TEST(Timer, MeasuresElapsed) {
   Timer timer;
   volatile uint64_t sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(timer.ElapsedNanos(), 0u);
   EXPECT_GE(timer.ElapsedMillis(), 0.0);
 }
