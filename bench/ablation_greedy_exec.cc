@@ -1,9 +1,11 @@
-// Ablation: Greedy execution strategies (serial vs parallel vs lazy).
+// Ablation: Greedy execution strategies (scan vs parallel vs lazy).
 //
-// The serial exact greedy is the paper's algorithm; parallel evaluation
-// is bit-identical but uses worker threads; CELF-style lazy greedy trades
-// exactness of the argmax (the objective is not submodular) for far
-// fewer oracle calls. This bench quantifies both trade-offs.
+// The eager scan is the paper's algorithm verbatim; parallel evaluation
+// distributes the same scan over worker threads; the certified-bound
+// lazy loop (the library default) replaces most full oracle queries with
+// phase-1 bound probes. All three are bit-identical in output — the
+// table quantifies the work trade (full queries vs bound probes vs wall
+// time), and the harness aborts if any variant ever diverges.
 //
 //   ./ablation_greedy_exec [--scale=...] [--threads=4] [--l=10]
 
@@ -23,8 +25,8 @@ int main(int argc, char** argv) {
   const uint32_t threads =
       static_cast<uint32_t>(flags.GetInt("threads", 4));
 
-  TablePrinter table({"dataset", "variant", "time_ms", "oracle_calls",
-                      "followers"});
+  TablePrinter table({"dataset", "variant", "time_ms", "full_queries",
+                      "bound_probes", "followers"});
   for (const DatasetInfo& info : SelectDatasets(config)) {
     double scale = config.scale > 0 ? config.scale : DefaultScale(info);
     Graph g = MakeDatasetGraph(info, scale, config.seed);
@@ -34,40 +36,42 @@ int main(int argc, char** argv) {
       GreedyOptions options;
       const char* label;
     };
-    GreedyOptions serial;
+    GreedyOptions scan;
+    scan.lazy = false;
     GreedyOptions parallel;
+    parallel.lazy = false;
     parallel.num_threads = threads;
-    GreedyOptions lazy;
-    lazy.lazy = true;
+    GreedyOptions lazy;  // library default
 
-    uint32_t serial_followers = 0;
+    std::vector<VertexId> scan_anchors;
     for (const Variant& variant :
-         {Variant{serial, "serial (paper)"},
+         {Variant{scan, "scan (paper)"},
           Variant{parallel, "parallel"},
-          Variant{lazy, "lazy (CELF)"}}) {
+          Variant{lazy, "lazy (default)"}}) {
       GreedySolver solver(variant.options);
       Timer timer;
       SolverResult result = solver.Solve(g, k, config.l);
       double ms = timer.ElapsedMillis();
-      if (variant.options.num_threads <= 1 && !variant.options.lazy) {
-        serial_followers = result.num_followers();
-      } else if (variant.options.num_threads > 1) {
-        AVT_CHECK_MSG(result.num_followers() == serial_followers,
-                      "parallel greedy diverged from serial");
+      if (!variant.options.lazy && variant.options.num_threads <= 1) {
+        scan_anchors = result.anchors;
+      } else {
+        AVT_CHECK_MSG(result.anchors == scan_anchors,
+                      "greedy execution strategies diverged");
       }
       table.Row()
           .Str(info.name)
           .Str(variant.label)
           .Double(ms, 1)
           .UInt(result.candidates_visited)
+          .UInt(result.bound_probes)
           .UInt(result.num_followers());
     }
   }
   EmitTable("Ablation: Greedy execution strategies", table,
             config.print_csv);
-  std::printf("\nparallel must match serial exactly (checked); lazy may "
-              "deviate because anchored-k-core\ngains are not submodular "
-              "(Theorem 2 territory) — the delta shown is its real "
-              "quality cost.\n");
+  std::printf("\nall variants are bit-identical (checked): parallel "
+              "shares the eager scan's argmax and the lazy loop's\n"
+              "certified bounds guarantee the same pick per step — the "
+              "columns show where the work went instead.\n");
   return 0;
 }

@@ -1,0 +1,215 @@
+// Perf gate: the repeatable before/after measurement behind
+// BENCH_PR2.json (run via scripts/bench.sh).
+//
+// Two workloads, each measured in its eager ("before", the seed repo's
+// execution strategy) and lazy ("after", certified-bound CELF) form:
+//
+//   * greedy_solve — one GreedySolver::Solve on a Chung-Lu power-law
+//     graph (paper-style social topology) at --n vertices;
+//   * incavt_per_delta — an IncAvtTracker over a --t-snapshot churn
+//     sequence, timing only the ProcessDelta steps.
+//
+// Outputs are asserted identical between the two strategies before any
+// number is written: the gate measures a speedup, never a quality trade.
+// The JSON is intentionally flat so future PRs can diff it and append
+// their own gates alongside.
+//
+//   ./bench_perf_gate [--n=50000] [--k=3] [--l=10] [--t=12]
+//                     [--churn=150] [--repeats=3] [--out=BENCH_PR2.json]
+//
+// --repeats re-runs each timed section and keeps the fastest wall time
+// (work counters are deterministic and identical across repeats).
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "anchor/greedy.h"
+#include "core/inc_avt.h"
+#include "gen/churn.h"
+#include "gen/models.h"
+#include "graph/snapshots.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace avt {
+namespace {
+
+struct GateMetrics {
+  double millis = 0;
+  uint64_t oracle_queries = 0;  // full follower queries
+  uint64_t bound_probes = 0;    // phase-1-only probes
+  uint64_t followers = 0;
+};
+
+GateMetrics MeasureGreedy(const Graph& g, uint32_t k, uint32_t l,
+                          bool lazy, int repeats,
+                          std::vector<VertexId>* anchors_out) {
+  GateMetrics metrics;
+  metrics.millis = 1e300;
+  GreedyOptions options;
+  options.lazy = lazy;
+  for (int r = 0; r < repeats; ++r) {
+    GreedySolver solver(options);
+    Timer timer;
+    SolverResult result = solver.Solve(g, k, l);
+    metrics.millis = std::min(metrics.millis, timer.ElapsedMillis());
+    metrics.oracle_queries = result.candidates_visited;
+    metrics.bound_probes = result.bound_probes;
+    metrics.followers = result.num_followers();
+    *anchors_out = result.anchors;
+  }
+  return metrics;
+}
+
+GateMetrics MeasureIncAvt(const SnapshotSequence& sequence, uint32_t k,
+                          uint32_t l, bool lazy, int repeats,
+                          std::vector<std::vector<VertexId>>* anchors_out) {
+  GateMetrics metrics;
+  metrics.millis = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    IncAvtOptions options;
+    options.lazy = lazy;
+    IncAvtTracker tracker(k, l, IncAvtMode::kRestricted, options);
+    anchors_out->clear();
+    double delta_millis = 0;
+    uint64_t queries = 0;
+    uint64_t probes = 0;
+    uint64_t followers = 0;
+    sequence.ForEachSnapshot([&](size_t t, const Graph& graph,
+                                 const EdgeDelta& delta) {
+      if (t == 0) {
+        AvtSnapshotResult snap = tracker.ProcessFirst(graph);
+        anchors_out->push_back(snap.anchors);
+        return;
+      }
+      Timer timer;
+      AvtSnapshotResult snap = tracker.ProcessDelta(graph, delta);
+      delta_millis += timer.ElapsedMillis();
+      queries += snap.candidates_visited;
+      probes += snap.bound_probes;
+      followers += snap.num_followers;
+      anchors_out->push_back(snap.anchors);
+    });
+    metrics.millis = std::min(metrics.millis, delta_millis);
+    metrics.oracle_queries = queries;
+    metrics.bound_probes = probes;
+    metrics.followers = followers;
+  }
+  return metrics;
+}
+
+void PrintMetrics(FILE* f, const char* key, const GateMetrics& m,
+                  const char* trailing) {
+  std::fprintf(f,
+               "    \"%s\": {\"millis\": %.3f, \"oracle_queries\": %" PRIu64
+               ", \"bound_probes\": %" PRIu64 ", \"followers\": %" PRIu64
+               "}%s\n",
+               key, m.millis, m.oracle_queries, m.bound_probes, m.followers,
+               trailing);
+}
+
+double Ratio(double before, double after) {
+  return after > 0 ? before / after : 0.0;
+}
+
+}  // namespace
+}  // namespace avt
+
+int main(int argc, char** argv) {
+  using namespace avt;
+  Flags flags = Flags::Parse(argc, argv);
+  const uint32_t n = static_cast<uint32_t>(flags.GetInt("n", 50000));
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 3));
+  const uint32_t l = static_cast<uint32_t>(flags.GetInt("l", 10));
+  const size_t T = static_cast<size_t>(flags.GetInt("t", 12));
+  const uint32_t churn = static_cast<uint32_t>(flags.GetInt("churn", 150));
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
+  const std::string out = flags.GetString("out", "BENCH_PR2.json");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
+
+  // Same topology family as bench/micro_benchmarks.cc's BenchGraph.
+  Rng rng(seed);
+  Graph g = ChungLuPowerLaw(n, 8.0, 2.1, n / 20 + 10, rng);
+  std::printf("graph: n=%u m=%" PRIu64 " (Chung-Lu power law)\n",
+              g.NumVertices(), g.NumEdges());
+
+  // --- Gate 1: single-snapshot greedy solve -------------------------
+  std::vector<VertexId> scan_anchors;
+  std::vector<VertexId> lazy_anchors;
+  GateMetrics greedy_scan =
+      MeasureGreedy(g, k, l, /*lazy=*/false, repeats, &scan_anchors);
+  GateMetrics greedy_lazy =
+      MeasureGreedy(g, k, l, /*lazy=*/true, repeats, &lazy_anchors);
+  AVT_CHECK_MSG(scan_anchors == lazy_anchors,
+                "perf gate violated: lazy greedy diverged from scan");
+  std::printf("greedy  scan: %8.1f ms  %8" PRIu64 " full queries\n",
+              greedy_scan.millis, greedy_scan.oracle_queries);
+  std::printf("greedy  lazy: %8.1f ms  %8" PRIu64 " full queries  %8" PRIu64
+              " bound probes\n",
+              greedy_lazy.millis, greedy_lazy.oracle_queries,
+              greedy_lazy.bound_probes);
+
+  // --- Gate 2: IncAVT per-delta steps -------------------------------
+  Rng churn_rng(seed + 1);
+  ChurnOptions churn_options;
+  churn_options.num_snapshots = T;
+  churn_options.min_churn = churn;
+  churn_options.max_churn = churn + 100;
+  SnapshotSequence sequence = MakeChurnSnapshots(g, churn_options, churn_rng);
+  std::vector<std::vector<VertexId>> eager_track;
+  std::vector<std::vector<VertexId>> lazy_track;
+  GateMetrics inc_eager =
+      MeasureIncAvt(sequence, k, l, /*lazy=*/false, repeats, &eager_track);
+  GateMetrics inc_lazy =
+      MeasureIncAvt(sequence, k, l, /*lazy=*/true, repeats, &lazy_track);
+  AVT_CHECK_MSG(eager_track == lazy_track,
+                "perf gate violated: lazy IncAVT diverged from eager");
+  const double deltas = static_cast<double>(T > 1 ? T - 1 : 1);
+  std::printf("incavt eager: %8.2f ms/delta  %8" PRIu64 " full queries\n",
+              inc_eager.millis / deltas, inc_eager.oracle_queries);
+  std::printf("incavt  lazy: %8.2f ms/delta  %8" PRIu64 " full queries  %8"
+              PRIu64 " bound probes\n",
+              inc_lazy.millis / deltas, inc_lazy.oracle_queries,
+              inc_lazy.bound_probes);
+
+  // --- Emit JSON -----------------------------------------------------
+  FILE* f = std::fopen(out.c_str(), "w");
+  AVT_CHECK_MSG(f != nullptr, "cannot open bench output file");
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"perf_gate\",\n");
+  std::fprintf(f, "  \"pr\": 2,\n");
+  std::fprintf(
+      f,
+      "  \"config\": {\"n\": %u, \"avg_degree\": 8.0, \"alpha\": 2.1, "
+      "\"k\": %u, \"l\": %u, \"snapshots\": %zu, \"churn_min\": %u, "
+      "\"churn_max\": %u, \"seed\": %" PRIu64 ", \"repeats\": %d},\n",
+      n, k, l, T, churn, churn + 100, seed, repeats);
+  std::fprintf(f, "  \"greedy_solve\": {\n");
+  PrintMetrics(f, "before_scan", greedy_scan, ",");
+  PrintMetrics(f, "after_lazy", greedy_lazy, ",");
+  std::fprintf(f, "    \"wall_speedup\": %.2f,\n",
+               Ratio(greedy_scan.millis, greedy_lazy.millis));
+  std::fprintf(f, "    \"oracle_query_reduction\": %.2f\n",
+               Ratio(static_cast<double>(greedy_scan.oracle_queries),
+                     static_cast<double>(greedy_lazy.oracle_queries)));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"incavt_per_delta\": {\n");
+  PrintMetrics(f, "before_eager", inc_eager, ",");
+  PrintMetrics(f, "after_lazy", inc_lazy, ",");
+  std::fprintf(f, "    \"wall_speedup\": %.2f,\n",
+               Ratio(inc_eager.millis, inc_lazy.millis));
+  std::fprintf(f, "    \"oracle_query_reduction\": %.2f\n",
+               Ratio(static_cast<double>(inc_eager.oracle_queries),
+                     static_cast<double>(inc_lazy.oracle_queries)));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"identical_outputs\": true\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

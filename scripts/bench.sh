@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Reproduces BENCH_PR2.json: Release build, then the perf gate bench.
+#
+#   scripts/bench.sh                 # full gate (n=50k), writes BENCH_PR2.json
+#   scripts/bench.sh --smoke         # small run for CI (writes bench_smoke.json)
+#   scripts/bench.sh -- --n=100000   # extra args forwarded to bench_perf_gate
+#
+# The gate measures the eager ("before", seed execution strategy) and
+# lazy ("after", certified-bound) pick loops on identical inputs, checks
+# the outputs are bit-identical, and emits the before/after JSON that
+# docs/PERFORMANCE.md explains. Wall times move with the host; the work
+# counters (oracle_queries, bound_probes) are deterministic.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_PR2.json"
+extra=()
+if [[ "${1:-}" == "--smoke" ]]; then
+  shift
+  out="bench_smoke.json"
+  extra+=(--n=8000 --t=6 --repeats=1)
+fi
+if [[ "${1:-}" == "--" ]]; then
+  shift
+fi
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$jobs" --target bench_perf_gate
+
+./build/bench_perf_gate --out="$out" "${extra[@]}" "$@"
+echo "bench output: $out"

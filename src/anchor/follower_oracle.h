@@ -27,9 +27,19 @@
 // below k-1 (with several anchors a low-core vertex can reach k engaged
 // neighbors); the pass therefore orders by full (level, tag) position.
 //
-// All scratch state is epoch-stamped: evaluating a candidate anchor set
-// is allocation-free and leaves the K-order untouched, which is what lets
-// Greedy and IncAVT probe thousands of hypothetical sets per snapshot.
+// Phase 1 alone is exposed as UpperBound(): its candidate count is a
+// certified upper bound on |F| at a fraction of a full query's cost
+// (no support scans, no fixpoint). The lazy greedy pick loop uses it to
+// decide which candidates deserve a full query — and because the bound
+// is valid (not a stale heuristic), the lazy argmax is bit-identical to
+// the exhaustive scan. See docs/PERFORMANCE.md.
+//
+// All scratch state is epoch-stamped and all hot vectors are reused
+// across queries: evaluating a candidate anchor set is allocation-free
+// and leaves the K-order untouched, which is what lets Greedy and IncAVT
+// probe thousands of hypothetical sets per snapshot. When a CsrView of
+// the bound graph is supplied, every neighbor scan reads the contiguous
+// snapshot instead of the pointer-chasing dynamic adjacency.
 
 #ifndef AVT_ANCHOR_FOLLOWER_ORACLE_H_
 #define AVT_ANCHOR_FOLLOWER_ORACLE_H_
@@ -46,39 +56,144 @@ namespace avt {
 
 /// Work counters for a follower query (paper's "visited vertices").
 struct OracleStats {
-  uint64_t queries = 0;
-  uint64_t visited = 0;       // vertices popped by forward passes
-  uint64_t eliminated = 0;    // candidates removed by fixpoints
+  uint64_t queries = 0;        // full CountFollowers evaluations
+  uint64_t bound_queries = 0;  // phase-1-only UpperBound evaluations
+  uint64_t visited = 0;        // vertices popped by forward passes
+  uint64_t eliminated = 0;     // candidates removed by fixpoints
 
   void Reset() { *this = OracleStats{}; }
 };
 
 /// Read-only follower computation bound to a (graph, K-order) pair.
 /// The referenced structures must outlive the oracle and stay consistent
-/// (rebuild/maintain them through CoreMaintainer).
+/// (rebuild/maintain them through CoreMaintainer). An optional CsrView
+/// snapshot of the same graph routes all neighbor scans through
+/// contiguous storage; the caller must keep it in sync with the graph
+/// (drop it via set_csr(nullptr) before mutating).
 class FollowerOracle {
  public:
-  FollowerOracle(const Graph* graph, const KOrder* order)
-      : graph_(graph), order_(order) {
+  FollowerOracle(const Graph* graph, const KOrder* order,
+                 const CsrView* csr = nullptr)
+      : graph_(graph), order_(order), csr_(csr) {
     ResizeScratch();
   }
 
   /// Re-binds after the underlying graph/order changed size.
   void ResizeScratch();
 
+  /// Swaps the contiguous adjacency snapshot (nullptr = scan the graph).
+  void set_csr(const CsrView* csr) { csr_ = csr; }
+
   /// Returns |F_k(anchors)|; optionally materializes the follower set
   /// (K-order position order). Anchors inside the k-core contribute
   /// nothing (handled gracefully); duplicate anchors are allowed.
   uint32_t CountFollowers(std::span<const VertexId> anchors, uint32_t k,
+                          std::vector<VertexId>* followers = nullptr) {
+    return CountFollowers(anchors, kNoVertex, k, followers);
+  }
+
+  /// Same, for the trial set anchors ∪ {extra} without materializing it
+  /// (extra == kNoVertex means no extra anchor). This is the pick-loop
+  /// hot call: no per-trial vector copy.
+  uint32_t CountFollowers(std::span<const VertexId> anchors, VertexId extra,
+                          uint32_t k,
                           std::vector<VertexId>* followers = nullptr);
+
+  /// Certified upper bound on CountFollowers(anchors, extra, k): the
+  /// phase-1 candidate count, skipping support scans and the elimination
+  /// fixpoint. Guaranteed >= the exact count for identical inputs (the
+  /// fixpoint only removes candidates).
+  uint32_t UpperBound(std::span<const VertexId> anchors, VertexId extra,
+                      uint32_t k);
+
+  // --- marginal probes over a resident base cascade -----------------
+  //
+  // The pick loops evaluate UpperBound(S, x) for every candidate x of a
+  // pool while S stays fixed; re-walking S's whole cascade per probe is
+  // the dominant cost. BuildBase runs phase 1 for S once and keeps its
+  // state resident; MarginalUpperBound(x) then *continues* the fixpoint
+  // with x's seeds over epoch-cleared overlay arrays, touching only x's
+  // marginal region, and returns exactly UpperBound(S, x, k). This is
+  // sound because the phase-1 candidate set is the least fixpoint of a
+  // monotone credit rule: influence flows only forward in K-order, so
+  // continuing the ordered pass from the base fixpoint with extra seeds
+  // reaches the trial set's fixpoint (tests/follower_oracle_test.cc pins
+  // MarginalUpperBound == UpperBound on random graphs).
+  //
+  // Base state survives full CountFollowers queries (disjoint scratch);
+  // it is invalidated by ResizeScratch or the next BuildBase.
+
+  /// Runs and retains phase 1 for `anchors` at threshold k.
+  void BuildBase(std::span<const VertexId> anchors, uint32_t k);
+  bool HasBase() const { return base_valid_; }
+  void InvalidateBase() { base_valid_ = false; }
+
+  /// Phase-1 candidate count of base_anchors ∪ {x} (== UpperBound for
+  /// that trial set), at the cost of x's marginal cascade only.
+  uint32_t MarginalUpperBound(VertexId x);
+
+  /// Base dependency region (anchors + phase-1 pops), for memoization.
+  std::span<const VertexId> BaseRegionAnchors() const {
+    return base_anchors_;
+  }
+  std::span<const VertexId> BaseRegionVisited() const {
+    return base_visited_;
+  }
+  /// Vertices the last MarginalUpperBound popped beyond the base region
+  /// (plus x itself, reported first).
+  std::span<const VertexId> LastMarginalVisited() const {
+    return marginal_visited_;
+  }
+
+  /// Vertices whose state the most recent query (full or bound) depended
+  /// on: the unique anchors plus every vertex popped by the forward pass.
+  /// The query result is a pure function of the edges incident to this
+  /// region and of the K-order positions of region members and their
+  /// neighbors — the soundness basis for IncAVT's cross-snapshot memo
+  /// (entries are reused only while the region avoids churn-impacted
+  /// vertices). Invalidated by the next query.
+  std::span<const VertexId> LastRegionAnchors() const {
+    return unique_anchors_;
+  }
+  std::span<const VertexId> LastRegionVisited() const { return visited_; }
 
   const OracleStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
  private:
+  /// Phase 1 for anchors ∪ {extra}: fills candidate_ / candidates_in_
+  /// order_ / visited_ and returns the candidate count.
+  template <typename Adjacency>
+  uint32_t ForwardPass(const Adjacency& adj,
+                       std::span<const VertexId> anchors, VertexId extra,
+                       uint32_t k);
+
+  /// Phase 2: elimination fixpoint over candidates_in_order_.
+  template <typename Adjacency>
+  uint32_t Eliminate(const Adjacency& adj, uint32_t k,
+                     std::vector<VertexId>* followers);
+
   const Graph* graph_;
   const KOrder* order_;
+  const CsrView* csr_;
   OracleStats stats_;
+
+  /// The phase-1 cascade, parameterized over the array bundle it writes
+  /// (per-query scratch vs resident base) so both paths share one
+  /// definition. Returns the candidate count.
+  template <typename Adjacency>
+  uint32_t RunCascade(const Adjacency& adj,
+                      std::span<const VertexId> anchors, VertexId extra,
+                      uint32_t k, EpochArray<uint8_t>& anchor_flags,
+                      EpochArray<uint32_t>& bump,
+                      EpochArray<uint32_t>& deg_minus,
+                      EpochArray<uint8_t>& candidate,
+                      std::vector<VertexId>& anchors_out,
+                      std::vector<VertexId>& visited_out,
+                      std::vector<VertexId>* candidates_out);
+
+  template <typename Adjacency>
+  uint32_t MarginalUpperBoundImpl(const Adjacency& adj, VertexId x);
 
   EpochArray<uint8_t> anchor_;
   EpochArray<uint32_t> bump_;
@@ -87,7 +202,46 @@ class FollowerOracle {
   EpochArray<uint8_t> candidate_;
   EpochArray<uint8_t> eliminated_;
   EpochArray<uint32_t> support_;
+
+  // Resident base cascade (BuildBase) + per-probe overlays. The overlays
+  // are the only state a marginal probe writes, so "resetting" a probe
+  // is four O(1) epoch bumps.
+  EpochArray<uint8_t> base_anchor_;
+  EpochArray<uint32_t> base_bump_;
+  EpochArray<uint32_t> base_deg_minus_;
+  EpochArray<uint8_t> base_candidate_;
+  EpochArray<uint32_t> d_bump_;
+  EpochArray<uint32_t> d_deg_minus_;
+  EpochArray<uint8_t> d_candidate_;
+  EpochArray<uint8_t> d_in_heap_;
+  std::vector<VertexId> base_anchors_;
+  std::vector<VertexId> base_visited_;
+  std::vector<VertexId> marginal_visited_;
+  uint32_t base_k_ = 0;
+  uint32_t base_count_ = 0;
+  bool base_valid_ = false;
+
+  // Hot vectors reused across queries (reserved by ResizeScratch).
   std::vector<VertexId> unique_anchors_;
+  std::vector<VertexId> visited_;
+  std::vector<VertexId> candidates_in_order_;
+  std::vector<VertexId> review_;
+
+  // Binary heap of (level, tag, vertex) reused across queries. A flat
+  // POD key beats the seed's pair<pair<u64,u64>, VertexId> layout: one
+  // comparison chain, no tuple machinery, contiguous storage.
+  struct HeapItem {
+    uint64_t level;
+    uint64_t tag;
+    VertexId vertex;
+    // Min-heap on K-order position. Tags are unique within a level, so
+    // the vertex id never decides.
+    friend bool operator>(const HeapItem& a, const HeapItem& b) {
+      if (a.level != b.level) return a.level > b.level;
+      return a.tag > b.tag;
+    }
+  };
+  std::vector<HeapItem> heap_;
 };
 
 }  // namespace avt

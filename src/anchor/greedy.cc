@@ -11,29 +11,31 @@
 namespace avt {
 namespace {
 
-// Shared per-solve state: graph, order, candidate pool.
+// Shared per-solve state: CSR snapshot, order, candidate pool. The pool
+// is id-ascending (CollectAnchorCandidates guarantees it), which every
+// pick strategy relies on for the common tie-break.
 struct SolveContext {
   const Graph& graph;
+  const CsrView& csr;
   const KOrder& order;
   uint32_t k;
   std::vector<VertexId> pool;
 };
 
-// One greedy pick evaluated serially. Returns kNoVertex when the pool is
-// exhausted. `taken` flags committed anchors.
-VertexId SerialPick(SolveContext& ctx, FollowerOracle& oracle,
-                    const std::vector<VertexId>& chosen,
-                    const std::vector<uint8_t>& taken,
-                    uint64_t* candidates_visited) {
+// One greedy pick evaluated eagerly: a full oracle query per candidate.
+// Returns kNoVertex when the pool is exhausted. `taken` flags committed
+// anchors. Tie-break: more followers first, then smaller id (the pool is
+// id-ascending and the comparison is strict).
+VertexId ScanPick(SolveContext& ctx, FollowerOracle& oracle,
+                  const std::vector<VertexId>& chosen,
+                  const std::vector<uint8_t>& taken,
+                  uint64_t* candidates_visited) {
   VertexId best_vertex = kNoVertex;
   uint32_t best_followers = 0;
-  std::vector<VertexId> trial;
   for (VertexId x : ctx.pool) {
     if (taken[x]) continue;
-    trial = chosen;
-    trial.push_back(x);
     ++*candidates_visited;
-    uint32_t followers = oracle.CountFollowers(trial, ctx.k);
+    uint32_t followers = oracle.CountFollowers(chosen, x, ctx.k);
     if (best_vertex == kNoVertex || followers > best_followers) {
       best_followers = followers;
       best_vertex = x;
@@ -44,7 +46,7 @@ VertexId SerialPick(SolveContext& ctx, FollowerOracle& oracle,
 
 // One greedy pick evaluated by `threads` workers. Deterministic: the
 // reduction prefers more followers, then the smaller vertex id, which is
-// also what the serial loop produces (pool is id-ascending).
+// also what the scan loop produces.
 VertexId ParallelPick(SolveContext& ctx, uint32_t threads,
                       const std::vector<VertexId>& chosen,
                       const std::vector<uint8_t>& taken,
@@ -58,18 +60,15 @@ VertexId ParallelPick(SolveContext& ctx, uint32_t threads,
   std::atomic<size_t> cursor{0};
 
   auto worker = [&](uint32_t id) {
-    FollowerOracle oracle(&ctx.graph, &ctx.order);
-    std::vector<VertexId> trial;
+    FollowerOracle oracle(&ctx.graph, &ctx.order, &ctx.csr);
     Local& local = locals[id];
     while (true) {
       size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= ctx.pool.size()) break;
       VertexId x = ctx.pool[i];
       if (taken[x]) continue;
-      trial = chosen;
-      trial.push_back(x);
       ++local.evaluated;
-      uint32_t followers = oracle.CountFollowers(trial, ctx.k);
+      uint32_t followers = oracle.CountFollowers(chosen, x, ctx.k);
       if (local.vertex == kNoVertex || followers > local.followers ||
           (followers == local.followers && x < local.vertex)) {
         local.followers = followers;
@@ -94,49 +93,67 @@ VertexId ParallelPick(SolveContext& ctx, uint32_t threads,
   return best.vertex;
 }
 
-// CELF-style lazy greedy: cached gains are optimistic bounds; only the
-// head of the priority queue is refreshed each step. Approximate (the
-// objective is not submodular) but typically near-identical and much
-// cheaper on large pools.
+// Lazy pick loop with certified bounds (see greedy.h for the strategy
+// rationale). Per pick:
+//
+//   1. Refresh a cheap certified bound per live candidate: the oracle
+//      retains S's phase-1 cascade once per pick (BuildBase) and each
+//      candidate's bound is the marginal continuation of that fixpoint
+//      (MarginalUpperBound == phase-1 count of S ∪ {x} >= F(S ∪ {x})),
+//      costing only x's marginal region instead of a full re-walk.
+//      (Bounds are NOT carried across picks: the objective is not
+//      submodular, so a bound for S is not a bound for S ∪ {y}.)
+//   2. Pop a max-heap keyed (value desc, id asc). A popped bound entry
+//      is resolved with one full oracle query and re-pushed as exact;
+//      the pick is accepted when the heap's top entry is exact.
+//
+// Why the accepted vertex equals the eager argmax, tie-break included:
+// let the accepted exact entry be (g, i). Every other live candidate x
+// still in the heap sits below it, so its entry (b_x, i_x) satisfies
+// b_x < g, or b_x == g and i_x > i. Since b_x >= F(S ∪ {x}), every such
+// x either has strictly fewer followers than g, or ties with a larger
+// id — exactly the candidates the eager scan would reject. Re-pushed
+// exact entries compare by their true counts, so the argument covers
+// them directly.
 std::vector<VertexId> LazyGreedy(SolveContext& ctx, FollowerOracle& oracle,
-                                 uint32_t l,
-                                 uint64_t* candidates_visited) {
+                                 uint32_t l, SolverResult* result) {
   struct Entry {
-    uint32_t gain;
+    uint32_t value;  // exact ? F(S ∪ {v}) : certified upper bound
     VertexId vertex;
-    uint32_t evaluated_at;  // pick index of the cached gain
+    bool exact;
     bool operator<(const Entry& other) const {
-      // max-heap by gain, tie-break small id first.
-      if (gain != other.gain) return gain < other.gain;
+      // max-heap by value, tie-break small id first. A vertex appears at
+      // most once per pick, so (value, vertex) never ties.
+      if (value != other.value) return value < other.value;
       return vertex > other.vertex;
     }
   };
-  std::priority_queue<Entry> heap;
-  std::vector<VertexId> trial;
-  for (VertexId x : ctx.pool) {
-    trial.assign(1, x);
-    ++*candidates_visited;
-    heap.push({oracle.CountFollowers(trial, ctx.k), x, 0});
-  }
 
+  std::vector<uint8_t> taken(ctx.graph.NumVertices(), 0);
   std::vector<VertexId> chosen;
-  uint32_t current_followers = 0;
-  while (chosen.size() < l && !heap.empty()) {
-    Entry top = heap.top();
-    heap.pop();
-    uint32_t pick = static_cast<uint32_t>(chosen.size()) + 1;
-    if (top.evaluated_at == pick) {
-      chosen.push_back(top.vertex);
-      current_followers += top.gain;
-      continue;
+  std::priority_queue<Entry> heap;
+  while (chosen.size() < l) {
+    // Per-pick bound refresh over the live pool, as marginal probes of
+    // the retained S-cascade.
+    oracle.BuildBase(chosen, ctx.k);
+    heap = std::priority_queue<Entry>();
+    for (VertexId x : ctx.pool) {
+      if (taken[x]) continue;
+      ++result->bound_probes;
+      heap.push({oracle.MarginalUpperBound(x), x, false});
     }
-    trial = chosen;
-    trial.push_back(top.vertex);
-    ++*candidates_visited;
-    uint32_t total = oracle.CountFollowers(trial, ctx.k);
-    uint32_t gain = total > current_followers ? total - current_followers
-                                              : 0;
-    heap.push({gain, top.vertex, pick});
+    if (heap.empty()) break;  // candidate pool exhausted
+
+    while (!heap.top().exact) {
+      Entry top = heap.top();
+      heap.pop();
+      ++result->candidates_visited;
+      heap.push({oracle.CountFollowers(chosen, top.vertex, ctx.k),
+                 top.vertex, true});
+    }
+    VertexId best = heap.top().vertex;
+    chosen.push_back(best);
+    taken[best] = 1;
   }
   return chosen;
 }
@@ -148,18 +165,21 @@ SolverResult GreedySolver::Solve(const Graph& graph, uint32_t k,
   SolverResult result;
   if (k == 0 || l == 0) return result;
 
+  // One contiguous adjacency snapshot serves the whole solve: the
+  // K-order build and every oracle cascade scan it.
+  CsrView csr = graph.BuildCsr();
   KOrder order;
-  order.Build(graph);
-  FollowerOracle oracle(&graph, &order);
+  order.Build(csr);
+  FollowerOracle oracle(&graph, &order, &csr);
 
-  SolveContext ctx{graph, order, k,
+  SolveContext ctx{graph, csr, order, k,
                    options_.prune_candidates
                        ? CollectAnchorCandidates(graph, order, k)
                        : CollectUnprunedCandidates(graph, order, k)};
 
   std::vector<VertexId> chosen;
-  if (options_.lazy) {
-    chosen = LazyGreedy(ctx, oracle, l, &result.candidates_visited);
+  if (options_.num_threads <= 1 && options_.lazy) {
+    chosen = LazyGreedy(ctx, oracle, l, &result);
   } else {
     // Algorithm 2: l picks, each taking the candidate with the most
     // followers given the anchors already chosen. Zero-marginal picks
@@ -171,8 +191,8 @@ SolverResult GreedySolver::Solve(const Graph& graph, uint32_t k,
           options_.num_threads > 1
               ? ParallelPick(ctx, options_.num_threads, chosen, taken,
                              &result.candidates_visited)
-              : SerialPick(ctx, oracle, chosen, taken,
-                           &result.candidates_visited);
+              : ScanPick(ctx, oracle, chosen, taken,
+                         &result.candidates_visited);
       if (best == kNoVertex) break;  // candidate pool exhausted
       chosen.push_back(best);
       taken[best] = 1;

@@ -1,25 +1,39 @@
-// The paper's optimized Greedy algorithm (Section 4), plus two optional
-// execution strategies used by the ablation benches.
+// The paper's optimized Greedy algorithm (Section 4), plus the execution
+// strategies used by the ablation benches.
 //
-// Per pick, evaluates the marginal follower gain F(S ∪ {x}) for every
-// Theorem-3 candidate x via the non-destructive FollowerOracle and keeps
-// the best. Both accelerations of Section 4 are active by default:
+// Per pick, the algorithm needs argmax over candidates x of the follower
+// count F(S ∪ {x}) given the anchors S already chosen. Both accelerations
+// of Section 4 are active in every mode:
 //   4.1 candidate reduction — only vertices preceding a (k-1)-shell
 //       neighbor in K-order are probed;
 //   4.2 fast follower computation — order-based cascade instead of a
 //       fresh core decomposition per candidate.
 //
-// Execution strategies:
-//   * num_threads > 1 — candidates of each pick are evaluated in
+// Execution strategies for the pick loop:
+//   * lazy (DEFAULT) — CELF-style lazy evaluation with *certified* upper
+//     bounds. The anchored-k-core objective is not submodular (the paper
+//     proves inapproximability), so the classic CELF trick of reusing
+//     stale gains as bounds is unsound here: a candidate's gain can grow
+//     as S grows, and a stale bound would silently change the argmax.
+//     Instead, each pick refreshes a cheap certified bound per candidate
+//     (FollowerOracle::UpperBound — the phase-1 cascade without the
+//     elimination fixpoint), then pops a max-heap keyed (bound desc,
+//     id asc), fully evaluating only the top until an exact entry
+//     dominates every remaining bound. Because bound >= exact always
+//     holds for the same trial set, the accepted pick is provably the
+//     exhaustive argmax under the same tie-break (followers desc, id
+//     asc) — anchors are bit-identical to the serial scan while full
+//     oracle queries collapse to a handful per pick.
+//   * lazy = false ("scan") — the textbook loop: one full oracle query
+//     per candidate per pick. Kept as the reference for tests and the
+//     perf gate.
+//   * num_threads > 1 — candidates of each pick are evaluated eagerly in
 //     parallel by worker threads sharing the read-only K-order (each with
-//     its own oracle scratch). Result is bit-identical to serial: ties
-//     break toward the smallest vertex id.
-//   * lazy = true — CELF-style lazy re-evaluation: cached gains from
-//     earlier picks are used as optimistic bounds and only the queue head
-//     is re-evaluated. The anchored-k-core objective is NOT submodular
-//     (the paper proves inapproximability), so lazy mode is a heuristic
-//     accelerator; the ablation bench quantifies its quality/time
-//     trade-off.
+//     its own oracle scratch); takes precedence over `lazy`. Result is
+//     bit-identical to the scan: ties break toward the smallest id.
+//
+// Every mode snapshots the graph into a CsrView once per solve and routes
+// the K-order build plus all cascade scans through contiguous spans.
 
 #ifndef AVT_ANCHOR_GREEDY_H_
 #define AVT_ANCHOR_GREEDY_H_
@@ -32,7 +46,9 @@ namespace avt {
 struct GreedyOptions {
   bool prune_candidates = true;
   uint32_t num_threads = 1;
-  bool lazy = false;
+  /// Lazy pick loop with certified bounds (see file comment). Identical
+  /// output to the eager scan, much cheaper. Ignored when num_threads>1.
+  bool lazy = true;
 };
 
 /// Optimized greedy anchored-k-core solver.
@@ -47,9 +63,10 @@ class GreedySolver : public AnchorSolver {
   SolverResult Solve(const Graph& graph, uint32_t k, uint32_t l) override;
 
   std::string name() const override {
-    if (options_.lazy) return "Greedy-lazy";
+    if (!options_.prune_candidates) return "Greedy-nopruning";
     if (options_.num_threads > 1) return "Greedy-parallel";
-    return options_.prune_candidates ? "Greedy" : "Greedy-nopruning";
+    if (!options_.lazy) return "Greedy-scan";
+    return "Greedy";
   }
 
  private:

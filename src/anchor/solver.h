@@ -30,10 +30,15 @@ namespace avt {
 struct SolverResult {
   std::vector<VertexId> anchors;
   std::vector<VertexId> followers;
-  /// Candidate anchors examined (the paper's "visited vertices" metric).
+  /// Candidate anchors examined with a full follower query (the paper's
+  /// "visited vertices" metric). The lazy greedy collapses this to a
+  /// handful per pick; cheap bound probes are counted separately below.
   uint64_t candidates_visited = 0;
   /// Vertices touched by follower computations (finer-grained work).
   uint64_t cascade_visited = 0;
+  /// Phase-1-only UpperBound probes issued by the lazy pick loop (zero
+  /// for eager strategies). One probe costs well under half a full query.
+  uint64_t bound_probes = 0;
 
   uint32_t num_followers() const {
     return static_cast<uint32_t>(followers.size());

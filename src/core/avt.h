@@ -51,7 +51,10 @@ struct AvtSnapshotResult {
   uint32_t kcore_size = 0;          // |C_k| without anchors
   uint32_t anchored_core_size = 0;  // |C_k(S)| = kcore + anchors + followers
   double millis = 0;
+  /// Candidates settled with a full follower query (the paper's metric).
   uint64_t candidates_visited = 0;
+  /// Cheap phase-1 bound probes issued by lazy pick/swap loops.
+  uint64_t bound_probes = 0;
 };
 
 /// Whole-run output plus aggregates.

@@ -1,6 +1,7 @@
 #include "core/inc_avt.h"
 
 #include <algorithm>
+#include <queue>
 
 #include "anchor/anchored_core.h"
 #include "anchor/candidates.h"
@@ -8,6 +9,25 @@
 #include "util/timer.h"
 
 namespace avt {
+namespace {
+
+/// Heap entry of the lazy local search: max-heap by value, smaller id
+/// first on ties — the same tie-break the eager pool scan produces.
+struct LazyEntry {
+  uint32_t value;  // exact ? F(trial) : certified upper bound
+  VertexId vertex;
+  bool exact;
+  bool operator<(const LazyEntry& other) const {
+    if (value != other.value) return value < other.value;
+    return vertex > other.vertex;
+  }
+};
+
+/// Dead-key references in the touch index are erased lazily; past this
+/// many recorded (vertex, key) pairs the whole cache restarts cold.
+constexpr size_t kTouchCompactionLimit = 4'000'000;
+
+}  // namespace
 
 uint32_t IncAvtTracker::KCoreSize() const {
   uint32_t size = 0;
@@ -18,23 +38,48 @@ uint32_t IncAvtTracker::KCoreSize() const {
   return size;
 }
 
+void IncAvtTracker::RecordTouch(uint64_t key,
+                                std::span<const VertexId> region_a,
+                                std::span<const VertexId> region_b) {
+  for (VertexId r : region_a) touch_index_[r].push_back(key);
+  for (VertexId r : region_b) touch_index_[r].push_back(key);
+  touch_total_ += region_a.size() + region_b.size();
+}
+
+void IncAvtTracker::InvalidateTouched(VertexId v) {
+  std::vector<uint64_t>& keys = touch_index_[v];
+  if (keys.empty()) return;
+  for (uint64_t key : keys) memo_.erase(key);
+  keys.clear();
+}
+
 AvtSnapshotResult IncAvtTracker::ProcessFirst(const Graph& g0) {
   Timer timer;
   AvtSnapshotResult snap;
   snap.t = t_ = 0;
 
   // Algorithm 6 lines 1-2: build the K-order of G_1 and solve it with the
-  // Greedy algorithm.
+  // Greedy algorithm (lazy pick loop unless the tracker is eager — both
+  // produce identical anchors).
   maintainer_.Reset(g0);
   oracle_ = std::make_unique<FollowerOracle>(&maintainer_.graph(),
                                              &maintainer_.order());
-  GreedySolver greedy;
+  GreedyOptions greedy_options;
+  greedy_options.lazy = options_.lazy;
+  GreedySolver greedy(greedy_options);
   SolverResult first = greedy.Solve(g0, k_, l_);
   anchors_ = first.anchors;
+
+  // Reset the cross-snapshot memo.
+  memo_.clear();
+  touch_index_.assign(g0.NumVertices(), {});
+  touch_total_ = 0;
+  slot_bound_keys_.assign(2 * static_cast<size_t>(l_) + 2, {});
 
   snap.anchors = anchors_;
   snap.num_followers = first.num_followers();
   snap.candidates_visited = first.candidates_visited;
+  snap.bound_probes = first.bound_probes;
   snap.kcore_size = KCoreSize();
   uint32_t anchors_outside = 0;
   for (VertexId a : anchors_) {
@@ -44,6 +89,229 @@ AvtSnapshotResult IncAvtTracker::ProcessFirst(const Graph& g0) {
       snap.kcore_size + anchors_outside + snap.num_followers;
   snap.millis = timer.ElapsedMillis();
   return snap;
+}
+
+void IncAvtTracker::EagerLocalSearch(const std::vector<VertexId>& pool,
+                                     std::vector<uint8_t>& is_anchor,
+                                     uint32_t& current,
+                                     AvtSnapshotResult& snap) {
+  // Algorithm 6 lines 9-16 verbatim: per anchor slot, evaluate every
+  // pool vertex with a full follower query and commit strict
+  // improvements.
+  std::vector<VertexId> base;
+  for (size_t i = 0; i < anchors_.size() && !pool.empty(); ++i) {
+    base = anchors_;
+    base.erase(base.begin() + static_cast<ptrdiff_t>(i));
+    VertexId best_replacement = kNoVertex;
+    uint32_t best_followers = current;
+    for (VertexId v : pool) {
+      if (is_anchor[v]) continue;
+      ++snap.candidates_visited;
+      uint32_t followers = oracle_->CountFollowers(base, v, k_);
+      if (followers > best_followers) {
+        best_followers = followers;
+        best_replacement = v;
+      }
+    }
+    if (best_replacement != kNoVertex) {
+      is_anchor[anchors_[i]] = 0;
+      is_anchor[best_replacement] = 1;
+      anchors_[i] = best_replacement;
+      current = best_followers;
+    }
+  }
+
+  // If the budget was never filled (tiny first snapshot), try to extend.
+  while (anchors_.size() < l_ && !pool.empty()) {
+    VertexId best_vertex = kNoVertex;
+    uint32_t best_followers = current;
+    for (VertexId v : pool) {
+      if (is_anchor[v]) continue;
+      ++snap.candidates_visited;
+      uint32_t followers = oracle_->CountFollowers(anchors_, v, k_);
+      if (best_vertex == kNoVertex || followers > best_followers) {
+        best_followers = followers;
+        best_vertex = v;
+      }
+    }
+    if (best_vertex == kNoVertex) break;
+    anchors_.push_back(best_vertex);
+    is_anchor[best_vertex] = 1;
+    current = best_followers;
+  }
+}
+
+void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
+                                    std::vector<uint8_t>& is_anchor,
+                                    uint32_t& current,
+                                    AvtSnapshotResult& snap) {
+  // Same search as EagerLocalSearch, same committed anchors (see the
+  // equivalence argument in greedy.cc's LazyGreedy — identical heap
+  // discipline), but each full query is gated by a certified bound and
+  // both bounds and exact values are memoized across snapshots with
+  // region-based invalidation.
+  std::vector<VertexId> base;
+  std::priority_queue<LazyEntry> heap;
+  bool base_ready = false;  // physical base state == this slot's base?
+
+  // Per-(slot, candidate) values can only be reused across snapshots
+  // when the candidate can reappear in the pool with a clean region. In
+  // kRestricted the pool is a subset of impacted ∪ N(impacted) — exactly
+  // the set ProcessDelta just invalidated (every slot key's region
+  // contains its candidate) — so recording them would be pure overhead;
+  // the mode's cross-snapshot reuse comes from the incumbent memo and
+  // bound gating instead. Wider pools (kMaintainedFull) do get hits.
+  const bool memoize_slots = mode_ != IncAvtMode::kRestricted;
+
+  // (Re)establishes the oracle's resident cascade for the slot's trial
+  // base. Each slot's base is memoized across snapshots under
+  // kBaseKeyBase | slot with its own dependency region; when churn kills
+  // it, every per-slot bound probed against it dies too
+  // (slot_bound_keys_). The oracle holds one physical base at a time, so
+  // switching slots rebuilds it — a rebuild over a clean region is
+  // deterministic, so memoized bounds stay exact.
+  // `record = false` skips all memo/touch bookkeeping — used by the
+  // extend phase, whose every iteration ends in a commit that would
+  // discard the entries unread.
+  auto ensure_base = [&](uint64_t slot, std::span<const VertexId> trial_base,
+                         bool record) {
+    if (base_ready) return;
+    const uint64_t base_key = kBaseKeyBase | slot;
+    if (record && memo_.find(base_key) == memo_.end()) {
+      for (uint64_t key : slot_bound_keys_[slot]) memo_.erase(key);
+      slot_bound_keys_[slot].clear();
+      oracle_->BuildBase(trial_base, k_);
+      memo_.emplace(base_key, TrialMemo{0, true});
+      RecordTouch(base_key, oracle_->BaseRegionAnchors(),
+                  oracle_->BaseRegionVisited());
+    } else {
+      oracle_->BuildBase(trial_base, k_);
+    }
+    base_ready = true;
+  };
+
+  // Certified per-slot bound on F(trial_base ∪ {v}): the phase-1 count
+  // of the exact trial set, obtained as a marginal continuation of the
+  // slot's resident cascade (cost: v's marginal region only).
+  auto bound_of = [&](uint64_t slot, std::span<const VertexId> trial_base,
+                      VertexId v, bool record) -> uint32_t {
+    ensure_base(slot, trial_base, record);
+    ++snap.bound_probes;
+    uint32_t ub = oracle_->MarginalUpperBound(v);
+    if (record && memoize_slots) {
+      const uint64_t key = (slot << 32) | v;
+      memo_[key] = {ub, false};
+      RecordTouch(key, oracle_->LastMarginalVisited(), {});
+      slot_bound_keys_[slot].push_back(key);
+    }
+    return ub;
+  };
+
+  // Resolves the heap top to an exact value (one full query per
+  // non-exact pop), memoizing per (slot, candidate); returns the
+  // accepted exact top.
+  auto resolve_top = [&](uint64_t slot, std::span<const VertexId> trial_base,
+                         bool stop_at_current, bool record) -> LazyEntry {
+    while (!heap.empty()) {
+      LazyEntry top = heap.top();
+      if (stop_at_current && top.value <= current) {
+        return {0, kNoVertex, true};  // nothing can strictly improve
+      }
+      if (top.exact) return top;
+      heap.pop();
+      ++snap.candidates_visited;
+      uint32_t exact = oracle_->CountFollowers(trial_base, top.vertex, k_);
+      if (record && memoize_slots) {
+        const uint64_t key = (slot << 32) | top.vertex;
+        memo_[key] = {exact, true};
+        RecordTouch(key, oracle_->LastRegionAnchors(),
+                    oracle_->LastRegionVisited());
+      }
+      heap.push({exact, top.vertex, true});
+    }
+    return {0, kNoVertex, true};
+  };
+
+  // Commits a new anchor set: every memo entry was evaluated against a
+  // base containing the replaced set, so the whole cache (resident
+  // cascades included) dies. The winning trial's exact value is the new
+  // F(S); the next snapshot re-establishes its dependency region with
+  // one full query.
+  auto commit = [&](const LazyEntry& winner) {
+    memo_.clear();
+    for (std::vector<uint64_t>& keys : slot_bound_keys_) keys.clear();
+    current = winner.value;
+  };
+
+  // A memoized bound is only as valid as the base cascade it was probed
+  // against: exact entries carry their full region, but bound entries'
+  // recorded region is their marginal cascade only, with the base's
+  // region tracked by the slot's base key. A dead base key therefore
+  // disqualifies surviving bound entries (ensure_base purges them on
+  // the next probe); without this gate a stale bound could under-
+  // estimate and silently settle a slot the eager loop would improve.
+  auto memo_hit = [&](uint64_t slot, VertexId v, LazyEntry* out) {
+    if (!memoize_slots) return false;
+    auto it = memo_.find((slot << 32) | v);
+    if (it == memo_.end()) return false;
+    if (!it->second.exact &&
+        memo_.find(kBaseKeyBase | slot) == memo_.end()) {
+      return false;
+    }
+    *out = {it->second.value, static_cast<VertexId>(v), it->second.exact};
+    return true;
+  };
+
+  // Swap phase.
+  for (size_t i = 0; i < anchors_.size() && !pool.empty(); ++i) {
+    base = anchors_;
+    base.erase(base.begin() + static_cast<ptrdiff_t>(i));
+    heap = std::priority_queue<LazyEntry>();
+    base_ready = false;
+    for (VertexId v : pool) {
+      if (is_anchor[v]) continue;
+      LazyEntry cached;
+      if (memo_hit(i, v, &cached)) {
+        heap.push(cached);
+      } else {
+        heap.push({bound_of(i, base, v, /*record=*/true), v, false});
+      }
+    }
+    LazyEntry winner =
+        resolve_top(i, base, /*stop_at_current=*/true, /*record=*/true);
+    if (winner.vertex == kNoVertex) continue;  // slot settled, no commit
+    is_anchor[anchors_[i]] = 0;
+    is_anchor[winner.vertex] = 1;
+    anchors_[i] = winner.vertex;
+    commit(winner);
+  }
+
+  // Extend phase: the eager loop always commits the argmax (anchoring
+  // never hurts the objective by more than it adds), so no incumbent
+  // gate here. The trial base is S itself.
+  while (anchors_.size() < l_ && !pool.empty()) {
+    const uint64_t slot = l_ + anchors_.size();
+    heap = std::priority_queue<LazyEntry>();
+    base_ready = false;
+    bool any = false;
+    for (VertexId v : pool) {
+      if (is_anchor[v]) continue;
+      LazyEntry cached;
+      if (memo_hit(slot, v, &cached)) {
+        heap.push(cached);
+      } else {
+        heap.push({bound_of(slot, anchors_, v, /*record=*/false), v, false});
+      }
+      any = true;
+    }
+    if (!any) break;
+    LazyEntry winner = resolve_top(slot, anchors_, /*stop_at_current=*/false,
+                                   /*record=*/false);
+    if (winner.vertex == kNoVertex) break;
+    anchors_.push_back(winner.vertex);
+    is_anchor[winner.vertex] = 1;
+    commit(winner);
+  }
 }
 
 AvtSnapshotResult IncAvtTracker::ProcessDelta(const Graph& graph,
@@ -61,10 +329,32 @@ AvtSnapshotResult IncAvtTracker::ProcessDelta(const Graph& graph,
   const Graph& g = maintainer_.graph();
   const KOrder& order = maintainer_.order();
 
+  // Warm-start invalidation: kill exactly the memo entries whose
+  // dependency region the churn touched. A cached evaluation stays
+  // exact iff its region avoids every impacted vertex and its one-hop
+  // neighborhood — the query reads edges incident to the region and
+  // positions of the region + its neighbors, and the maintainer marks
+  // every cascade-touched vertex and both endpoints of every changed
+  // edge, so impacted ∪ N(impacted) covers all state changes. The
+  // periodic full reset bounds dead key references in the index.
+  if (options_.lazy) {
+    if (touch_total_ > kTouchCompactionLimit) {
+      memo_.clear();
+      for (std::vector<uint64_t>& keys : touch_index_) keys.clear();
+      for (std::vector<uint64_t>& keys : slot_bound_keys_) keys.clear();
+      touch_total_ = 0;
+    }
+    for (VertexId v : impacted) {
+      InvalidateTouched(v);
+      for (VertexId w : g.Neighbors(v)) InvalidateTouched(w);
+    }
+  }
+
   // Step 3: replacement pool. The published algorithm (kRestricted)
   // takes impacted vertices and their neighbors, outside C_k, passing
   // Theorem 3 (Algorithm 6 line 12); the ablation modes widen or empty
-  // the pool to isolate the restriction's contribution.
+  // the pool to isolate the restriction's contribution. Sorted by id so
+  // the scan order (and thus tie-breaks) is deterministic.
   std::vector<uint8_t> in_pool(g.NumVertices(), 0);
   std::vector<uint8_t> is_anchor(g.NumVertices(), 0);
   for (VertexId a : anchors_) is_anchor[a] = 1;
@@ -89,56 +379,35 @@ AvtSnapshotResult IncAvtTracker::ProcessDelta(const Graph& graph,
     case IncAvtMode::kCarryForward:
       break;  // no replacements; keep S_{t-1}
   }
+  std::sort(pool.begin(), pool.end());
 
-  // Step 2 + 4: seed with S_{t-1}, then local-search swaps against the
-  // pool (Algorithm 6 lines 9-16).
-  uint32_t current = oracle_->CountFollowers(anchors_, k_);
-  std::vector<VertexId> trial;
-  for (size_t i = 0; i < anchors_.size() && !pool.empty(); ++i) {
-    VertexId best_replacement = kNoVertex;
-    uint32_t best_followers = current;
-    for (VertexId v : pool) {
-      if (is_anchor[v]) continue;
-      trial = anchors_;
-      trial[i] = v;
-      ++snap.candidates_visited;
-      uint32_t followers = oracle_->CountFollowers(trial, k_);
-      if (followers > best_followers) {
-        best_followers = followers;
-        best_replacement = v;
-      }
-    }
-    if (best_replacement != kNoVertex) {
-      is_anchor[anchors_[i]] = 0;
-      is_anchor[best_replacement] = 1;
-      anchors_[i] = best_replacement;
-      current = best_followers;
+  // Step 2: seed with S_{t-1}; re-establish the incumbent follower count
+  // F(S) on the new snapshot. In lazy mode the previous snapshot's value
+  // is reused when churn did not touch its dependency region.
+  uint32_t current;
+  auto incumbent = options_.lazy ? memo_.find(kIncumbentKey) : memo_.end();
+  if (incumbent != memo_.end()) {
+    current = incumbent->second.value;
+  } else {
+    current = oracle_->CountFollowers(anchors_, k_);
+    if (options_.lazy) {
+      memo_.emplace(kIncumbentKey, TrialMemo{current, true});
+      RecordTouch(kIncumbentKey, oracle_->LastRegionAnchors(),
+                  oracle_->LastRegionVisited());
     }
   }
 
-  // If the budget was never filled (tiny first snapshot), try to extend.
-  while (anchors_.size() < l_ && !pool.empty()) {
-    VertexId best_vertex = kNoVertex;
-    uint32_t best_followers = current;
-    for (VertexId v : pool) {
-      if (is_anchor[v]) continue;
-      trial = anchors_;
-      trial.push_back(v);
-      ++snap.candidates_visited;
-      uint32_t followers = oracle_->CountFollowers(trial, k_);
-      if (best_vertex == kNoVertex || followers > best_followers) {
-        best_followers = followers;
-        best_vertex = v;
-      }
-    }
-    if (best_vertex == kNoVertex) break;
-    anchors_.push_back(best_vertex);
-    is_anchor[best_vertex] = 1;
-    current = best_followers;
+  // Step 4: local search (lines 9-16).
+  if (options_.lazy) {
+    LazyLocalSearch(pool, is_anchor, current, snap);
+  } else {
+    EagerLocalSearch(pool, is_anchor, current, snap);
   }
 
   snap.anchors = anchors_;
-  snap.num_followers = oracle_->CountFollowers(anchors_, k_);
+  // `current` is the exact follower count of the committed set in both
+  // paths (incumbent or winning trial evaluation).
+  snap.num_followers = current;
   snap.kcore_size = KCoreSize();
   uint32_t anchors_outside = 0;
   for (VertexId a : anchors_) {

@@ -3,7 +3,9 @@
 // State carried between snapshots:
 //   * CoreMaintainer — graph + K-order kept consistent by the bounded
 //     maintenance of Algorithms 4/5 (no per-snapshot rebuild);
-//   * the previous anchor set S_{t-1}.
+//   * the previous anchor set S_{t-1};
+//   * (lazy mode) a memo of trial evaluations with their dependency
+//     regions, reused across snapshots until churn touches them.
 //
 // Per transition:
 //   1. Apply E+ / E- through the maintainer, collecting the impacted
@@ -11,11 +13,38 @@
 //   2. Seed S_t := S_{t-1}.
 //   3. Build the replacement pool: impacted vertices and their neighbors,
 //      outside C_k(G_t), passing the Theorem-3 filter (Algorithm 6 line
-//      12).
+//      12). The pool is sorted by id so tie-breaks are deterministic and
+//      independent of cascade traversal order.
 //   4. Local search: for each u in S_t, try every pool vertex v as a
 //      replacement; commit the swap whenever it strictly increases the
 //      follower count (lines 9-16). Follower counts come from the
 //      non-destructive FollowerOracle on the maintained K-order.
+//
+// Lazy mode (default) accelerates step 4 without changing its output:
+//
+//   * Each trial's full follower query is gated by the oracle's
+//     certified UpperBound (phase-1-only cascade). A slot's max-heap of
+//     bounds is popped lazily; if the top bound cannot strictly beat the
+//     incumbent follower count, the whole slot is settled with zero full
+//     queries — the common steady-state outcome.
+//   * Every evaluation (bound or full) records its dependency region:
+//     the trial anchors plus all vertices popped by the forward pass. A
+//     query's result is a pure function of the edges incident to that
+//     region and the K-order positions of the region and its neighbors,
+//     so a cached value stays exact while no region vertex is impacted.
+//     ProcessDelta therefore warm-starts from the previous snapshot's
+//     cached values, re-evaluating only entries whose region intersects
+//     the maintainer's impacted set (plus its one-hop neighborhood) —
+//     the "stable vertex values" reuse the paper's incremental thesis
+//     motivates. Which entries can actually survive depends on the
+//     pool: in kRestricted the pool is itself a subset of the
+//     invalidated set, so the reuse that materializes there is the
+//     incumbent F(S) and the bound gating; per-(slot, candidate) values
+//     are memoized only for the wider ablation pools (kMaintainedFull)
+//     where unimpacted candidates recur.
+//
+//   Both accelerations preserve bit-identical anchors versus the eager
+//   loop (enforced by tests/lazy_greedy_test.cc).
 //
 // The pool is usually tiny relative to the full Theorem-3 candidate set —
 // that is the entire advantage the paper measures in Figures 4/6/8.
@@ -23,6 +52,7 @@
 #ifndef AVT_CORE_INC_AVT_H_
 #define AVT_CORE_INC_AVT_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "anchor/follower_oracle.h"
@@ -45,12 +75,20 @@ enum class IncAvtMode {
   kCarryForward,
 };
 
+/// Execution knobs for IncAvtTracker.
+struct IncAvtOptions {
+  /// Lazy local search: certified-bound gating + cross-snapshot region
+  /// memo (see file comment). Bit-identical anchors to the eager loop.
+  bool lazy = true;
+};
+
 /// Incremental tracker (the paper's primary contribution).
 class IncAvtTracker : public AvtTracker {
  public:
   IncAvtTracker(uint32_t k, uint32_t l,
-                IncAvtMode mode = IncAvtMode::kRestricted)
-      : k_(k), l_(l), mode_(mode) {}
+                IncAvtMode mode = IncAvtMode::kRestricted,
+                IncAvtOptions options = IncAvtOptions{})
+      : k_(k), l_(l), mode_(mode), options_(options) {}
 
   AvtSnapshotResult ProcessFirst(const Graph& g0) override;
   AvtSnapshotResult ProcessDelta(const Graph& graph,
@@ -68,17 +106,73 @@ class IncAvtTracker : public AvtTracker {
   const std::vector<VertexId>& current_anchors() const { return anchors_; }
 
  private:
+  /// One memoized trial evaluation: exact follower count (full query) or
+  /// a certified upper bound (phase 1 only). Entries in memo_ are always
+  /// valid for the *current* anchor base: commits clear the map, and
+  /// churn kills exactly the entries whose dependency region it touched
+  /// (via touch_index_), so presence in the map is the validity bit.
+  struct TrialMemo {
+    uint32_t value;
+    bool exact;
+  };
+
   /// |C_k| of the maintained graph (anchors excluded by construction:
   /// anchors are tracked outside the k-core).
   uint32_t KCoreSize() const;
 
+  /// Registers `key` as dependent on every vertex of the given region
+  /// spans (a query's anchors + forward-pass pops).
+  void RecordTouch(uint64_t key, std::span<const VertexId> region_a,
+                   std::span<const VertexId> region_b);
+
+  /// Kills every memo entry whose region contains v.
+  void InvalidateTouched(VertexId v);
+
+  /// Local search over `pool` (already sorted), replicating the eager
+  /// swap + extend loops with bound gating and the memo. Updates
+  /// anchors_/is_anchor/current; returns work counters via snap.
+  void LazyLocalSearch(const std::vector<VertexId>& pool,
+                       std::vector<uint8_t>& is_anchor, uint32_t& current,
+                       AvtSnapshotResult& snap);
+  void EagerLocalSearch(const std::vector<VertexId>& pool,
+                        std::vector<uint8_t>& is_anchor, uint32_t& current,
+                        AvtSnapshotResult& snap);
+
   uint32_t k_;
   uint32_t l_;
   IncAvtMode mode_;
+  IncAvtOptions options_;
   size_t t_ = 0;
   CoreMaintainer maintainer_;
   std::unique_ptr<FollowerOracle> oracle_;
   std::vector<VertexId> anchors_;
+
+  // --- lazy-mode state ---------------------------------------------
+  /// Memo key space:
+  ///   (slot << 32) | v      — F(trial) per swap/extend slot, exact
+  ///                           (full query) or certified bound (marginal
+  ///                           probe of the slot's base cascade);
+  ///   kBaseKeyBase | slot   — the slot's base cascade (S − u_slot, or S
+  ///                           for extend slots);
+  ///   kIncumbentKey         — F(S) itself.
+  /// Cleared whenever anchors_ changes (a new base invalidates every
+  /// trial); churn kills individual entries via touch_index_, and a dead
+  /// base drags its dependent bounds along (slot_bound_keys_).
+  std::unordered_map<uint64_t, TrialMemo> memo_;
+  /// Inverted dependency index: touch_index_[v] lists the memo keys
+  /// whose evaluation read v's state. ProcessDelta erases exactly those
+  /// keys for each impacted vertex and its one-hop neighborhood; keys of
+  /// already-dead entries are erased as no-ops. touch_total_ triggers a
+  /// periodic full reset so dead references cannot accumulate without
+  /// bound.
+  std::vector<std::vector<uint64_t>> touch_index_;
+  size_t touch_total_ = 0;
+  /// slot_bound_keys_[slot] — memo keys of bounds probed against the
+  /// slot's current base cascade; erased together with the base.
+  std::vector<std::vector<uint64_t>> slot_bound_keys_;
+
+  static constexpr uint64_t kIncumbentKey = ~uint64_t{0};
+  static constexpr uint64_t kBaseKeyBase = uint64_t{1} << 62;
 };
 
 }  // namespace avt

@@ -6,7 +6,17 @@ void KOrder::Build(const Graph& graph) {
   BuildFrom(graph, DecomposeCores(graph));
 }
 
+void KOrder::Build(const CsrView& csr) {
+  BuildFromImpl(csr, DecomposeCores(csr));
+}
+
 void KOrder::BuildFrom(const Graph& graph, const CoreDecomposition& cores) {
+  BuildFromImpl(graph, cores);
+}
+
+template <typename Adjacency>
+void KOrder::BuildFromImpl(const Adjacency& graph,
+                           const CoreDecomposition& cores) {
   const VertexId n = graph.NumVertices();
   AVT_CHECK(cores.core.size() == n);
   nodes_.assign(n, Node{});
@@ -20,9 +30,20 @@ void KOrder::BuildFrom(const Graph& graph, const CoreDecomposition& cores) {
     nodes_[v].level = cores.core[v];
     PushBack(cores.core[v], v);
   }
+  // The deg+ pass is the second O(m) scan of a build; over a CsrView it
+  // runs on contiguous targets.
   for (VertexId v = 0; v < n; ++v) {
-    nodes_[v].deg_plus = RecomputeDegPlus(graph, v);
+    nodes_[v].deg_plus = ComputeDegPlus(graph, v);
   }
+}
+
+template <typename Adjacency>
+uint32_t KOrder::ComputeDegPlus(const Adjacency& graph, VertexId v) const {
+  uint32_t count = 0;
+  for (VertexId w : graph.Neighbors(v)) {
+    if (Precedes(v, w)) ++count;
+  }
+  return count;
 }
 
 void KOrder::Detach(VertexId v) {
@@ -120,12 +141,8 @@ void KOrder::MoveToLevelBack(VertexId v, uint32_t level) {
 }
 
 uint32_t KOrder::RecomputeDegPlus(const Graph& graph, VertexId v) {
-  uint32_t count = 0;
-  for (VertexId w : graph.Neighbors(v)) {
-    if (Precedes(v, w)) ++count;
-  }
-  nodes_[v].deg_plus = count;
-  return count;
+  nodes_[v].deg_plus = ComputeDegPlus(graph, v);
+  return nodes_[v].deg_plus;
 }
 
 std::vector<VertexId> KOrder::LevelVertices(uint32_t level) const {

@@ -1,0 +1,68 @@
+// Read-only compressed-sparse-row snapshot of a Graph's adjacency.
+//
+// The dynamic Graph stores one heap vector per vertex, which is the right
+// shape for edge churn but scatters neighbor lists across the heap. The
+// scan-heavy phases — core decomposition, K-order construction, and the
+// follower oracle's cascades — walk millions of neighbor lists per solve
+// and are bandwidth-bound, so they read a CsrView instead: one contiguous
+// offsets array plus one contiguous targets array, built in O(n + m).
+//
+// A CsrView is a frozen snapshot: it does NOT observe later mutations of
+// the source graph. Callers that mutate (the maintainer) keep using the
+// dynamic adjacency; callers that solve one snapshot (GreedySolver, the
+// perf gate) build a view once per solve and route every scan through it.
+// The build copies each per-vertex neighbor list verbatim, so iteration
+// order is IDENTICAL to Graph::Neighbors — that order preservation is
+// load-bearing: the decomposition peel order, K-order tags, and the
+// pinned lazy/eager equivalence all assume it. Do not reorder targets_
+// (e.g., for locality) without revisiting every bit-identical pin.
+
+#ifndef AVT_GRAPH_CSR_H_
+#define AVT_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avt {
+
+class Graph;
+
+/// Vertex identifier: dense index in [0, NumVertices). (Same alias as in
+/// graph.h; redeclaring an identical alias is well-formed and keeps this
+/// header free of a circular include.)
+using VertexId = uint32_t;
+
+/// Immutable CSR adjacency snapshot (see Graph::BuildCsr()).
+class CsrView {
+ public:
+  CsrView() = default;
+
+  VertexId NumVertices() const {
+    return offsets_.empty() ? 0
+                            : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  uint64_t NumEdges() const { return targets_.size() / 2; }
+
+  uint32_t Degree(VertexId u) const {
+    AVT_DCHECK(u < NumVertices());
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  std::span<const VertexId> Neighbors(VertexId u) const {
+    AVT_DCHECK(u < NumVertices());
+    return {targets_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+ private:
+  friend class Graph;
+  std::vector<uint64_t> offsets_;   // size n + 1
+  std::vector<VertexId> targets_;  // size 2m, neighbors of v at
+                                   // [offsets_[v], offsets_[v+1])
+};
+
+}  // namespace avt
+
+#endif  // AVT_GRAPH_CSR_H_

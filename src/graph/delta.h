@@ -23,10 +23,16 @@ struct EdgeDelta {
   bool Empty() const { return insertions.empty() && deletions.empty(); }
   size_t Size() const { return insertions.size() + deletions.size(); }
 
-  /// Applies the delta to `graph` in place: deletions first, then
-  /// insertions (the order the paper's IncAVT uses is the opposite —
-  /// insertions then deletions — and Apply matches IncAVT when
-  /// insert_first is true). Edges already present/absent are skipped.
+  /// Applies the delta to `graph` in place. By default (insert_first =
+  /// true) insertions are applied first and deletions second — the order
+  /// of the paper's G'_t = G_{t-1} ⊕ E+ ⊖ E-, and the order
+  /// CoreMaintainer::ApplyDelta uses, so replaying a SnapshotSequence
+  /// and maintaining it incrementally traverse the same intermediate
+  /// graphs. Pass insert_first = false for deletions-then-insertions.
+  /// The order is observable when an edge appears in both batches:
+  /// insert-first ends with the edge absent, delete-first with it
+  /// present (tests/graph_test.cc pins both). Edges already
+  /// present/absent are skipped.
   void Apply(Graph& graph, bool insert_first = true) const {
     if (insert_first) {
       for (const Edge& e : insertions) graph.AddEdge(e.u, e.v);

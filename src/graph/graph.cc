@@ -66,6 +66,23 @@ std::vector<Edge> Graph::CollectEdges() const {
   return edges;
 }
 
+CsrView Graph::BuildCsr() const {
+  CsrView csr;
+  const VertexId n = NumVertices();
+  csr.offsets_.resize(static_cast<size_t>(n) + 1);
+  csr.offsets_[0] = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    csr.offsets_[u + 1] = csr.offsets_[u] + adjacency_[u].size();
+  }
+  csr.targets_.resize(csr.offsets_[n]);
+  for (VertexId u = 0; u < n; ++u) {
+    std::copy(adjacency_[u].begin(), adjacency_[u].end(),
+              csr.targets_.begin() +
+                  static_cast<ptrdiff_t>(csr.offsets_[u]));
+  }
+  return csr;
+}
+
 uint32_t Graph::MaxDegree() const {
   uint32_t best = 0;
   for (const auto& list : adjacency_) {

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/csr.h"
 #include "util/status.h"
 
 namespace avt {
@@ -81,6 +82,12 @@ class Graph {
 
   /// Materializes all edges (normalized, u <= v), sorted.
   std::vector<Edge> CollectEdges() const;
+
+  /// Snapshots the adjacency into a contiguous CSR view (O(n + m)).
+  /// Neighbor order per vertex is preserved exactly, so algorithms give
+  /// bit-identical results whether they scan the view or the graph. The
+  /// view does not track later mutations.
+  CsrView BuildCsr() const;
 
   /// Average degree 2m/n (0 for empty graph).
   double AverageDegree() const {

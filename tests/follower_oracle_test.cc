@@ -205,6 +205,101 @@ TEST(FollowerOracle, StatsAccumulate) {
   oracle.CountFollowers(anchors, 2);
   EXPECT_EQ(oracle.stats().queries, 1u);
   EXPECT_GT(oracle.stats().visited, 0u);
+  oracle.UpperBound(anchors, kNoVertex, 2);
+  EXPECT_EQ(oracle.stats().bound_queries, 1u);
+}
+
+TEST(FollowerOracle, UpperBoundCertifiesEveryTrialSet) {
+  // The phase-1 count must dominate the exact follower count for the
+  // same inputs — this is the soundness the lazy pick loops rest on.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(7100 + seed);
+    Graph g = ChungLuPowerLaw(150, 6.0, 2.2, 40, rng);
+    KOrder order;
+    order.Build(g);
+    FollowerOracle oracle(&g, &order);
+    for (uint32_t k : {2u, 3u, 4u}) {
+      std::vector<VertexId> pool = CollectAnchorCandidates(g, order, k);
+      std::vector<VertexId> anchors;
+      for (size_t i = 0; i < pool.size() && anchors.size() < 3; i += 3) {
+        anchors.push_back(pool[i]);
+      }
+      for (VertexId x : pool) {
+        uint32_t bound = oracle.UpperBound(anchors, x, k);
+        uint32_t exact = oracle.CountFollowers(anchors, x, k);
+        EXPECT_GE(bound, exact) << "seed " << seed << " k=" << k
+                                << " extra=" << x;
+      }
+    }
+  }
+}
+
+TEST(FollowerOracle, MarginalProbeEqualsUpperBound) {
+  // A marginal continuation of the resident base cascade must land on
+  // exactly the full phase-1 count of the trial set, for every
+  // candidate — including candidates that are already base followers,
+  // base anchors, or disconnected from the base region.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(7300 + seed);
+    Graph g = ChungLuPowerLaw(150, 6.0, 2.2, 40, rng);
+    KOrder order;
+    order.Build(g);
+    FollowerOracle oracle(&g, &order);
+    for (uint32_t k : {2u, 3u}) {
+      std::vector<VertexId> pool = CollectAnchorCandidates(g, order, k);
+      std::vector<VertexId> anchors;
+      for (size_t i = 0; i < pool.size() && anchors.size() < 4; i += 2) {
+        anchors.push_back(pool[i]);
+      }
+      oracle.BuildBase(anchors, k);
+      for (VertexId x = 0; x < g.NumVertices(); ++x) {
+        if (order.CoreOf(x) >= k) continue;
+        uint32_t marginal = oracle.MarginalUpperBound(x);
+        uint32_t reference = oracle.UpperBound(anchors, x, k);
+        EXPECT_EQ(marginal, reference)
+            << "seed " << seed << " k=" << k << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(FollowerOracle, BaseSurvivesFullQueries) {
+  // Full CountFollowers queries use disjoint scratch: marginal probes
+  // issued after them must still see the resident base.
+  Rng rng(7500);
+  Graph g = ChungLuPowerLaw(300, 8.0, 2.2, 60, rng);
+  KOrder order;
+  order.Build(g);
+  FollowerOracle oracle(&g, &order);
+  std::vector<VertexId> pool = CollectAnchorCandidates(g, order, 3);
+  if (pool.size() < 6) GTEST_SKIP() << "degenerate sample";
+  std::vector<VertexId> anchors{pool[0], pool[2]};
+  oracle.BuildBase(anchors, 3);
+  uint32_t before = oracle.MarginalUpperBound(pool[4]);
+  std::vector<VertexId> other{pool[1], pool[3], pool[5]};
+  oracle.CountFollowers(other, 3);
+  EXPECT_EQ(oracle.MarginalUpperBound(pool[4]), before);
+}
+
+TEST(FollowerOracle, CsrRoutingIsBitIdentical) {
+  Rng rng(7700);
+  Graph g = ChungLuPowerLaw(200, 6.0, 2.2, 40, rng);
+  CsrView csr = g.BuildCsr();
+  KOrder order;
+  order.Build(csr);
+  FollowerOracle plain(&g, &order);
+  FollowerOracle routed(&g, &order, &csr);
+  std::vector<VertexId> pool = CollectAnchorCandidates(g, order, 3);
+  std::vector<VertexId> followers_a;
+  std::vector<VertexId> followers_b;
+  for (size_t i = 0; i + 1 < std::min<size_t>(pool.size(), 30); ++i) {
+    std::vector<VertexId> anchors{pool[i], pool[i + 1]};
+    EXPECT_EQ(plain.CountFollowers(anchors, 3, &followers_a),
+              routed.CountFollowers(anchors, 3, &followers_b));
+    EXPECT_EQ(followers_a, followers_b);
+    EXPECT_EQ(plain.UpperBound(anchors, kNoVertex, 3),
+              routed.UpperBound(anchors, kNoVertex, 3));
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "graph/delta.h"
 #include "graph/snapshots.h"
+#include "maint/maintainer.h"
 
 namespace avt {
 namespace {
@@ -102,6 +103,40 @@ TEST(EdgeDelta, ApplyAndInverseRoundTrip) {
 
   delta.Inverse().Apply(g);
   EXPECT_TRUE(g == original);
+}
+
+TEST(EdgeDelta, ApplyOrderPinned) {
+  // The application order is observable when an edge sits in both
+  // batches. Default (insert_first = true, the paper's ⊕ E+ then ⊖ E-):
+  // the edge is inserted, then deleted — final graph lacks it.
+  EdgeDelta delta;
+  delta.insertions.push_back(Edge(0, 1));
+  delta.deletions.push_back(Edge(0, 1));
+  {
+    Graph g(2);
+    delta.Apply(g);
+    EXPECT_FALSE(g.HasEdge(0, 1)) << "insert-first must end absent";
+    EXPECT_EQ(g.NumEdges(), 0u);
+  }
+  // Deletions-first: the deletion no-ops (edge absent), then the
+  // insertion lands — final graph has it.
+  {
+    Graph g(2);
+    delta.Apply(g, /*insert_first=*/false);
+    EXPECT_TRUE(g.HasEdge(0, 1)) << "delete-first must end present";
+    EXPECT_EQ(g.NumEdges(), 1u);
+  }
+  // And the default matches what CoreMaintainer::ApplyDelta does, so
+  // sequence replay and incremental maintenance see the same graphs.
+  {
+    Graph g(2);
+    CoreMaintainer maintainer;
+    maintainer.Reset(g);
+    maintainer.ApplyDelta(delta);
+    Graph replayed(2);
+    delta.Apply(replayed);
+    EXPECT_TRUE(maintainer.graph() == replayed);
+  }
 }
 
 TEST(EdgeDelta, DiffGraphsReconstructsTarget) {
