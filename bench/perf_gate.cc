@@ -1,21 +1,29 @@
-// Perf gate: the repeatable before/after measurement behind
-// BENCH_PR2.json (run via scripts/bench.sh).
+// Perf gate: the repeatable before/after measurements behind
+// BENCH_PR2.json and BENCH_PR3.json (run via scripts/bench.sh).
 //
-// Two workloads, each measured in its eager ("before", the seed repo's
-// execution strategy) and lazy ("after", certified-bound CELF) form:
+// PR-2 gates — two workloads, each measured in its eager ("before", the
+// seed repo's execution strategy) and lazy ("after", certified-bound
+// CELF) form:
 //
 //   * greedy_solve — one GreedySolver::Solve on a Chung-Lu power-law
 //     graph (paper-style social topology) at --n vertices;
 //   * incavt_per_delta — an IncAvtTracker over a --t-snapshot churn
 //     sequence, timing only the ProcessDelta steps.
 //
-// Outputs are asserted identical between the two strategies before any
-// number is written: the gate measures a speedup, never a quality trade.
-// The JSON is intentionally flat so future PRs can diff it and append
-// their own gates alongside.
+// PR-3 gate — thread scaling of the parallel trial engine: the same two
+// workloads (lazy strategy) at every --threads-list count, reporting
+// wall time and speedup vs 1 thread into --threads-out. host_cpus is
+// recorded alongside because wall-clock scaling is bounded by the
+// machine; the work counters and outputs are deterministic everywhere.
+//
+// Outputs are asserted identical between all strategies and all thread
+// counts before any number is written: the gate measures a speedup,
+// never a quality trade. The JSON is intentionally flat so future PRs
+// can diff it and append their own gates alongside.
 //
 //   ./bench_perf_gate [--n=50000] [--k=3] [--l=10] [--t=12]
 //                     [--churn=150] [--repeats=3] [--out=BENCH_PR2.json]
+//                     [--threads-list=1,2,4,8] [--threads-out=BENCH_PR3.json]
 //
 // --repeats re-runs each timed section and keeps the fastest wall time
 // (work counters are deterministic and identical across repeats).
@@ -23,7 +31,9 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "anchor/greedy.h"
@@ -48,11 +58,13 @@ struct GateMetrics {
 
 GateMetrics MeasureGreedy(const Graph& g, uint32_t k, uint32_t l,
                           bool lazy, int repeats,
-                          std::vector<VertexId>* anchors_out) {
+                          std::vector<VertexId>* anchors_out,
+                          uint32_t num_threads = 1) {
   GateMetrics metrics;
   metrics.millis = 1e300;
   GreedyOptions options;
   options.lazy = lazy;
+  options.num_threads = num_threads;
   for (int r = 0; r < repeats; ++r) {
     GreedySolver solver(options);
     Timer timer;
@@ -68,12 +80,14 @@ GateMetrics MeasureGreedy(const Graph& g, uint32_t k, uint32_t l,
 
 GateMetrics MeasureIncAvt(const SnapshotSequence& sequence, uint32_t k,
                           uint32_t l, bool lazy, int repeats,
-                          std::vector<std::vector<VertexId>>* anchors_out) {
+                          std::vector<std::vector<VertexId>>* anchors_out,
+                          uint32_t num_threads = 1) {
   GateMetrics metrics;
   metrics.millis = 1e300;
   for (int r = 0; r < repeats; ++r) {
     IncAvtOptions options;
     options.lazy = lazy;
+    options.num_threads = num_threads;
     IncAvtTracker tracker(k, l, IncAvtMode::kRestricted, options);
     anchors_out->clear();
     double delta_millis = 0;
@@ -115,6 +129,25 @@ void PrintMetrics(FILE* f, const char* key, const GateMetrics& m,
 
 double Ratio(double before, double after) {
   return after > 0 ? before / after : 0.0;
+}
+
+std::vector<uint32_t> ParseThreadList(const std::string& spec) {
+  std::vector<uint32_t> counts;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    int value = std::atoi(spec.substr(pos, comma - pos).c_str());
+    if (value > 0) counts.push_back(static_cast<uint32_t>(value));
+    pos = comma + 1;
+  }
+  // Speedups are measured relative to 1 thread and reported against the
+  // largest count; sorting + deduping makes any input order valid and
+  // keeps the per-count JSON keys unique.
+  counts.push_back(1);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
 }
 
 }  // namespace
@@ -177,6 +210,38 @@ int main(int argc, char** argv) {
               inc_lazy.millis / deltas, inc_lazy.oracle_queries,
               inc_lazy.bound_probes);
 
+  // --- Gate 3 (PR 3): thread scaling of the parallel trial engine ----
+  // Same workloads, lazy strategy, across --threads-list worker counts.
+  // Anchors are asserted bit-identical to the serial runs above at every
+  // count; wall speedups are relative to the 1-thread engine run.
+  const std::string threads_out =
+      flags.GetString("threads-out", "BENCH_PR3.json");
+  const std::vector<uint32_t> thread_counts =
+      ParseThreadList(flags.GetString("threads-list", "1,2,4,8"));
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::vector<GateMetrics> greedy_by_threads;
+  std::vector<GateMetrics> incavt_by_threads;
+  for (uint32_t threads : thread_counts) {
+    std::vector<VertexId> anchors;
+    greedy_by_threads.push_back(MeasureGreedy(g, k, l, /*lazy=*/true,
+                                              repeats, &anchors, threads));
+    AVT_CHECK_MSG(anchors == lazy_anchors,
+                  "perf gate violated: parallel greedy diverged");
+    std::vector<std::vector<VertexId>> track;
+    incavt_by_threads.push_back(MeasureIncAvt(sequence, k, l, /*lazy=*/true,
+                                              repeats, &track, threads));
+    AVT_CHECK_MSG(track == lazy_track,
+                  "perf gate violated: parallel IncAVT diverged");
+    std::printf("threads %2u: greedy %8.1f ms (%.2fx)   incavt %8.2f "
+                "ms/delta (%.2fx)\n",
+                threads, greedy_by_threads.back().millis,
+                Ratio(greedy_by_threads.front().millis,
+                      greedy_by_threads.back().millis),
+                incavt_by_threads.back().millis / deltas,
+                Ratio(incavt_by_threads.front().millis,
+                      incavt_by_threads.back().millis));
+  }
+
   // --- Emit JSON -----------------------------------------------------
   FILE* f = std::fopen(out.c_str(), "w");
   AVT_CHECK_MSG(f != nullptr, "cannot open bench output file");
@@ -211,5 +276,42 @@ int main(int argc, char** argv) {
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());
+
+  // --- Emit BENCH_PR3.json (thread scaling) --------------------------
+  FILE* tf = std::fopen(threads_out.c_str(), "w");
+  AVT_CHECK_MSG(tf != nullptr, "cannot open thread-scaling output file");
+  std::fprintf(tf, "{\n");
+  std::fprintf(tf, "  \"bench\": \"perf_gate_thread_scaling\",\n");
+  std::fprintf(tf, "  \"pr\": 3,\n");
+  std::fprintf(
+      tf,
+      "  \"config\": {\"n\": %u, \"avg_degree\": 8.0, \"alpha\": 2.1, "
+      "\"k\": %u, \"l\": %u, \"snapshots\": %zu, \"churn_min\": %u, "
+      "\"churn_max\": %u, \"seed\": %" PRIu64 ", \"repeats\": %d, "
+      "\"strategy\": \"lazy\"},\n",
+      n, k, l, T, churn, churn + 100, seed, repeats);
+  std::fprintf(tf, "  \"host_cpus\": %u,\n", host_cpus);
+  std::fprintf(tf, "  \"greedy_solve\": {\n");
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    std::string key = "threads_" + std::to_string(thread_counts[i]);
+    PrintMetrics(tf, key.c_str(), greedy_by_threads[i], ",");
+  }
+  std::fprintf(tf, "    \"speedup_max_threads_vs_1\": %.2f\n",
+               Ratio(greedy_by_threads.front().millis,
+                     greedy_by_threads.back().millis));
+  std::fprintf(tf, "  },\n");
+  std::fprintf(tf, "  \"incavt_per_delta\": {\n");
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    std::string key = "threads_" + std::to_string(thread_counts[i]);
+    PrintMetrics(tf, key.c_str(), incavt_by_threads[i], ",");
+  }
+  std::fprintf(tf, "    \"speedup_max_threads_vs_1\": %.2f\n",
+               Ratio(incavt_by_threads.front().millis,
+                     incavt_by_threads.back().millis));
+  std::fprintf(tf, "  },\n");
+  std::fprintf(tf, "  \"identical_outputs\": true\n");
+  std::fprintf(tf, "}\n");
+  std::fclose(tf);
+  std::printf("wrote %s\n", threads_out.c_str());
   return 0;
 }

@@ -3,10 +3,11 @@
 #
 #   AVT_WERROR   — promote warnings to errors (the source tree is clean
 #                  under -Wall -Wextra -Wpedantic -Wshadow; keep it so).
-#   AVT_SANITIZE — AddressSanitizer + UndefinedBehaviorSanitizer. All
+#   AVT_SANITIZE — ON/address selects AddressSanitizer + UBSan (all
 #                  suites currently pass under it at seed scale; CI runs
-#                  the `unit` label only because soak suites grow with
-#                  future dataset scale (see docs/TESTING.md).
+#                  the `unit` label plus a reduced differential fuzz).
+#                  thread selects ThreadSanitizer — the opt-in preset for
+#                  the parallel trial engine (see docs/TESTING.md).
 
 add_library(avt_build_flags INTERFACE)
 
@@ -18,8 +19,22 @@ if(AVT_WERROR)
 endif()
 
 if(AVT_SANITIZE)
-  target_compile_options(avt_build_flags INTERFACE
-    -fsanitize=address,undefined -fno-omit-frame-pointer -g)
-  target_link_options(avt_build_flags INTERFACE
-    -fsanitize=address,undefined)
+  string(TOLOWER "${AVT_SANITIZE}" _avt_sanitize_mode)
+  if(_avt_sanitize_mode STREQUAL "thread")
+    target_compile_options(avt_build_flags INTERFACE
+      -fsanitize=thread -fno-omit-frame-pointer -g)
+    target_link_options(avt_build_flags INTERFACE -fsanitize=thread)
+  elseif(_avt_sanitize_mode STREQUAL "on" OR
+         _avt_sanitize_mode STREQUAL "true" OR
+         _avt_sanitize_mode STREQUAL "1" OR
+         _avt_sanitize_mode STREQUAL "address")
+    target_compile_options(avt_build_flags INTERFACE
+      -fsanitize=address,undefined -fno-omit-frame-pointer -g)
+    target_link_options(avt_build_flags INTERFACE
+      -fsanitize=address,undefined)
+  else()
+    message(FATAL_ERROR
+      "AVT_SANITIZE must be OFF, ON/address, or thread (got "
+      "'${AVT_SANITIZE}')")
+  endif()
 endif()

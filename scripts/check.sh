@@ -4,7 +4,11 @@
 #
 #   scripts/check.sh             # Release, all labels
 #   scripts/check.sh --werror    # additionally promote warnings to errors
-#   scripts/check.sh --asan      # sanitizer tier: unit-labeled tests only
+#   scripts/check.sh --asan      # sanitizer tier: unit tests + reduced
+#                                # differential fuzz under ASan/UBSan
+#   scripts/check.sh --tsan      # ThreadSanitizer tier: the parallel
+#                                # trial engine's determinism battery +
+#                                # thread-pool units under TSan
 #
 # Any extra arguments after the mode flag are forwarded to ctest.
 
@@ -12,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-}"
-if [[ "$mode" == "--werror" || "$mode" == "--asan" ]]; then
+if [[ "$mode" == "--werror" || "$mode" == "--asan" || "$mode" == "--tsan" ]]; then
   shift
 else
   mode=""
@@ -27,6 +31,20 @@ case "$mode" in
       -DAVT_BUILD_BENCH=OFF -DAVT_BUILD_EXAMPLES=OFF
     cmake --build "$build_dir" -j "$jobs"
     ctest --test-dir "$build_dir" -L unit --output-on-failure -j "$jobs" "$@"
+    # The differential fuzz is soak-labeled (its full sweep scales with
+    # dataset size), but a reduced sweep is cheap enough to keep under
+    # the sanitizers permanently.
+    AVT_FUZZ_TRANSITIONS=60 ctest --test-dir "$build_dir" \
+      -R '^differential_fuzz_test$' --output-on-failure "$@"
+    ;;
+  --tsan)
+    build_dir=build-tsan
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DAVT_SANITIZE=thread -DAVT_BUILD_BENCH=OFF -DAVT_BUILD_EXAMPLES=OFF
+    cmake --build "$build_dir" -j "$jobs"
+    ctest --test-dir "$build_dir" \
+      -R '^(parallel_determinism_test|util_test)$' \
+      --output-on-failure -j "$jobs" "$@"
     ;;
   --werror)
     build_dir=build-werror

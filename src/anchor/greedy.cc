@@ -1,164 +1,11 @@
 #include "anchor/greedy.h"
 
-#include <atomic>
-#include <queue>
-#include <thread>
-
 #include "anchor/candidates.h"
 #include "anchor/follower_oracle.h"
+#include "anchor/trial_engine.h"
 #include "corelib/korder.h"
 
 namespace avt {
-namespace {
-
-// Shared per-solve state: CSR snapshot, order, candidate pool. The pool
-// is id-ascending (CollectAnchorCandidates guarantees it), which every
-// pick strategy relies on for the common tie-break.
-struct SolveContext {
-  const Graph& graph;
-  const CsrView& csr;
-  const KOrder& order;
-  uint32_t k;
-  std::vector<VertexId> pool;
-};
-
-// One greedy pick evaluated eagerly: a full oracle query per candidate.
-// Returns kNoVertex when the pool is exhausted. `taken` flags committed
-// anchors. Tie-break: more followers first, then smaller id (the pool is
-// id-ascending and the comparison is strict).
-VertexId ScanPick(SolveContext& ctx, FollowerOracle& oracle,
-                  const std::vector<VertexId>& chosen,
-                  const std::vector<uint8_t>& taken,
-                  uint64_t* candidates_visited) {
-  VertexId best_vertex = kNoVertex;
-  uint32_t best_followers = 0;
-  for (VertexId x : ctx.pool) {
-    if (taken[x]) continue;
-    ++*candidates_visited;
-    uint32_t followers = oracle.CountFollowers(chosen, x, ctx.k);
-    if (best_vertex == kNoVertex || followers > best_followers) {
-      best_followers = followers;
-      best_vertex = x;
-    }
-  }
-  return best_vertex;
-}
-
-// One greedy pick evaluated by `threads` workers. Deterministic: the
-// reduction prefers more followers, then the smaller vertex id, which is
-// also what the scan loop produces.
-VertexId ParallelPick(SolveContext& ctx, uint32_t threads,
-                      const std::vector<VertexId>& chosen,
-                      const std::vector<uint8_t>& taken,
-                      uint64_t* candidates_visited) {
-  struct Local {
-    VertexId vertex = kNoVertex;
-    uint32_t followers = 0;
-    uint64_t evaluated = 0;
-  };
-  std::vector<Local> locals(threads);
-  std::atomic<size_t> cursor{0};
-
-  auto worker = [&](uint32_t id) {
-    FollowerOracle oracle(&ctx.graph, &ctx.order, &ctx.csr);
-    Local& local = locals[id];
-    while (true) {
-      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= ctx.pool.size()) break;
-      VertexId x = ctx.pool[i];
-      if (taken[x]) continue;
-      ++local.evaluated;
-      uint32_t followers = oracle.CountFollowers(chosen, x, ctx.k);
-      if (local.vertex == kNoVertex || followers > local.followers ||
-          (followers == local.followers && x < local.vertex)) {
-        local.followers = followers;
-        local.vertex = x;
-      }
-    }
-  };
-  std::vector<std::thread> pool_threads;
-  pool_threads.reserve(threads);
-  for (uint32_t t = 0; t < threads; ++t) pool_threads.emplace_back(worker, t);
-  for (std::thread& t : pool_threads) t.join();
-
-  Local best;
-  for (const Local& local : locals) {
-    *candidates_visited += local.evaluated;
-    if (local.vertex == kNoVertex) continue;
-    if (best.vertex == kNoVertex || local.followers > best.followers ||
-        (local.followers == best.followers && local.vertex < best.vertex)) {
-      best = local;
-    }
-  }
-  return best.vertex;
-}
-
-// Lazy pick loop with certified bounds (see greedy.h for the strategy
-// rationale). Per pick:
-//
-//   1. Refresh a cheap certified bound per live candidate: the oracle
-//      retains S's phase-1 cascade once per pick (BuildBase) and each
-//      candidate's bound is the marginal continuation of that fixpoint
-//      (MarginalUpperBound == phase-1 count of S ∪ {x} >= F(S ∪ {x})),
-//      costing only x's marginal region instead of a full re-walk.
-//      (Bounds are NOT carried across picks: the objective is not
-//      submodular, so a bound for S is not a bound for S ∪ {y}.)
-//   2. Pop a max-heap keyed (value desc, id asc). A popped bound entry
-//      is resolved with one full oracle query and re-pushed as exact;
-//      the pick is accepted when the heap's top entry is exact.
-//
-// Why the accepted vertex equals the eager argmax, tie-break included:
-// let the accepted exact entry be (g, i). Every other live candidate x
-// still in the heap sits below it, so its entry (b_x, i_x) satisfies
-// b_x < g, or b_x == g and i_x > i. Since b_x >= F(S ∪ {x}), every such
-// x either has strictly fewer followers than g, or ties with a larger
-// id — exactly the candidates the eager scan would reject. Re-pushed
-// exact entries compare by their true counts, so the argument covers
-// them directly.
-std::vector<VertexId> LazyGreedy(SolveContext& ctx, FollowerOracle& oracle,
-                                 uint32_t l, SolverResult* result) {
-  struct Entry {
-    uint32_t value;  // exact ? F(S ∪ {v}) : certified upper bound
-    VertexId vertex;
-    bool exact;
-    bool operator<(const Entry& other) const {
-      // max-heap by value, tie-break small id first. A vertex appears at
-      // most once per pick, so (value, vertex) never ties.
-      if (value != other.value) return value < other.value;
-      return vertex > other.vertex;
-    }
-  };
-
-  std::vector<uint8_t> taken(ctx.graph.NumVertices(), 0);
-  std::vector<VertexId> chosen;
-  std::priority_queue<Entry> heap;
-  while (chosen.size() < l) {
-    // Per-pick bound refresh over the live pool, as marginal probes of
-    // the retained S-cascade.
-    oracle.BuildBase(chosen, ctx.k);
-    heap = std::priority_queue<Entry>();
-    for (VertexId x : ctx.pool) {
-      if (taken[x]) continue;
-      ++result->bound_probes;
-      heap.push({oracle.MarginalUpperBound(x), x, false});
-    }
-    if (heap.empty()) break;  // candidate pool exhausted
-
-    while (!heap.top().exact) {
-      Entry top = heap.top();
-      heap.pop();
-      ++result->candidates_visited;
-      heap.push({oracle.CountFollowers(chosen, top.vertex, ctx.k),
-                 top.vertex, true});
-    }
-    VertexId best = heap.top().vertex;
-    chosen.push_back(best);
-    taken[best] = 1;
-  }
-  return chosen;
-}
-
-}  // namespace
 
 SolverResult GreedySolver::Solve(const Graph& graph, uint32_t k,
                                  uint32_t l) {
@@ -170,40 +17,51 @@ SolverResult GreedySolver::Solve(const Graph& graph, uint32_t k,
   CsrView csr = graph.BuildCsr();
   KOrder order;
   order.Build(csr);
-  FollowerOracle oracle(&graph, &order, &csr);
 
-  SolveContext ctx{graph, csr, order, k,
-                   options_.prune_candidates
-                       ? CollectAnchorCandidates(graph, order, k)
-                       : CollectUnprunedCandidates(graph, order, k)};
+  std::vector<VertexId> pool = options_.prune_candidates
+                                   ? CollectAnchorCandidates(graph, order, k)
+                                   : CollectUnprunedCandidates(graph, order, k);
 
+  // Algorithm 2: l picks, each taking the candidate with the most
+  // followers given the anchors already chosen — evaluated by the trial
+  // engine (per-worker oracles, deterministic sharded reduction; serial
+  // when num_threads <= 1). Both strategies share the engine:
+  //   * lazy (default) — certified-bound CELF per shard (see greedy.h);
+  //   * eager scan — one full query per candidate, the reference loop.
+  // Zero-marginal picks are allowed (an anchor always joins C_k(S)
+  // itself), matching the paper's objective |C_k(S)| = |C_k| + |S| + |F|.
+  TrialEngine engine(&graph, &order, &csr, options_.num_threads);
+  TrialPolicy policy;
+  policy.lazy = options_.lazy;
+
+  std::vector<uint8_t> taken(graph.NumVertices(), 0);
   std::vector<VertexId> chosen;
-  if (options_.num_threads <= 1 && options_.lazy) {
-    chosen = LazyGreedy(ctx, oracle, l, &result);
-  } else {
-    // Algorithm 2: l picks, each taking the candidate with the most
-    // followers given the anchors already chosen. Zero-marginal picks
-    // are allowed (an anchor always joins C_k(S) itself), matching the
-    // paper's objective |C_k(S)| = |C_k| + |S| + |F|.
-    std::vector<uint8_t> taken(graph.NumVertices(), 0);
-    for (uint32_t pick = 0; pick < l; ++pick) {
-      VertexId best =
-          options_.num_threads > 1
-              ? ParallelPick(ctx, options_.num_threads, chosen, taken,
-                             &result.candidates_visited)
-              : ScanPick(ctx, oracle, chosen, taken,
-                         &result.candidates_visited);
-      if (best == kNoVertex) break;  // candidate pool exhausted
-      chosen.push_back(best);
-      taken[best] = 1;
+  std::vector<VertexId> live;
+  live.reserve(pool.size());
+  for (uint32_t pick = 0; pick < l; ++pick) {
+    // The pool is id-ascending (CollectAnchorCandidates guarantees it);
+    // the engine's reduction does not depend on that, but keeping the
+    // order makes the serial lazy heap bit-compatible with PR 2.
+    live.clear();
+    for (VertexId x : pool) {
+      if (!taken[x]) live.push_back(x);
     }
+    if (live.empty()) break;  // candidate pool exhausted
+    TrialOutcome outcome = engine.Evaluate(live, chosen, k, policy);
+    result.candidates_visited += outcome.full_queries;
+    result.bound_probes += outcome.bound_probes;
+    if (outcome.vertex == kNoVertex) break;
+    chosen.push_back(outcome.vertex);
+    taken[outcome.vertex] = 1;
   }
 
   result.anchors = chosen;
   if (!chosen.empty()) {
+    FollowerOracle oracle(&graph, &order, &csr);
     oracle.CountFollowers(chosen, k, &result.followers);
+    result.cascade_visited = oracle.stats().visited;
   }
-  result.cascade_visited = oracle.stats().visited;
+  result.cascade_visited += engine.CascadeVisited();
   return result;
 }
 

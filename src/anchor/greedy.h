@@ -9,7 +9,8 @@
 //   4.2 fast follower computation — order-based cascade instead of a
 //       fresh core decomposition per candidate.
 //
-// Execution strategies for the pick loop:
+// Execution strategies for the pick loop (both route through
+// anchor/trial_engine.h and compose freely with num_threads):
 //   * lazy (DEFAULT) — CELF-style lazy evaluation with *certified* upper
 //     bounds. The anchored-k-core objective is not submodular (the paper
 //     proves inapproximability), so the classic CELF trick of reusing
@@ -27,10 +28,14 @@
 //   * lazy = false ("scan") — the textbook loop: one full oracle query
 //     per candidate per pick. Kept as the reference for tests and the
 //     perf gate.
-//   * num_threads > 1 — candidates of each pick are evaluated eagerly in
-//     parallel by worker threads sharing the read-only K-order (each with
-//     its own oracle scratch); takes precedence over `lazy`. Result is
-//     bit-identical to the scan: ties break toward the smallest id.
+//
+// num_threads > 1 distributes either strategy over a worker pool with
+// one FollowerOracle per worker: lazy shards the candidate heap into
+// fixed per-thread slices, eager fans full queries out with work
+// stealing, and both reduce winners by (followers desc, id asc) — the
+// anchors stay bit-identical to the serial path at every thread count
+// (the determinism argument lives in trial_engine.h; enforced by
+// tests/parallel_determinism_test.cc).
 //
 // Every mode snapshots the graph into a CsrView once per solve and routes
 // the K-order build plus all cascade scans through contiguous spans.
@@ -45,9 +50,11 @@ namespace avt {
 /// Tuning knobs for GreedySolver.
 struct GreedyOptions {
   bool prune_candidates = true;
+  /// Trial-engine worker count; <= 1 runs serial. Output is identical at
+  /// every thread count.
   uint32_t num_threads = 1;
   /// Lazy pick loop with certified bounds (see file comment). Identical
-  /// output to the eager scan, much cheaper. Ignored when num_threads>1.
+  /// output to the eager scan, much cheaper. Composes with num_threads.
   bool lazy = true;
 };
 

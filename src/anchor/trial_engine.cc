@@ -1,0 +1,138 @@
+#include "anchor/trial_engine.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace avt {
+namespace {
+
+/// Lazy heap entry, max-heap by value with smaller id first on ties —
+/// the common tie-break of every pick loop. A vertex appears at most
+/// once per shard, so (value, vertex) never fully ties.
+struct LazyEntry {
+  uint32_t value;  // exact ? F(base ∪ {v}) : certified upper bound
+  VertexId vertex;
+  bool exact;
+  bool operator<(const LazyEntry& other) const {
+    if (value != other.value) return value < other.value;
+    return vertex > other.vertex;
+  }
+};
+
+/// Per-shard (or per-worker) winner candidate.
+struct ShardBest {
+  VertexId vertex = kNoVertex;
+  uint32_t followers = 0;
+  uint64_t full_queries = 0;
+  uint64_t bound_probes = 0;
+};
+
+bool Improves(const ShardBest& best, uint32_t followers, VertexId vertex) {
+  if (best.vertex == kNoVertex) return true;
+  if (followers != best.followers) return followers > best.followers;
+  return vertex < best.vertex;
+}
+
+}  // namespace
+
+TrialEngine::TrialEngine(const Graph* graph, const KOrder* order,
+                         const CsrView* csr, uint32_t num_threads)
+    : num_threads_(std::max<uint32_t>(1, num_threads)) {
+  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  oracles_.reserve(num_threads_);
+  for (uint32_t w = 0; w < num_threads_; ++w) {
+    oracles_.push_back(std::make_unique<FollowerOracle>(graph, order, csr));
+  }
+}
+
+uint64_t TrialEngine::CascadeVisited() const {
+  uint64_t total = 0;
+  for (const auto& oracle : oracles_) total += oracle->stats().visited;
+  return total;
+}
+
+TrialOutcome TrialEngine::Evaluate(std::span<const VertexId> live,
+                                   std::span<const VertexId> base,
+                                   uint32_t k, const TrialPolicy& policy) {
+  TrialOutcome outcome;
+  if (live.empty()) return outcome;
+
+  const uint32_t workers = num_threads_;
+  std::vector<ShardBest> bests(workers);
+
+  if (policy.lazy) {
+    // Fixed contiguous shards: each worker runs the certified-bound CELF
+    // discipline over its own slice with its own oracle, so the winner
+    // AND the per-shard counters are pure functions of (live, base, k,
+    // workers). Each worker rebuilds the base cascade privately — the
+    // base is one phase-1 walk of S, tiny next to |shard| bound probes.
+    auto shard_body = [&](uint32_t w) {
+      const size_t lo = ThreadPool::BlockBegin(live.size(), workers, w);
+      const size_t hi = ThreadPool::BlockEnd(live.size(), workers, w);
+      if (lo >= hi) return;
+      FollowerOracle& oracle = *oracles_[w];
+      ShardBest& best = bests[w];
+      oracle.BuildBase(base, k);
+      std::priority_queue<LazyEntry> heap;
+      for (size_t i = lo; i < hi; ++i) {
+        ++best.bound_probes;
+        heap.push({oracle.MarginalUpperBound(live[i]), live[i], false});
+      }
+      while (!heap.empty()) {
+        LazyEntry top = heap.top();
+        if (policy.gate && top.value <= policy.floor) return;  // settled
+        if (top.exact) {
+          best.vertex = top.vertex;
+          best.followers = top.value;
+          return;
+        }
+        heap.pop();
+        ++best.full_queries;
+        heap.push({oracle.CountFollowers(base, top.vertex, k), top.vertex,
+                   true});
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->Run(shard_body);
+    } else {
+      shard_body(0);
+    }
+  } else {
+    // Eager: one full query per candidate, fanned out with work stealing.
+    // The per-worker running best depends on which indices the worker
+    // ran, but the reduction below recovers the unique global (followers
+    // desc, id asc) maximum from any partition; the query count is
+    // |live| regardless.
+    ParallelFor(pool_.get(), live.size(), /*grain=*/8,
+                [&](uint32_t w, size_t i) {
+                  FollowerOracle& oracle = *oracles_[w];
+                  ShardBest& best = bests[w];
+                  ++best.full_queries;
+                  uint32_t followers =
+                      oracle.CountFollowers(base, live[i], k);
+                  if (policy.gate && followers <= policy.floor) return;
+                  if (Improves(best, followers, live[i])) {
+                    best.vertex = live[i];
+                    best.followers = followers;
+                  }
+                });
+  }
+
+  // Deterministic fold: ascending worker id, strict (followers desc,
+  // id asc) tie-break over exact counts.
+  ShardBest winner;
+  for (const ShardBest& best : bests) {
+    outcome.full_queries += best.full_queries;
+    outcome.bound_probes += best.bound_probes;
+    if (best.vertex == kNoVertex) continue;
+    if (Improves(winner, best.followers, best.vertex)) {
+      winner.vertex = best.vertex;
+      winner.followers = best.followers;
+    }
+  }
+  outcome.vertex = winner.vertex;
+  outcome.followers = winner.followers;
+  return outcome;
+}
+
+}  // namespace avt

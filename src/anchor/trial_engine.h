@@ -1,0 +1,100 @@
+// Deterministic parallel trial evaluation: the one primitive behind both
+// pick loops.
+//
+// GreedySolver's per-pick argmax and IncAvtTracker's per-slot local
+// search both reduce to the same question: among live candidates x,
+// which trial set base ∪ {x} has the most followers — tie-break smallest
+// id — optionally restricted to counts strictly above an incumbent
+// floor? Every trial is a pure function of the shared read-only
+// (graph, K-order[, CSR]) triple, so trials are embarrassingly parallel;
+// what is NOT trivially parallel is keeping the answer (and the lazy
+// strategy's work counters) bit-identical to the serial loop. TrialEngine
+// owns that guarantee:
+//
+//   * one FollowerOracle per worker — oracle queries are non-destructive
+//     over the shared structures, and each worker's cascade scratch
+//     (including its own resident base cascade) is private;
+//   * the live-candidate list is split into FIXED contiguous per-worker
+//     shards (ThreadPool::BlockBegin/End), so in lazy mode each shard's
+//     bound heap — and therefore its probe/query counters — depends only
+//     on (live, base, k, num_threads), never on scheduling;
+//   * lazy shards run the certified-bound CELF discipline locally: build
+//     the shard's max-heap of MarginalUpperBound probes keyed
+//     (value desc, id asc), pop-resolve with full queries until the top
+//     is exact (or provably cannot beat the floor) — the shard winner is
+//     the shard's exhaustive argmax by the bound-soundness argument of
+//     greedy.h / docs/PERFORMANCE.md;
+//   * eager mode fans the full queries out with work stealing
+//     (ParallelFor) and keeps a per-worker running best — valid because
+//     the global (followers desc, id asc) maximum of a set is reachable
+//     from any partition of it;
+//   * the reduction folds shard/worker winners in ascending worker id
+//     with the same strict tie-break. Winners are exact counts, so the
+//     fold yields the unique global argmax: anchors are bit-identical to
+//     the serial path at every thread count (pinned by
+//     tests/parallel_determinism_test.cc).
+
+#ifndef AVT_ANCHOR_TRIAL_ENGINE_H_
+#define AVT_ANCHOR_TRIAL_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "anchor/follower_oracle.h"
+#include "util/thread_pool.h"
+
+namespace avt {
+
+/// How one Evaluate call selects its winner.
+struct TrialPolicy {
+  /// Certified-bound gating (phase-1 probes, pop-resolve) instead of a
+  /// full query per candidate. Identical winner either way.
+  bool lazy = true;
+  /// When true, only trials with followers strictly above `floor`
+  /// qualify (IncAVT's swap slots); a lazy shard whose top bound cannot
+  /// beat the floor settles with zero full queries.
+  bool gate = false;
+  uint32_t floor = 0;
+};
+
+/// Winner plus deterministic work counters (summed over shards).
+struct TrialOutcome {
+  VertexId vertex = kNoVertex;  // kNoVertex: no live candidate qualified
+  uint32_t followers = 0;       // exact F(base ∪ {vertex})
+  uint64_t full_queries = 0;
+  uint64_t bound_probes = 0;
+};
+
+/// Parallel (or serial, num_threads <= 1) trial evaluator bound to one
+/// read-only (graph, order[, csr]) triple. The referenced structures must
+/// outlive the engine and stay consistent while Evaluate runs; after the
+/// graph/order are maintained in place (IncAVT), the next Evaluate simply
+/// reads the new state — per-worker oracles hold no cross-call caches.
+class TrialEngine {
+ public:
+  TrialEngine(const Graph* graph, const KOrder* order, const CsrView* csr,
+              uint32_t num_threads);
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Argmax over live candidates of F(base ∪ {x}) under `policy`. `live`
+  /// must be duplicate-free and disjoint from `base`; id-ascending order
+  /// is NOT required (the reduction never depends on it).
+  TrialOutcome Evaluate(std::span<const VertexId> live,
+                        std::span<const VertexId> base, uint32_t k,
+                        const TrialPolicy& policy);
+
+  /// Total cascade vertices visited across all worker oracles (the
+  /// solver-level cascade_visited metric).
+  uint64_t CascadeVisited() const;
+
+ private:
+  const uint32_t num_threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
+  std::vector<std::unique_ptr<FollowerOracle>> oracles_;
+};
+
+}  // namespace avt
+
+#endif  // AVT_ANCHOR_TRIAL_ENGINE_H_

@@ -76,11 +76,14 @@ AvtSnapshotResult StaticAvtTracker::ProcessDelta(const Graph& graph,
 }
 
 std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
-                                        uint32_t l) {
+                                        uint32_t l, uint32_t num_threads) {
   switch (algorithm) {
-    case AvtAlgorithm::kGreedy:
+    case AvtAlgorithm::kGreedy: {
+      GreedyOptions options;
+      options.num_threads = num_threads;
       return std::make_unique<StaticAvtTracker>(
-          std::make_unique<GreedySolver>(), k, l);
+          std::make_unique<GreedySolver>(options), k, l);
+    }
     case AvtAlgorithm::kOlak:
       return std::make_unique<StaticAvtTracker>(
           std::make_unique<OlakSolver>(), k, l);
@@ -90,19 +93,24 @@ std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
     case AvtAlgorithm::kBruteForce:
       return std::make_unique<StaticAvtTracker>(
           std::make_unique<BruteForceSolver>(), k, l);
-    case AvtAlgorithm::kIncAvt:
-      return std::make_unique<IncAvtTracker>(k, l);
+    case AvtAlgorithm::kIncAvt: {
+      IncAvtOptions options;
+      options.num_threads = num_threads;
+      return std::make_unique<IncAvtTracker>(k, l, IncAvtMode::kRestricted,
+                                             options);
+    }
   }
   return nullptr;
 }
 
 AvtRunResult RunAvt(const SnapshotSequence& sequence, AvtAlgorithm algorithm,
-                    uint32_t k, uint32_t l) {
+                    uint32_t k, uint32_t l, uint32_t num_threads) {
   AvtRunResult run;
   run.algorithm = algorithm;
   run.k = k;
   run.l = l;
-  std::unique_ptr<AvtTracker> tracker = MakeTracker(algorithm, k, l);
+  std::unique_ptr<AvtTracker> tracker =
+      MakeTracker(algorithm, k, l, num_threads);
   AVT_CHECK(tracker != nullptr);
   sequence.ForEachSnapshot([&](size_t t, const Graph& graph,
                                const EdgeDelta& delta) {

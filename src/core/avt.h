@@ -106,13 +106,16 @@ class StaticAvtTracker : public AvtTracker {
   size_t t_ = 0;
 };
 
-/// Runs one algorithm over a whole snapshot sequence.
+/// Runs one algorithm over a whole snapshot sequence. `num_threads`
+/// sizes the trial engine of the algorithms that have one (Greedy,
+/// IncAVT); the other algorithms ignore it. Output is bit-identical at
+/// every thread count.
 AvtRunResult RunAvt(const SnapshotSequence& sequence, AvtAlgorithm algorithm,
-                    uint32_t k, uint32_t l);
+                    uint32_t k, uint32_t l, uint32_t num_threads = 1);
 
-/// Factory for trackers (IncAVT included).
+/// Factory for trackers (IncAVT included). `num_threads` as in RunAvt.
 std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
-                                        uint32_t l);
+                                        uint32_t l, uint32_t num_threads = 1);
 
 }  // namespace avt
 

@@ -64,8 +64,15 @@ AvtSnapshotResult IncAvtTracker::ProcessFirst(const Graph& g0) {
   maintainer_.Reset(g0);
   oracle_ = std::make_unique<FollowerOracle>(&maintainer_.graph(),
                                              &maintainer_.order());
+  engine_ = options_.num_threads > 1
+                ? std::make_unique<TrialEngine>(&maintainer_.graph(),
+                                                &maintainer_.order(),
+                                                /*csr=*/nullptr,
+                                                options_.num_threads)
+                : nullptr;
   GreedyOptions greedy_options;
   greedy_options.lazy = options_.lazy;
+  greedy_options.num_threads = options_.num_threads;
   GreedySolver greedy(greedy_options);
   SolverResult first = greedy.Solve(g0, k_, l_);
   anchors_ = first.anchors;
@@ -314,6 +321,70 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
   }
 }
 
+void IncAvtTracker::ParallelLocalSearch(const std::vector<VertexId>& pool,
+                                        std::vector<uint8_t>& is_anchor,
+                                        uint32_t& current,
+                                        AvtSnapshotResult& snap) {
+  // The serial slot loops (Eager/LazyLocalSearch) fanned out over the
+  // trial engine: each slot's pool evaluation is one Evaluate call —
+  // fixed per-worker shards, per-worker oracles, (followers desc, id
+  // asc) reduction — so the committed anchors are bit-identical to the
+  // serial searches at every thread count. Cross-snapshot slot memo
+  // entries are not recorded here (worker oracles keep no state between
+  // calls); the incumbent memo in ProcessDelta still applies, and every
+  // commit must invalidate it exactly like the serial commit does.
+  TrialPolicy policy;
+  policy.lazy = options_.lazy;
+  std::vector<VertexId> base;
+  std::vector<VertexId> live;
+  live.reserve(pool.size());
+  auto collect_live = [&] {
+    live.clear();
+    for (VertexId v : pool) {
+      if (!is_anchor[v]) live.push_back(v);
+    }
+  };
+  auto commit_invalidates_memo = [&] {
+    memo_.clear();
+    for (std::vector<uint64_t>& keys : slot_bound_keys_) keys.clear();
+  };
+
+  // Swap phase: per anchor slot, the best strict improvement wins.
+  for (size_t i = 0; i < anchors_.size() && !pool.empty(); ++i) {
+    base = anchors_;
+    base.erase(base.begin() + static_cast<ptrdiff_t>(i));
+    collect_live();
+    if (live.empty()) continue;
+    policy.gate = true;
+    policy.floor = current;
+    TrialOutcome outcome = engine_->Evaluate(live, base, k_, policy);
+    snap.candidates_visited += outcome.full_queries;
+    snap.bound_probes += outcome.bound_probes;
+    if (outcome.vertex == kNoVertex) continue;  // slot settled
+    is_anchor[anchors_[i]] = 0;
+    is_anchor[outcome.vertex] = 1;
+    anchors_[i] = outcome.vertex;
+    commit_invalidates_memo();
+    current = outcome.followers;
+  }
+
+  // Extend phase: ungated argmax, like the serial extend loops.
+  while (anchors_.size() < l_ && !pool.empty()) {
+    collect_live();
+    if (live.empty()) break;
+    policy.gate = false;
+    policy.floor = 0;
+    TrialOutcome outcome = engine_->Evaluate(live, anchors_, k_, policy);
+    snap.candidates_visited += outcome.full_queries;
+    snap.bound_probes += outcome.bound_probes;
+    if (outcome.vertex == kNoVertex) break;
+    anchors_.push_back(outcome.vertex);
+    is_anchor[outcome.vertex] = 1;
+    commit_invalidates_memo();
+    current = outcome.followers;
+  }
+}
+
 AvtSnapshotResult IncAvtTracker::ProcessDelta(const Graph& graph,
                                               const EdgeDelta& delta) {
   Timer timer;
@@ -398,7 +469,9 @@ AvtSnapshotResult IncAvtTracker::ProcessDelta(const Graph& graph,
   }
 
   // Step 4: local search (lines 9-16).
-  if (options_.lazy) {
+  if (options_.num_threads > 1) {
+    ParallelLocalSearch(pool, is_anchor, current, snap);
+  } else if (options_.lazy) {
     LazyLocalSearch(pool, is_anchor, current, snap);
   } else {
     EagerLocalSearch(pool, is_anchor, current, snap);

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "anchor/follower_oracle.h"
+#include "anchor/trial_engine.h"
 #include "core/avt.h"
 #include "maint/maintainer.h"
 
@@ -80,6 +81,13 @@ struct IncAvtOptions {
   /// Lazy local search: certified-bound gating + cross-snapshot region
   /// memo (see file comment). Bit-identical anchors to the eager loop.
   bool lazy = true;
+  /// Trial-engine worker count for the slot-trial local search (and the
+  /// first snapshot's greedy solve); <= 1 runs serial. Parallel slot
+  /// trials keep the bound gating but skip the cross-snapshot slot memo
+  /// (worker oracles hold no cross-call state); anchors stay
+  /// bit-identical to the serial loops at every thread count
+  /// (tests/parallel_determinism_test.cc).
+  uint32_t num_threads = 1;
 };
 
 /// Incremental tracker (the paper's primary contribution).
@@ -137,6 +145,14 @@ class IncAvtTracker : public AvtTracker {
   void EagerLocalSearch(const std::vector<VertexId>& pool,
                         std::vector<uint8_t>& is_anchor, uint32_t& current,
                         AvtSnapshotResult& snap);
+  /// num_threads > 1: the same slot loops fanned out over the trial
+  /// engine — per-slot sharded evaluation (bound-gated when lazy),
+  /// deterministic (followers desc, id asc) reduction, identical commits
+  /// to the serial searches. Uses the incumbent memo but not the
+  /// per-(slot, candidate) memo.
+  void ParallelLocalSearch(const std::vector<VertexId>& pool,
+                           std::vector<uint8_t>& is_anchor,
+                           uint32_t& current, AvtSnapshotResult& snap);
 
   uint32_t k_;
   uint32_t l_;
@@ -145,6 +161,10 @@ class IncAvtTracker : public AvtTracker {
   size_t t_ = 0;
   CoreMaintainer maintainer_;
   std::unique_ptr<FollowerOracle> oracle_;
+  /// Parallel slot-trial evaluator (created when num_threads > 1), bound
+  /// to the maintainer's graph/order — no CSR: the maintained adjacency
+  /// is dynamic.
+  std::unique_ptr<TrialEngine> engine_;
   std::vector<VertexId> anchors_;
 
   // --- lazy-mode state ---------------------------------------------

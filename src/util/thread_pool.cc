@@ -1,0 +1,63 @@
+#include "util/thread_pool.h"
+
+namespace avt {
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  threads_.reserve(num_threads_ - 1);
+  for (uint32_t id = 1; id < num_threads_; ++id) {
+    threads_.emplace_back(&ThreadPool::WorkerLoop, this, id);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Run(const std::function<void(uint32_t)>& body) {
+  if (threads_.empty()) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    running_ = static_cast<uint32_t>(threads_.size());
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  body(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(uint32_t id) {
+  uint64_t seen = 0;
+  while (true) {
+    const std::function<void(uint32_t)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+    }
+    (*body)(id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+    // The caller only waits when it finished its own share first, so a
+    // single wakeup of the region owner suffices.
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace avt

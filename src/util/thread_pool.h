@@ -1,0 +1,120 @@
+// Persistent worker pool + work-stealing parallel-for for the trial
+// engines (anchor/trial_engine.h).
+//
+// The pool is a fork-join primitive, not a task queue: Run(body) executes
+// body(worker_id) once on every worker concurrently — the calling thread
+// participates as worker 0, the pool's threads as 1..num_threads-1 — and
+// returns when all invocations finished. Workers sleep on a condition
+// variable between regions, so an idle pool costs nothing; a pool of one
+// spawns no threads and Run degenerates to a plain call, which keeps the
+// serial paths free of synchronization.
+//
+// ParallelFor layers dynamic load balancing on top: the index range is
+// split into one contiguous block per worker, each with an atomic cursor;
+// a worker drains its own block in `grain`-sized chunks and then steals
+// chunks from the other blocks. Every index is executed exactly once, and
+// because the (worker, index) assignment only decides *where* a pure
+// per-index computation runs — results land in index-addressed slots or
+// in commutative reductions — callers stay deterministic under stealing.
+// Work whose *cost accounting* must be deterministic per worker (the lazy
+// trial shards) uses Run directly with fixed block bounds instead.
+
+#ifndef AVT_UTIL_THREAD_POOL_H_
+#define AVT_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace avt {
+
+/// Fork-join worker pool. See file comment for the execution model.
+class ThreadPool {
+ public:
+  /// A pool of `num_threads` workers total (0 and 1 both mean "no extra
+  /// threads": Run executes inline on the caller).
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Executes body(worker_id) on every worker (caller = worker 0) and
+  /// returns when every invocation has finished. Not reentrant: body must
+  /// not call Run on the same pool.
+  void Run(const std::function<void(uint32_t)>& body);
+
+  /// Fixed contiguous block of [0, n) owned by `worker`: the standard
+  /// shard bounds every deterministic sharded computation uses.
+  static size_t BlockBegin(size_t n, uint32_t workers, uint32_t worker) {
+    return n * worker / workers;
+  }
+  static size_t BlockEnd(size_t n, uint32_t workers, uint32_t worker) {
+    return n * (worker + 1) / workers;
+  }
+
+ private:
+  void WorkerLoop(uint32_t id);
+
+  const uint32_t num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(uint32_t)>* body_ = nullptr;
+  uint64_t generation_ = 0;  // bumped per Run; workers wait for a change
+  uint32_t running_ = 0;     // pool workers still inside the current body
+  bool stop_ = false;
+};
+
+/// Runs fn(worker_id, index) for every index in [0, n) across the pool's
+/// workers with chunked work stealing (see file comment). `pool` may be
+/// nullptr or single-threaded: indices then run inline in order with
+/// worker_id 0. fn must be safe to call concurrently for distinct
+/// indices; each index is executed exactly once.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain, Fn&& fn) {
+  if (grain == 0) grain = 1;
+  const uint32_t workers = pool != nullptr ? pool->num_threads() : 1;
+  if (workers <= 1 || n <= grain) {
+    for (size_t i = 0; i < n; ++i) fn(uint32_t{0}, i);
+    return;
+  }
+
+  // One cursor per block, padded so stealers don't false-share with the
+  // owner. fetch_add past `end` is harmless (the pop just fails).
+  struct alignas(64) Block {
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+  };
+  std::vector<Block> blocks(workers);
+  for (uint32_t w = 0; w < workers; ++w) {
+    blocks[w].next.store(ThreadPool::BlockBegin(n, workers, w),
+                         std::memory_order_relaxed);
+    blocks[w].end = ThreadPool::BlockEnd(n, workers, w);
+  }
+
+  pool->Run([&](uint32_t worker) {
+    for (uint32_t offset = 0; offset < workers; ++offset) {
+      Block& block = blocks[(worker + offset) % workers];
+      while (true) {
+        size_t begin =
+            block.next.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= block.end) break;
+        size_t limit = begin + grain < block.end ? begin + grain : block.end;
+        for (size_t i = begin; i < limit; ++i) fn(worker, i);
+      }
+    }
+  });
+}
+
+}  // namespace avt
+
+#endif  // AVT_UTIL_THREAD_POOL_H_

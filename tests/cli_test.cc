@@ -137,6 +137,64 @@ TEST_F(CliTest, AnchorsAllAlgorithms) {
   }
 }
 
+TEST_F(CliTest, AnchorsRejectsNonPositiveThreads) {
+  std::string graph_path = TempPath("threads.txt");
+  std::string out, err;
+  ASSERT_EQ(Run({"gen", "--model=er", "--n=80", "--avg-degree=4",
+                 "--out=" + graph_path},
+                &out),
+            0);
+  for (const char* bad : {"--threads=0", "--threads=-3", "--threads=zap"}) {
+    EXPECT_EQ(Run({"anchors", graph_path, "--k=3", "--l=2", bad}, &out,
+                  &err),
+              2)
+        << bad;
+    EXPECT_NE(err.find("--threads must be a positive integer"),
+              std::string::npos)
+        << bad;
+  }
+}
+
+TEST_F(CliTest, TrackRejectsNonPositiveThreads) {
+  std::string out, err;
+  EXPECT_EQ(Run({"track", "--dataset=CollegeMsg", "--t=3", "--threads=0"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("--threads must be a positive integer"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, AnchorsThreadedMatchesSerial) {
+  std::string graph_path = TempPath("mt.txt");
+  std::string serial, threaded;
+  ASSERT_EQ(Run({"gen", "--model=chung-lu", "--n=250", "--avg-degree=6",
+                 "--out=" + graph_path},
+                &serial),
+            0);
+  ASSERT_EQ(Run({"anchors", graph_path, "--k=3", "--l=3", "--threads=1"},
+                &serial),
+            0);
+  ASSERT_EQ(Run({"anchors", graph_path, "--k=3", "--l=3", "--threads=3"},
+                &threaded),
+            0);
+  // Identical anchors, followers, and anchored-core size. The algorithm
+  // name ("Greedy" vs "Greedy-parallel") and the work counters (sharded
+  // lazy resolution legitimately issues more full queries) may differ.
+  auto result_lines = [](const std::string& text) {
+    std::string kept;
+    std::istringstream stream(text);
+    for (std::string line; std::getline(stream, line);) {
+      if (line.rfind("anchors", 0) == 0 || line.rfind("followers", 0) == 0 ||
+          line.rfind("|C_", 0) == 0) {
+        kept += line + "\n";
+      }
+    }
+    return kept;
+  };
+  EXPECT_NE(result_lines(serial), "");
+  EXPECT_EQ(result_lines(serial), result_lines(threaded));
+}
+
 TEST_F(CliTest, AnchorsRejectsBadAlgo) {
   std::string graph_path = TempPath("bad.txt");
   std::string out, err;

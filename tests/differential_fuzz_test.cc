@@ -1,0 +1,267 @@
+// Differential fuzz: IncAvtTracker vs from-scratch recomputation.
+//
+// A seeded fuzz loop drives the incremental tracker through ~200 random
+// EdgeDelta transitions (mixed inserts/removes, varying k/l/batch) and,
+// after every transition, recomputes the ground truth from scratch on
+// the materialized snapshot — a fresh core decomposition, a fresh
+// K-order + follower oracle, and the exact anchored peel — exactly what
+// a StaticAVT re-solve would see. Any drift between the maintained
+// incremental state and the from-scratch view (core numbers, |C_k|,
+// reported follower counts, anchored-core size) is a bug in the
+// maintenance or tracking path, regardless of which anchors the
+// heuristic picked.
+//
+// On a mismatch the failing schedule is SHRUNK — whole transitions
+// first, then individual edges while the schedule is small — and
+// printed, so the minimized repro can be pasted into a regression test.
+//
+// Scale knob: AVT_FUZZ_TRANSITIONS overrides the per-config transition
+// count (the sanitizer tier runs a reduced sweep; see scripts/check.sh).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "anchor/anchored_core.h"
+#include "anchor/follower_oracle.h"
+#include "core/inc_avt.h"
+#include "corelib/decomposition.h"
+#include "corelib/korder.h"
+#include "gen/models.h"
+#include "graph/delta.h"
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+struct FuzzConfig {
+  uint32_t n;
+  double avg_degree;
+  uint32_t k;
+  uint32_t l;
+  uint32_t max_batch;  // per-side churn bound ("b"): 0..max_batch each
+  uint64_t seed;
+};
+
+size_t TransitionsPerConfig() {
+  if (const char* env = std::getenv("AVT_FUZZ_TRANSITIONS")) {
+    int value = std::atoi(env);
+    if (value > 0) return static_cast<size_t>(value) / 4 + 1;
+  }
+  return 50;  // 4 configs x 50 = 200 transitions
+}
+
+// One random transition against the current graph: remove up to
+// max_batch existing edges, insert up to max_batch absent pairs. The
+// delta is applied to `g` so the next transition sees the new state.
+EdgeDelta RandomDelta(Graph& g, uint32_t max_batch, Rng& rng) {
+  EdgeDelta delta;
+  const uint64_t removals = rng.Uniform(max_batch + 1);
+  if (removals > 0 && g.NumEdges() > 0) {
+    std::vector<Edge> edges = g.CollectEdges();
+    for (uint64_t r = 0; r < removals && !edges.empty(); ++r) {
+      size_t pick = static_cast<size_t>(rng.Uniform(edges.size()));
+      delta.deletions.push_back(edges[pick]);
+      edges[pick] = edges.back();
+      edges.pop_back();
+    }
+  }
+  const uint64_t insertions = rng.Uniform(max_batch + 1);
+  for (uint64_t a = 0; a < insertions; ++a) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      VertexId u = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+      VertexId v = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+      if (u == v || g.HasEdge(u, v)) continue;
+      // Inserting an edge just removed in this delta would make the
+      // transition order-sensitive; keep the batches disjoint.
+      bool clashes = false;
+      for (const Edge& e : delta.deletions) clashes |= (e == Edge(u, v));
+      for (const Edge& e : delta.insertions) clashes |= (e == Edge(u, v));
+      if (clashes) continue;
+      delta.insertions.push_back(Edge(u, v));
+      break;
+    }
+  }
+  delta.Apply(g);
+  return delta;
+}
+
+std::string FormatSchedule(const std::vector<EdgeDelta>& schedule) {
+  std::ostringstream out;
+  for (size_t t = 0; t < schedule.size(); ++t) {
+    out << "  t" << (t + 1) << ":";
+    for (const Edge& e : schedule[t].insertions) {
+      out << " +(" << e.u << "," << e.v << ")";
+    }
+    for (const Edge& e : schedule[t].deletions) {
+      out << " -(" << e.u << "," << e.v << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+// Replays the schedule through a fresh tracker, cross-checking every
+// snapshot against from-scratch recomputation. Returns "" when all
+// transitions agree, else a description of the first mismatch.
+std::string CheckSchedule(const Graph& g0,
+                          const std::vector<EdgeDelta>& schedule,
+                          uint32_t k, uint32_t l) {
+  IncAvtTracker tracker(k, l);
+  tracker.ProcessFirst(g0);
+  Graph g = g0;
+  for (size_t t = 0; t < schedule.size(); ++t) {
+    schedule[t].Apply(g);
+    AvtSnapshotResult snap = tracker.ProcessDelta(g, schedule[t]);
+    std::ostringstream why;
+
+    // Maintained core numbers vs a fresh decomposition.
+    CoreDecomposition cores = DecomposeCores(g);
+    uint32_t kcore_size = 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (cores.core[v] >= k) ++kcore_size;
+      if (tracker.maintainer().order().CoreOf(v) != cores.core[v]) {
+        why << "t=" << (t + 1) << ": maintained core(" << v << ")="
+            << tracker.maintainer().order().CoreOf(v)
+            << " != from-scratch " << cores.core[v];
+        return why.str();
+      }
+    }
+    if (snap.kcore_size != kcore_size) {
+      why << "t=" << (t + 1) << ": kcore_size " << snap.kcore_size
+          << " != from-scratch " << kcore_size;
+      return why.str();
+    }
+
+    // Reported followers vs the exact anchored peel of the reported
+    // anchors, and vs a fresh K-order + oracle.
+    AnchoredCoreResult exact = ComputeAnchoredKCore(g, k, snap.anchors);
+    if (snap.num_followers != exact.followers.size()) {
+      why << "t=" << (t + 1) << ": num_followers " << snap.num_followers
+          << " != exact peel " << exact.followers.size();
+      return why.str();
+    }
+    if (snap.anchored_core_size != exact.members.size()) {
+      why << "t=" << (t + 1) << ": anchored_core_size "
+          << snap.anchored_core_size << " != exact |C_k(S)| "
+          << exact.members.size();
+      return why.str();
+    }
+    KOrder fresh_order;
+    fresh_order.Build(g);
+    FollowerOracle fresh_oracle(&g, &fresh_order);
+    uint32_t fresh_followers = fresh_oracle.CountFollowers(snap.anchors, k);
+    if (snap.num_followers != fresh_followers) {
+      why << "t=" << (t + 1) << ": num_followers " << snap.num_followers
+          << " != fresh-order oracle " << fresh_followers;
+      return why.str();
+    }
+  }
+  return "";
+}
+
+// Delta-level then edge-level greedy minimization, preserving failure.
+std::vector<EdgeDelta> ShrinkSchedule(const Graph& g0,
+                                      std::vector<EdgeDelta> schedule,
+                                      uint32_t k, uint32_t l) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = schedule.size(); i-- > 0;) {
+      std::vector<EdgeDelta> trial = schedule;
+      trial.erase(trial.begin() + static_cast<ptrdiff_t>(i));
+      if (!CheckSchedule(g0, trial, k, l).empty()) {
+        schedule = std::move(trial);
+        progress = true;
+      }
+    }
+  }
+  if (schedule.size() <= 10) {
+    progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t i = 0; i < schedule.size(); ++i) {
+        for (int side = 0; side < 2; ++side) {
+          std::vector<Edge>& edges = side == 0
+                                         ? schedule[i].insertions
+                                         : schedule[i].deletions;
+          for (size_t e = edges.size(); e-- > 0;) {
+            std::vector<EdgeDelta> trial = schedule;
+            std::vector<Edge>& trial_edges =
+                side == 0 ? trial[i].insertions : trial[i].deletions;
+            trial_edges.erase(trial_edges.begin() +
+                              static_cast<ptrdiff_t>(e));
+            if (!CheckSchedule(g0, trial, k, l).empty()) {
+              schedule = std::move(trial);
+              progress = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  return schedule;
+}
+
+TEST(DifferentialFuzz, IncAvtMatchesFromScratchRecomputation) {
+  const size_t transitions = TransitionsPerConfig();
+  const FuzzConfig configs[] = {
+      {150, 6.0, 3, 3, 10, 501},
+      {200, 7.0, 4, 5, 25, 502},
+      {120, 5.0, 3, 2, 40, 503},
+      {180, 8.0, 5, 4, 15, 504},
+  };
+  for (const FuzzConfig& config : configs) {
+    Rng rng(config.seed);
+    Graph g0 = ChungLuPowerLaw(config.n, config.avg_degree, 2.2,
+                               config.n / 4, rng);
+    // Generate the whole schedule up front (against a working copy), so
+    // a failure can be replayed and shrunk deterministically from g0.
+    Graph working = g0;
+    std::vector<EdgeDelta> schedule;
+    schedule.reserve(transitions);
+    for (size_t t = 0; t < transitions; ++t) {
+      schedule.push_back(RandomDelta(working, config.max_batch, rng));
+    }
+
+    std::string mismatch = CheckSchedule(g0, schedule, config.k, config.l);
+    if (!mismatch.empty()) {
+      std::vector<EdgeDelta> minimal =
+          ShrinkSchedule(g0, schedule, config.k, config.l);
+      std::string minimal_mismatch =
+          CheckSchedule(g0, minimal, config.k, config.l);
+      ADD_FAILURE() << "differential mismatch (seed " << config.seed
+                    << ", k=" << config.k << ", l=" << config.l
+                    << ", batch<=" << config.max_batch << "):\n  "
+                    << mismatch << "\nshrunk to " << minimal.size()
+                    << " transition(s): " << minimal_mismatch << "\n"
+                    << FormatSchedule(minimal);
+      return;  // one minimized repro is enough output
+    }
+  }
+}
+
+TEST(DifferentialFuzz, SurvivesEmptyAndDegenerateDeltas) {
+  // Edge cases the random loop rarely hits: empty deltas, a delta whose
+  // removals disconnect the k-core, and re-inserting what was removed.
+  Rng rng(909);
+  Graph g0 = ChungLuPowerLaw(100, 6.0, 2.2, 30, rng);
+  std::vector<EdgeDelta> schedule;
+  schedule.push_back(EdgeDelta{});  // no-op transition
+  Graph working = g0;
+  EdgeDelta wipe;
+  std::vector<Edge> edges = working.CollectEdges();
+  for (size_t i = 0; i < edges.size() && i < 120; ++i) {
+    wipe.deletions.push_back(edges[i]);
+  }
+  wipe.Apply(working);
+  schedule.push_back(wipe);
+  schedule.push_back(wipe.Inverse());  // restore
+  EXPECT_EQ(CheckSchedule(g0, schedule, 3, 3), "");
+}
+
+}  // namespace
+}  // namespace avt

@@ -37,12 +37,34 @@ bool LoadPositionalGraph(const Flags& flags, FILE* err, Graph* graph) {
   return true;
 }
 
-std::unique_ptr<AnchorSolver> MakeSolver(const std::string& name) {
-  if (name == "greedy") return std::make_unique<GreedySolver>();
+std::unique_ptr<AnchorSolver> MakeSolver(const std::string& name,
+                                         uint32_t num_threads) {
+  if (name == "greedy") {
+    GreedyOptions options;
+    options.num_threads = num_threads;
+    return std::make_unique<GreedySolver>(options);
+  }
   if (name == "olak") return std::make_unique<OlakSolver>();
   if (name == "rcm") return std::make_unique<RcmSolver>();
   if (name == "brute") return std::make_unique<BruteForceSolver>();
   return nullptr;
+}
+
+// Parses --threads (default 1: serial). Rejects anything that is not a
+// positive integer — 0 and negative counts are user errors, not values
+// to clamp silently.
+bool ParseThreads(const Flags& flags, FILE* err, uint32_t* num_threads) {
+  *num_threads = 1;
+  if (!flags.Has("threads")) return true;
+  int64_t value = flags.GetInt("threads", /*default_value=*/-1);
+  if (value <= 0) {
+    std::fprintf(err,
+                 "error: --threads must be a positive integer (got '%s')\n",
+                 flags.GetString("threads", "").c_str());
+    return false;
+  }
+  *num_threads = static_cast<uint32_t>(value);
+  return true;
 }
 
 bool ParseAlgorithm(const std::string& name, AvtAlgorithm* algorithm) {
@@ -177,12 +199,14 @@ int RunCoreCommand(const Flags& flags, FILE* out, FILE* err) {
 }
 
 int RunAnchorsCommand(const Flags& flags, FILE* out, FILE* err) {
+  uint32_t num_threads;
+  if (!ParseThreads(flags, err, &num_threads)) return 2;
   Graph g;
   if (!LoadPositionalGraph(flags, err, &g)) return 2;
   const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 3));
   const uint32_t l = static_cast<uint32_t>(flags.GetInt("l", 5));
   const std::string algo = flags.GetString("algo", "greedy");
-  std::unique_ptr<AnchorSolver> solver = MakeSolver(algo);
+  std::unique_ptr<AnchorSolver> solver = MakeSolver(algo, num_threads);
   if (!solver) {
     std::fprintf(err,
                  "error: unknown --algo '%s' (greedy, olak, rcm, brute)\n",
@@ -204,6 +228,8 @@ int RunAnchorsCommand(const Flags& flags, FILE* out, FILE* err) {
 }
 
 int RunTrackCommand(const Flags& flags, FILE* out, FILE* err) {
+  uint32_t num_threads;
+  if (!ParseThreads(flags, err, &num_threads)) return 2;
   const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 3));
   const uint32_t l = static_cast<uint32_t>(flags.GetInt("l", 5));
   const size_t T = static_cast<size_t>(flags.GetInt("t", 10));
@@ -242,7 +268,7 @@ int RunTrackCommand(const Flags& flags, FILE* out, FILE* err) {
     return 2;
   }
 
-  AvtRunResult run = RunAvt(sequence, algorithm, k, l);
+  AvtRunResult run = RunAvt(sequence, algorithm, k, l, num_threads);
   TablePrinter table(
       {"t", "followers", "anchored_core", "candidates", "millis"});
   for (const AvtSnapshotResult& snap : run.snapshots) {
@@ -301,11 +327,15 @@ std::string UsageText() {
       "  core     core decomposition           (<edge-list> [--k "
       "[--list]])\n"
       "  anchors  anchored k-core query        (<edge-list> --k --l "
-      "[--algo])\n"
+      "[--algo] [--threads])\n"
       "  track    AVT over an evolving graph   (--dataset|--temporal --t "
-      "--k --l [--algo])\n"
+      "--k --l [--algo] [--threads])\n"
       "  convert  temporal log -> snapshots    (<temporal> --t --window "
-      "--out-prefix)\n";
+      "--out-prefix)\n"
+      "\n"
+      "--threads N (>= 1) sizes the parallel trial engine of greedy and\n"
+      "incavt; results are bit-identical at every thread count. Other\n"
+      "algorithms run serial regardless.\n";
 }
 
 int RunCli(int argc, char** argv, FILE* out, FILE* err) {
