@@ -16,14 +16,22 @@
 // recorded alongside because wall-clock scaling is bounded by the
 // machine; the work counters and outputs are deterministic everywhere.
 //
-// Outputs are asserted identical between all strategies and all thread
-// counts before any number is written: the gate measures a speedup,
-// never a quality trade. The JSON is intentionally flat so future PRs
-// can diff it and append their own gates alongside.
+// PR-4 gate — CSR maintenance for the incremental tracker: the IncAVT
+// per-delta workload across the three cascade-scan backings (no CSR /
+// rebuild-per-delta CsrView / delta-maintained DynamicCsr), emitted to
+// --csr-out with the patch-vs-rebuild ratio. Anchors are additionally
+// asserted identical for the maintained backing across
+// {lazy, eager} x threads {1, 2, 8}.
+//
+// Outputs are asserted identical between all strategies, thread counts,
+// and scan backings before any number is written: the gate measures a
+// speedup, never a quality trade. The JSON is intentionally flat so
+// future PRs can diff it and append their own gates alongside.
 //
 //   ./bench_perf_gate [--n=50000] [--k=3] [--l=10] [--t=12]
 //                     [--churn=150] [--repeats=3] [--out=BENCH_PR2.json]
 //                     [--threads-list=1,2,4,8] [--threads-out=BENCH_PR3.json]
+//                     [--csr-out=BENCH_PR4.json]
 //
 // --repeats re-runs each timed section and keeps the fastest wall time
 // (work counters are deterministic and identical across repeats).
@@ -81,13 +89,15 @@ GateMetrics MeasureGreedy(const Graph& g, uint32_t k, uint32_t l,
 GateMetrics MeasureIncAvt(const SnapshotSequence& sequence, uint32_t k,
                           uint32_t l, bool lazy, int repeats,
                           std::vector<std::vector<VertexId>>* anchors_out,
-                          uint32_t num_threads = 1) {
+                          uint32_t num_threads = 1,
+                          IncAvtCsrMode csr_mode = IncAvtCsrMode::kMaintained) {
   GateMetrics metrics;
   metrics.millis = 1e300;
   for (int r = 0; r < repeats; ++r) {
     IncAvtOptions options;
     options.lazy = lazy;
     options.num_threads = num_threads;
+    options.csr = csr_mode;
     IncAvtTracker tracker(k, l, IncAvtMode::kRestricted, options);
     anchors_out->clear();
     double delta_millis = 0;
@@ -242,6 +252,53 @@ int main(int argc, char** argv) {
                       incavt_by_threads.back().millis));
   }
 
+  // --- Gate 4 (PR 4): CSR maintenance for the incremental tracker ----
+  // The IncAVT per-delta workload (lazy, serial — the headline path)
+  // across the three cascade-scan backings. The maintained backing is
+  // then re-run across {lazy, eager} x threads {1, 2, 8} and every
+  // anchor track must match the no-CSR baseline bit for bit.
+  const std::string csr_out = flags.GetString("csr-out", "BENCH_PR4.json");
+  std::vector<std::vector<VertexId>> nocsr_track;
+  std::vector<std::vector<VertexId>> rebuild_track;
+  std::vector<std::vector<VertexId>> maintained_track;
+  GateMetrics inc_nocsr =
+      MeasureIncAvt(sequence, k, l, /*lazy=*/true, repeats, &nocsr_track,
+                    /*num_threads=*/1, IncAvtCsrMode::kNone);
+  GateMetrics inc_rebuild =
+      MeasureIncAvt(sequence, k, l, /*lazy=*/true, repeats, &rebuild_track,
+                    /*num_threads=*/1, IncAvtCsrMode::kRebuildPerDelta);
+  GateMetrics inc_maintained =
+      MeasureIncAvt(sequence, k, l, /*lazy=*/true, repeats,
+                    &maintained_track, /*num_threads=*/1,
+                    IncAvtCsrMode::kMaintained);
+  AVT_CHECK_MSG(nocsr_track == lazy_track,
+                "perf gate violated: csr=none IncAVT diverged");
+  AVT_CHECK_MSG(rebuild_track == nocsr_track,
+                "perf gate violated: rebuild-per-delta IncAVT diverged");
+  AVT_CHECK_MSG(maintained_track == nocsr_track,
+                "perf gate violated: maintained-CSR IncAVT diverged");
+  std::printf("incavt csr=none:       %8.2f ms/delta\n",
+              inc_nocsr.millis / deltas);
+  std::printf("incavt csr=rebuild:    %8.2f ms/delta\n",
+              inc_rebuild.millis / deltas);
+  std::printf("incavt csr=maintained: %8.2f ms/delta  (%.2fx vs none, "
+              "%.2fx vs rebuild)\n",
+              inc_maintained.millis / deltas,
+              Ratio(inc_nocsr.millis, inc_maintained.millis),
+              Ratio(inc_rebuild.millis, inc_maintained.millis));
+  for (bool strategy_lazy : {true, false}) {
+    for (uint32_t threads : {1u, 2u, 8u}) {
+      std::vector<std::vector<VertexId>> track;
+      MeasureIncAvt(sequence, k, l, strategy_lazy, /*repeats=*/1, &track,
+                    threads, IncAvtCsrMode::kMaintained);
+      AVT_CHECK_MSG(track == nocsr_track,
+                    "perf gate violated: maintained-CSR IncAVT diverged "
+                    "in the strategy x threads matrix");
+    }
+  }
+  std::printf("incavt maintained identity matrix: {lazy, eager} x threads "
+              "{1, 2, 8} all bit-identical\n");
+
   // --- Emit JSON -----------------------------------------------------
   FILE* f = std::fopen(out.c_str(), "w");
   AVT_CHECK_MSG(f != nullptr, "cannot open bench output file");
@@ -313,5 +370,43 @@ int main(int argc, char** argv) {
   std::fprintf(tf, "}\n");
   std::fclose(tf);
   std::printf("wrote %s\n", threads_out.c_str());
+
+  // --- Emit BENCH_PR4.json (CSR maintenance) -------------------------
+  FILE* cf = std::fopen(csr_out.c_str(), "w");
+  AVT_CHECK_MSG(cf != nullptr, "cannot open csr-maintenance output file");
+  std::fprintf(cf, "{\n");
+  std::fprintf(cf, "  \"bench\": \"perf_gate_csr_maintenance\",\n");
+  std::fprintf(cf, "  \"pr\": 4,\n");
+  std::fprintf(
+      cf,
+      "  \"config\": {\"n\": %u, \"avg_degree\": 8.0, \"alpha\": 2.1, "
+      "\"k\": %u, \"l\": %u, \"snapshots\": %zu, \"churn_min\": %u, "
+      "\"churn_max\": %u, \"seed\": %" PRIu64 ", \"repeats\": %d, "
+      "\"strategy\": \"lazy\", \"threads\": 1},\n",
+      n, k, l, T, churn, churn + 100, seed, repeats);
+  std::fprintf(cf, "  \"incavt_per_delta\": {\n");
+  PrintMetrics(cf, "no_csr", inc_nocsr, ",");
+  PrintMetrics(cf, "rebuild_per_delta", inc_rebuild, ",");
+  PrintMetrics(cf, "maintained", inc_maintained, ",");
+  std::fprintf(cf, "    \"maintained_vs_no_csr_wall_ratio\": %.3f,\n",
+               inc_nocsr.millis > 0
+                   ? inc_maintained.millis / inc_nocsr.millis
+                   : 0.0);
+  std::fprintf(cf, "    \"maintained_vs_rebuild_wall_ratio\": %.3f,\n",
+               inc_rebuild.millis > 0
+                   ? inc_maintained.millis / inc_rebuild.millis
+                   : 0.0);
+  std::fprintf(cf, "    \"patch_vs_rebuild_wall_speedup\": %.2f,\n",
+               Ratio(inc_rebuild.millis, inc_maintained.millis));
+  std::fprintf(cf, "    \"maintained_speedup_vs_no_csr\": %.2f\n",
+               Ratio(inc_nocsr.millis, inc_maintained.millis));
+  std::fprintf(cf, "  },\n");
+  std::fprintf(cf,
+               "  \"identity_matrix\": {\"strategies\": [\"lazy\", "
+               "\"eager\"], \"threads\": [1, 2, 8]},\n");
+  std::fprintf(cf, "  \"identical_outputs\": true\n");
+  std::fprintf(cf, "}\n");
+  std::fclose(cf);
+  std::printf("wrote %s\n", csr_out.c_str());
   return 0;
 }

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Reproduces BENCH_PR2.json + BENCH_PR3.json: Release build, then the
-# perf gate bench.
+# Reproduces BENCH_PR2.json + BENCH_PR3.json + BENCH_PR4.json: Release
+# build, then the perf gate bench.
 #
 #   scripts/bench.sh                 # full gates (n=50k): BENCH_PR2.json
 #                                    # + BENCH_PR3.json (thread scaling)
+#                                    # + BENCH_PR4.json (CSR maintenance)
 #   scripts/bench.sh --smoke         # small run for CI (bench_smoke.json
-#                                    # + bench_smoke_pr3.json)
+#                                    # + bench_smoke_pr3.json
+#                                    # + bench_smoke_pr4.json)
 #   scripts/bench.sh -- --n=100000   # extra args forwarded to bench_perf_gate
 #
 # The gate measures the eager ("before", seed execution strategy) and
-# lazy ("after", certified-bound) pick loops on identical inputs, then
-# the lazy loops across the --threads-list worker counts, checks all
-# outputs are bit-identical, and emits the before/after JSON that
+# lazy ("after", certified-bound) pick loops on identical inputs, the
+# lazy loops across the --threads-list worker counts, and the IncAVT
+# per-delta workload across the three cascade-scan backings (no CSR /
+# rebuild-per-delta / delta-maintained), checks all outputs are
+# bit-identical, and emits the before/after JSON that
 # docs/PERFORMANCE.md explains. Wall times move with the host (the PR-3
 # JSON records host_cpus for that reason); the work counters
 # (oracle_queries, bound_probes) are deterministic.
@@ -21,11 +25,13 @@ cd "$(dirname "$0")/.."
 
 out="BENCH_PR2.json"
 threads_out="BENCH_PR3.json"
+csr_out="BENCH_PR4.json"
 extra=()
 if [[ "${1:-}" == "--smoke" ]]; then
   shift
   out="bench_smoke.json"
   threads_out="bench_smoke_pr3.json"
+  csr_out="bench_smoke_pr4.json"
   extra+=(--n=8000 --t=6 --repeats=1)
 fi
 if [[ "${1:-}" == "--" ]]; then
@@ -37,5 +43,5 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$jobs" --target bench_perf_gate
 
 ./build/bench_perf_gate --out="$out" --threads-out="$threads_out" \
-  "${extra[@]}" "$@"
-echo "bench output: $out + $threads_out"
+  --csr-out="$csr_out" "${extra[@]}" "$@"
+echo "bench output: $out + $threads_out + $csr_out"

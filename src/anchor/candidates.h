@@ -6,6 +6,13 @@
 // sit on the (k-1)-shell. The theorem shrinks the Greedy candidate pool
 // from |V| to the vertices adjacent "upward" to the shell, which is the
 // dominant speedup of the paper's optimized Greedy over OLAK.
+//
+// Everything here is templated over the adjacency view (Graph, CsrView,
+// or the delta-maintained DynamicCsr — all iterate neighbors in the same
+// order, see graph/dynamic_csr.h), so the one-shot solvers filter over
+// their frozen snapshot and the incremental tracker filters its
+// churn-restricted pool over the maintained mirror without leaving the
+// contiguous scan path.
 
 #ifndef AVT_ANCHOR_CANDIDATES_H_
 #define AVT_ANCHOR_CANDIDATES_H_
@@ -19,27 +26,42 @@
 namespace avt {
 
 /// True iff x passes the Theorem-3 filter for threshold k.
-inline bool IsAnchorCandidate(const Graph& graph, const KOrder& order,
+template <typename Adjacency>
+inline bool IsAnchorCandidate(const Adjacency& adj, const KOrder& order,
                               VertexId x, uint32_t k) {
   if (k == 0) return false;
   if (order.CoreOf(x) >= k) return false;  // k-core members gain nothing
-  for (VertexId v : graph.Neighbors(x)) {
+  for (VertexId v : adj.Neighbors(x)) {
     if (order.CoreOf(v) == k - 1 && order.Precedes(x, v)) return true;
   }
   return false;
 }
 
 /// All Theorem-3 candidates of the graph, ascending vertex id.
-std::vector<VertexId> CollectAnchorCandidates(const Graph& graph,
+template <typename Adjacency>
+std::vector<VertexId> CollectAnchorCandidates(const Adjacency& adj,
                                               const KOrder& order,
-                                              uint32_t k);
+                                              uint32_t k) {
+  std::vector<VertexId> out;
+  for (VertexId x = 0; x < adj.NumVertices(); ++x) {
+    if (IsAnchorCandidate(adj, order, x, k)) out.push_back(x);
+  }
+  return out;
+}
 
 /// Unpruned pool used by the OLAK baseline: every vertex outside the
 /// k-core with at least one neighbor (anchoring an isolated vertex or a
 /// k-core member can never create followers, which OLAK also skips).
-std::vector<VertexId> CollectUnprunedCandidates(const Graph& graph,
+template <typename Adjacency>
+std::vector<VertexId> CollectUnprunedCandidates(const Adjacency& adj,
                                                 const KOrder& order,
-                                                uint32_t k);
+                                                uint32_t k) {
+  std::vector<VertexId> out;
+  for (VertexId x = 0; x < adj.NumVertices(); ++x) {
+    if (order.CoreOf(x) < k && adj.Degree(x) > 0) out.push_back(x);
+  }
+  return out;
+}
 
 }  // namespace avt
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "graph/dynamic_csr.h"
+
 namespace avt {
 
 void FollowerOracle::ResizeScratch() {
@@ -164,26 +166,31 @@ uint32_t FollowerOracle::Eliminate(const Adjacency& adj, uint32_t k,
   return count;
 }
 
+template <typename F>
+decltype(auto) FollowerOracle::WithAdjacency(F&& f) {
+  if (dcsr_ != nullptr) return f(*dcsr_);
+  if (csr_ != nullptr) return f(*csr_);
+  return f(*graph_);
+}
+
 uint32_t FollowerOracle::CountFollowers(std::span<const VertexId> anchors,
                                         VertexId extra, uint32_t k,
                                         std::vector<VertexId>* followers) {
   ++stats_.queries;
   if (followers) followers->clear();
   if (k == 0) return 0;  // every vertex is trivially in the 0-core
-  if (csr_ != nullptr) {
-    ForwardPass(*csr_, anchors, extra, k);
-    return Eliminate(*csr_, k, followers);
-  }
-  ForwardPass(*graph_, anchors, extra, k);
-  return Eliminate(*graph_, k, followers);
+  return WithAdjacency([&](const auto& adj) {
+    ForwardPass(adj, anchors, extra, k);
+    return Eliminate(adj, k, followers);
+  });
 }
 
 uint32_t FollowerOracle::UpperBound(std::span<const VertexId> anchors,
                                     VertexId extra, uint32_t k) {
   ++stats_.bound_queries;
   if (k == 0) return 0;
-  if (csr_ != nullptr) return ForwardPass(*csr_, anchors, extra, k);
-  return ForwardPass(*graph_, anchors, extra, k);
+  return WithAdjacency(
+      [&](const auto& adj) { return ForwardPass(adj, anchors, extra, k); });
 }
 
 void FollowerOracle::BuildBase(std::span<const VertexId> anchors,
@@ -198,15 +205,11 @@ void FollowerOracle::BuildBase(std::span<const VertexId> anchors,
     base_count_ = 0;
     return;
   }
-  if (csr_ != nullptr) {
-    base_count_ = RunCascade(*csr_, anchors, kNoVertex, k, base_anchor_,
-                             base_bump_, base_deg_minus_, base_candidate_,
-                             base_anchors_, base_visited_, nullptr);
-  } else {
-    base_count_ = RunCascade(*graph_, anchors, kNoVertex, k, base_anchor_,
-                             base_bump_, base_deg_minus_, base_candidate_,
-                             base_anchors_, base_visited_, nullptr);
-  }
+  base_count_ = WithAdjacency([&](const auto& adj) {
+    return RunCascade(adj, anchors, kNoVertex, k, base_anchor_, base_bump_,
+                      base_deg_minus_, base_candidate_, base_anchors_,
+                      base_visited_, nullptr);
+  });
 }
 
 template <typename Adjacency>
@@ -281,8 +284,8 @@ uint32_t FollowerOracle::MarginalUpperBound(VertexId x) {
   AVT_DCHECK(base_valid_);
   ++stats_.bound_queries;
   if (base_k_ == 0) return 0;
-  if (csr_ != nullptr) return MarginalUpperBoundImpl(*csr_, x);
-  return MarginalUpperBoundImpl(*graph_, x);
+  return WithAdjacency(
+      [&](const auto& adj) { return MarginalUpperBoundImpl(adj, x); });
 }
 
 }  // namespace avt

@@ -13,14 +13,18 @@ SolverResult GreedySolver::Solve(const Graph& graph, uint32_t k,
   if (k == 0 || l == 0) return result;
 
   // One contiguous adjacency snapshot serves the whole solve: the
-  // K-order build and every oracle cascade scan it.
-  CsrView csr = graph.BuildCsr();
+  // K-order build and every oracle cascade scan it. The view lives in
+  // the solver so back-to-back solves reuse its buffers.
+  graph.BuildCsr(&csr_);
+  const CsrView& csr = csr_;
   KOrder order;
   order.Build(csr);
 
+  // Candidate filtering scans the snapshot too — identical pool either
+  // way (the view preserves neighbor order), contiguous reads.
   std::vector<VertexId> pool = options_.prune_candidates
-                                   ? CollectAnchorCandidates(graph, order, k)
-                                   : CollectUnprunedCandidates(graph, order, k);
+                                   ? CollectAnchorCandidates(csr, order, k)
+                                   : CollectUnprunedCandidates(csr, order, k);
 
   // Algorithm 2: l picks, each taking the candidate with the most
   // followers given the anchors already chosen — evaluated by the trial

@@ -44,6 +44,7 @@
 #define AVT_ANCHOR_GREEDY_H_
 
 #include "anchor/solver.h"
+#include "graph/csr.h"
 
 namespace avt {
 
@@ -78,6 +79,10 @@ class GreedySolver : public AnchorSolver {
 
  private:
   GreedyOptions options_;
+  /// Per-solve adjacency snapshot, kept across Solve calls so repeated
+  /// solves (StaticAvtTracker re-solving every snapshot) refill the same
+  /// buffers instead of reallocating offsets/targets each time.
+  CsrView csr_;
 };
 
 }  // namespace avt

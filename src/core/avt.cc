@@ -76,7 +76,8 @@ AvtSnapshotResult StaticAvtTracker::ProcessDelta(const Graph& graph,
 }
 
 std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
-                                        uint32_t l, uint32_t num_threads) {
+                                        uint32_t l, uint32_t num_threads,
+                                        IncAvtCsrMode csr_mode) {
   switch (algorithm) {
     case AvtAlgorithm::kGreedy: {
       GreedyOptions options;
@@ -96,6 +97,7 @@ std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
     case AvtAlgorithm::kIncAvt: {
       IncAvtOptions options;
       options.num_threads = num_threads;
+      options.csr = csr_mode;
       return std::make_unique<IncAvtTracker>(k, l, IncAvtMode::kRestricted,
                                              options);
     }
@@ -104,13 +106,14 @@ std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
 }
 
 AvtRunResult RunAvt(const SnapshotSequence& sequence, AvtAlgorithm algorithm,
-                    uint32_t k, uint32_t l, uint32_t num_threads) {
+                    uint32_t k, uint32_t l, uint32_t num_threads,
+                    IncAvtCsrMode csr_mode) {
   AvtRunResult run;
   run.algorithm = algorithm;
   run.k = k;
   run.l = l;
   std::unique_ptr<AvtTracker> tracker =
-      MakeTracker(algorithm, k, l, num_threads);
+      MakeTracker(algorithm, k, l, num_threads, csr_mode);
   AVT_CHECK(tracker != nullptr);
   sequence.ForEachSnapshot([&](size_t t, const Graph& graph,
                                const EdgeDelta& delta) {

@@ -30,10 +30,13 @@ constexpr size_t kTouchCompactionLimit = 4'000'000;
 }  // namespace
 
 uint32_t IncAvtTracker::KCoreSize() const {
+  // The K-order level lists partition V by core number, so |C_k| is the
+  // sum of the level sizes from k up — O(degeneracy) instead of the
+  // former O(n) per-vertex scan (which dominated small-delta snapshots).
   uint32_t size = 0;
   const KOrder& order = maintainer_.order();
-  for (VertexId v = 0; v < order.NumVertices(); ++v) {
-    if (order.CoreOf(v) >= k_) ++size;
+  for (uint32_t level = k_; level <= order.MaxLevel(); ++level) {
+    size += order.LevelSize(level);
   }
   return size;
 }
@@ -49,7 +52,7 @@ void IncAvtTracker::RecordTouch(uint64_t key,
 void IncAvtTracker::InvalidateTouched(VertexId v) {
   std::vector<uint64_t>& keys = touch_index_[v];
   if (keys.empty()) return;
-  for (uint64_t key : keys) memo_.erase(key);
+  for (uint64_t key : keys) memo_.Erase(key);
   keys.clear();
 }
 
@@ -62,13 +65,23 @@ AvtSnapshotResult IncAvtTracker::ProcessFirst(const Graph& g0) {
   // Greedy algorithm (lazy pick loop unless the tracker is eager — both
   // produce identical anchors).
   maintainer_.Reset(g0);
+  maintainer_.SetCsrMirror(options_.csr == IncAvtCsrMode::kMaintained);
+  // Scan backing per options_.csr: the maintained mirror (patched in
+  // place, stable pointer), the per-delta rebuilt snapshot (stable
+  // member, refilled before every use), or the dynamic adjacency. The
+  // engine's per-worker oracles share the same backing read-only.
+  rebuilt_csr_ = CsrView{};
+  const CsrView* frozen = options_.csr == IncAvtCsrMode::kRebuildPerDelta
+                              ? &rebuilt_csr_
+                              : nullptr;
   oracle_ = std::make_unique<FollowerOracle>(&maintainer_.graph(),
-                                             &maintainer_.order());
+                                             &maintainer_.order(), frozen,
+                                             maintainer_.csr());
   engine_ = options_.num_threads > 1
                 ? std::make_unique<TrialEngine>(&maintainer_.graph(),
-                                                &maintainer_.order(),
-                                                /*csr=*/nullptr,
-                                                options_.num_threads)
+                                                &maintainer_.order(), frozen,
+                                                options_.num_threads,
+                                                maintainer_.csr())
                 : nullptr;
   GreedyOptions greedy_options;
   greedy_options.lazy = options_.lazy;
@@ -77,11 +90,18 @@ AvtSnapshotResult IncAvtTracker::ProcessFirst(const Graph& g0) {
   SolverResult first = greedy.Solve(g0, k_, l_);
   anchors_ = first.anchors;
 
-  // Reset the cross-snapshot memo.
-  memo_.clear();
+  // Reset the cross-snapshot memo. The reserve sizes the flat map past
+  // the typical working set (incumbent + per-slot bases + slot-candidate
+  // entries) so the per-delta loop starts rehash-free; the map grows
+  // once and stays at its high-water capacity if a workload outruns it.
+  memo_.Clear();
+  memo_.Reserve(4096);
   touch_index_.assign(g0.NumVertices(), {});
   touch_total_ = 0;
   slot_bound_keys_.assign(2 * static_cast<size_t>(l_) + 2, {});
+  pool_state_.assign(g0.NumVertices(), kUnseen);
+  is_anchor_.assign(g0.NumVertices(), 0);
+  pool_.clear();
 
   snap.anchors = anchors_;
   snap.num_followers = first.num_followers();
@@ -99,7 +119,6 @@ AvtSnapshotResult IncAvtTracker::ProcessFirst(const Graph& g0) {
 }
 
 void IncAvtTracker::EagerLocalSearch(const std::vector<VertexId>& pool,
-                                     std::vector<uint8_t>& is_anchor,
                                      uint32_t& current,
                                      AvtSnapshotResult& snap) {
   // Algorithm 6 lines 9-16 verbatim: per anchor slot, evaluate every
@@ -112,7 +131,7 @@ void IncAvtTracker::EagerLocalSearch(const std::vector<VertexId>& pool,
     VertexId best_replacement = kNoVertex;
     uint32_t best_followers = current;
     for (VertexId v : pool) {
-      if (is_anchor[v]) continue;
+      if (is_anchor_[v]) continue;
       ++snap.candidates_visited;
       uint32_t followers = oracle_->CountFollowers(base, v, k_);
       if (followers > best_followers) {
@@ -121,8 +140,8 @@ void IncAvtTracker::EagerLocalSearch(const std::vector<VertexId>& pool,
       }
     }
     if (best_replacement != kNoVertex) {
-      is_anchor[anchors_[i]] = 0;
-      is_anchor[best_replacement] = 1;
+      is_anchor_[anchors_[i]] = 0;
+      is_anchor_[best_replacement] = 1;
       anchors_[i] = best_replacement;
       current = best_followers;
     }
@@ -133,7 +152,7 @@ void IncAvtTracker::EagerLocalSearch(const std::vector<VertexId>& pool,
     VertexId best_vertex = kNoVertex;
     uint32_t best_followers = current;
     for (VertexId v : pool) {
-      if (is_anchor[v]) continue;
+      if (is_anchor_[v]) continue;
       ++snap.candidates_visited;
       uint32_t followers = oracle_->CountFollowers(anchors_, v, k_);
       if (best_vertex == kNoVertex || followers > best_followers) {
@@ -143,13 +162,12 @@ void IncAvtTracker::EagerLocalSearch(const std::vector<VertexId>& pool,
     }
     if (best_vertex == kNoVertex) break;
     anchors_.push_back(best_vertex);
-    is_anchor[best_vertex] = 1;
+    is_anchor_[best_vertex] = 1;
     current = best_followers;
   }
 }
 
 void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
-                                    std::vector<uint8_t>& is_anchor,
                                     uint32_t& current,
                                     AvtSnapshotResult& snap) {
   // Same search as EagerLocalSearch, same committed anchors (see the
@@ -184,11 +202,11 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
                          bool record) {
     if (base_ready) return;
     const uint64_t base_key = kBaseKeyBase | slot;
-    if (record && memo_.find(base_key) == memo_.end()) {
-      for (uint64_t key : slot_bound_keys_[slot]) memo_.erase(key);
+    if (record && memo_.Find(base_key) == nullptr) {
+      for (uint64_t key : slot_bound_keys_[slot]) memo_.Erase(key);
       slot_bound_keys_[slot].clear();
       oracle_->BuildBase(trial_base, k_);
-      memo_.emplace(base_key, TrialMemo{0, true});
+      memo_.Put(base_key, TrialMemo{0, true});
       RecordTouch(base_key, oracle_->BaseRegionAnchors(),
                   oracle_->BaseRegionVisited());
     } else {
@@ -207,7 +225,7 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
     uint32_t ub = oracle_->MarginalUpperBound(v);
     if (record && memoize_slots) {
       const uint64_t key = (slot << 32) | v;
-      memo_[key] = {ub, false};
+      memo_.Put(key, {ub, false});
       RecordTouch(key, oracle_->LastMarginalVisited(), {});
       slot_bound_keys_[slot].push_back(key);
     }
@@ -230,7 +248,7 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
       uint32_t exact = oracle_->CountFollowers(trial_base, top.vertex, k_);
       if (record && memoize_slots) {
         const uint64_t key = (slot << 32) | top.vertex;
-        memo_[key] = {exact, true};
+        memo_.Put(key, {exact, true});
         RecordTouch(key, oracle_->LastRegionAnchors(),
                     oracle_->LastRegionVisited());
       }
@@ -245,7 +263,7 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
   // F(S); the next snapshot re-establishes its dependency region with
   // one full query.
   auto commit = [&](const LazyEntry& winner) {
-    memo_.clear();
+    memo_.Clear();
     for (std::vector<uint64_t>& keys : slot_bound_keys_) keys.clear();
     current = winner.value;
   };
@@ -259,13 +277,12 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
   // estimate and silently settle a slot the eager loop would improve.
   auto memo_hit = [&](uint64_t slot, VertexId v, LazyEntry* out) {
     if (!memoize_slots) return false;
-    auto it = memo_.find((slot << 32) | v);
-    if (it == memo_.end()) return false;
-    if (!it->second.exact &&
-        memo_.find(kBaseKeyBase | slot) == memo_.end()) {
+    const TrialMemo* entry = memo_.Find((slot << 32) | v);
+    if (entry == nullptr) return false;
+    if (!entry->exact && memo_.Find(kBaseKeyBase | slot) == nullptr) {
       return false;
     }
-    *out = {it->second.value, static_cast<VertexId>(v), it->second.exact};
+    *out = {entry->value, static_cast<VertexId>(v), entry->exact};
     return true;
   };
 
@@ -276,7 +293,7 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
     heap = std::priority_queue<LazyEntry>();
     base_ready = false;
     for (VertexId v : pool) {
-      if (is_anchor[v]) continue;
+      if (is_anchor_[v]) continue;
       LazyEntry cached;
       if (memo_hit(i, v, &cached)) {
         heap.push(cached);
@@ -287,8 +304,8 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
     LazyEntry winner =
         resolve_top(i, base, /*stop_at_current=*/true, /*record=*/true);
     if (winner.vertex == kNoVertex) continue;  // slot settled, no commit
-    is_anchor[anchors_[i]] = 0;
-    is_anchor[winner.vertex] = 1;
+    is_anchor_[anchors_[i]] = 0;
+    is_anchor_[winner.vertex] = 1;
     anchors_[i] = winner.vertex;
     commit(winner);
   }
@@ -302,7 +319,7 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
     base_ready = false;
     bool any = false;
     for (VertexId v : pool) {
-      if (is_anchor[v]) continue;
+      if (is_anchor_[v]) continue;
       LazyEntry cached;
       if (memo_hit(slot, v, &cached)) {
         heap.push(cached);
@@ -316,13 +333,12 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
                                    /*record=*/false);
     if (winner.vertex == kNoVertex) break;
     anchors_.push_back(winner.vertex);
-    is_anchor[winner.vertex] = 1;
+    is_anchor_[winner.vertex] = 1;
     commit(winner);
   }
 }
 
 void IncAvtTracker::ParallelLocalSearch(const std::vector<VertexId>& pool,
-                                        std::vector<uint8_t>& is_anchor,
                                         uint32_t& current,
                                         AvtSnapshotResult& snap) {
   // The serial slot loops (Eager/LazyLocalSearch) fanned out over the
@@ -341,11 +357,11 @@ void IncAvtTracker::ParallelLocalSearch(const std::vector<VertexId>& pool,
   auto collect_live = [&] {
     live.clear();
     for (VertexId v : pool) {
-      if (!is_anchor[v]) live.push_back(v);
+      if (!is_anchor_[v]) live.push_back(v);
     }
   };
   auto commit_invalidates_memo = [&] {
-    memo_.clear();
+    memo_.Clear();
     for (std::vector<uint64_t>& keys : slot_bound_keys_) keys.clear();
   };
 
@@ -361,8 +377,8 @@ void IncAvtTracker::ParallelLocalSearch(const std::vector<VertexId>& pool,
     snap.candidates_visited += outcome.full_queries;
     snap.bound_probes += outcome.bound_probes;
     if (outcome.vertex == kNoVertex) continue;  // slot settled
-    is_anchor[anchors_[i]] = 0;
-    is_anchor[outcome.vertex] = 1;
+    is_anchor_[anchors_[i]] = 0;
+    is_anchor_[outcome.vertex] = 1;
     anchors_[i] = outcome.vertex;
     commit_invalidates_memo();
     current = outcome.followers;
@@ -379,7 +395,7 @@ void IncAvtTracker::ParallelLocalSearch(const std::vector<VertexId>& pool,
     snap.bound_probes += outcome.bound_probes;
     if (outcome.vertex == kNoVertex) break;
     anchors_.push_back(outcome.vertex);
-    is_anchor[outcome.vertex] = 1;
+    is_anchor_[outcome.vertex] = 1;
     commit_invalidates_memo();
     current = outcome.followers;
   }
@@ -400,6 +416,29 @@ AvtSnapshotResult IncAvtTracker::ProcessDelta(const Graph& graph,
   const Graph& g = maintainer_.graph();
   const KOrder& order = maintainer_.order();
 
+  // kRebuildPerDelta ablation: snapshot the post-delta adjacency into
+  // the bound CsrView before any oracle scan. The maintained mirror
+  // (kMaintained) needs nothing here — ApplyDelta already patched it.
+  if (options_.csr == IncAvtCsrMode::kRebuildPerDelta) {
+    g.BuildCsr(&rebuilt_csr_);
+  }
+
+  // Every adjacency walk below (invalidation neighborhoods, the
+  // Theorem-3 pool filter) runs against the same backing the oracle
+  // scans: the maintained mirror, the per-delta rebuilt view, or the
+  // dynamic adjacency. All three iterate neighbors identically, so the
+  // pool — and therefore every downstream tie-break — is bit-identical
+  // across modes.
+  auto with_adjacency = [&](auto&& body) {
+    if (maintainer_.csr() != nullptr) {
+      body(*maintainer_.csr());
+    } else if (options_.csr == IncAvtCsrMode::kRebuildPerDelta) {
+      body(rebuilt_csr_);
+    } else {
+      body(g);
+    }
+  };
+
   // Warm-start invalidation: kill exactly the memo entries whose
   // dependency region the churn touched. A cached evaluation stays
   // exact iff its region avoids every impacted vertex and its one-hop
@@ -410,59 +449,69 @@ AvtSnapshotResult IncAvtTracker::ProcessDelta(const Graph& graph,
   // periodic full reset bounds dead key references in the index.
   if (options_.lazy) {
     if (touch_total_ > kTouchCompactionLimit) {
-      memo_.clear();
+      memo_.Clear();
       for (std::vector<uint64_t>& keys : touch_index_) keys.clear();
       for (std::vector<uint64_t>& keys : slot_bound_keys_) keys.clear();
       touch_total_ = 0;
     }
-    for (VertexId v : impacted) {
-      InvalidateTouched(v);
-      for (VertexId w : g.Neighbors(v)) InvalidateTouched(w);
-    }
+    with_adjacency([&](const auto& adj) {
+      for (VertexId v : impacted) {
+        InvalidateTouched(v);
+        for (VertexId w : adj.Neighbors(v)) InvalidateTouched(w);
+      }
+    });
   }
 
   // Step 3: replacement pool. The published algorithm (kRestricted)
   // takes impacted vertices and their neighbors, outside C_k, passing
   // Theorem 3 (Algorithm 6 line 12); the ablation modes widen or empty
   // the pool to isolate the restriction's contribution. Sorted by id so
-  // the scan order (and thus tie-breaks) is deterministic.
-  std::vector<uint8_t> in_pool(g.NumVertices(), 0);
-  std::vector<uint8_t> is_anchor(g.NumVertices(), 0);
-  for (VertexId a : anchors_) is_anchor[a] = 1;
-  std::vector<VertexId> pool;
-  auto consider = [&](VertexId v) {
-    if (in_pool[v] || is_anchor[v]) return;
-    if (order.CoreOf(v) >= k_) return;
-    if (!IsAnchorCandidate(g, order, v, k_)) return;
-    in_pool[v] = 1;
-    pool.push_back(v);
-  };
-  switch (mode_) {
-    case IncAvtMode::kRestricted:
-      for (VertexId v : impacted) {
-        consider(v);
-        for (VertexId w : g.Neighbors(v)) consider(w);
-      }
-      break;
-    case IncAvtMode::kMaintainedFull:
-      for (VertexId v = 0; v < g.NumVertices(); ++v) consider(v);
-      break;
-    case IncAvtMode::kCarryForward:
-      break;  // no replacements; keep S_{t-1}
-  }
+  // the scan order (and thus tie-breaks) is deterministic. Scratch is
+  // reused (no n-sized allocation), and pool_state_ memoizes each
+  // vertex's Theorem-3 verdict for the delta: a vertex adjacent to many
+  // impacted vertices is filtered exactly once.
+  pool_state_.assign(pool_state_.size(), kUnseen);
+  is_anchor_.assign(is_anchor_.size(), 0);
+  for (VertexId a : anchors_) is_anchor_[a] = 1;
+  pool_.clear();
+  with_adjacency([&](const auto& adj) {
+    auto consider = [&](VertexId v) {
+      if (pool_state_[v] != kUnseen || is_anchor_[v]) return;
+      pool_state_[v] = kRejected;
+      if (order.CoreOf(v) >= k_) return;
+      if (!IsAnchorCandidate(adj, order, v, k_)) return;
+      pool_state_[v] = kPooled;
+      pool_.push_back(v);
+    };
+    switch (mode_) {
+      case IncAvtMode::kRestricted:
+        for (VertexId v : impacted) {
+          consider(v);
+          for (VertexId w : adj.Neighbors(v)) consider(w);
+        }
+        break;
+      case IncAvtMode::kMaintainedFull:
+        for (VertexId v = 0; v < g.NumVertices(); ++v) consider(v);
+        break;
+      case IncAvtMode::kCarryForward:
+        break;  // no replacements; keep S_{t-1}
+    }
+  });
+  std::vector<VertexId>& pool = pool_;
   std::sort(pool.begin(), pool.end());
 
   // Step 2: seed with S_{t-1}; re-establish the incumbent follower count
   // F(S) on the new snapshot. In lazy mode the previous snapshot's value
   // is reused when churn did not touch its dependency region.
   uint32_t current;
-  auto incumbent = options_.lazy ? memo_.find(kIncumbentKey) : memo_.end();
-  if (incumbent != memo_.end()) {
-    current = incumbent->second.value;
+  const TrialMemo* incumbent =
+      options_.lazy ? memo_.Find(kIncumbentKey) : nullptr;
+  if (incumbent != nullptr) {
+    current = incumbent->value;
   } else {
     current = oracle_->CountFollowers(anchors_, k_);
     if (options_.lazy) {
-      memo_.emplace(kIncumbentKey, TrialMemo{current, true});
+      memo_.Put(kIncumbentKey, TrialMemo{current, true});
       RecordTouch(kIncumbentKey, oracle_->LastRegionAnchors(),
                   oracle_->LastRegionVisited());
     }
@@ -470,11 +519,11 @@ AvtSnapshotResult IncAvtTracker::ProcessDelta(const Graph& graph,
 
   // Step 4: local search (lines 9-16).
   if (options_.num_threads > 1) {
-    ParallelLocalSearch(pool, is_anchor, current, snap);
+    ParallelLocalSearch(pool, current, snap);
   } else if (options_.lazy) {
-    LazyLocalSearch(pool, is_anchor, current, snap);
+    LazyLocalSearch(pool, current, snap);
   } else {
-    EagerLocalSearch(pool, is_anchor, current, snap);
+    EagerLocalSearch(pool, current, snap);
   }
 
   snap.anchors = anchors_;

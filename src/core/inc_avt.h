@@ -52,13 +52,13 @@
 #ifndef AVT_CORE_INC_AVT_H_
 #define AVT_CORE_INC_AVT_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "anchor/follower_oracle.h"
 #include "anchor/trial_engine.h"
 #include "core/avt.h"
 #include "maint/maintainer.h"
+#include "util/flat_map.h"
 
 namespace avt {
 
@@ -88,6 +88,15 @@ struct IncAvtOptions {
   /// bit-identical to the serial loops at every thread count
   /// (tests/parallel_determinism_test.cc).
   uint32_t num_threads = 1;
+  /// Cascade-scan backing (enum in core/avt.h). kMaintained (default)
+  /// has the CoreMaintainer patch a DynamicCsr in lockstep with the
+  /// graph, so every oracle scan — serial and per-worker — reads
+  /// contiguous slabs with no per-delta rebuild; kRebuildPerDelta
+  /// snapshots a fresh CsrView each transition; kNone scans the dynamic
+  /// adjacency. All three backings iterate neighbors in the identical
+  /// order, so anchors are bit-identical across modes (pinned by the
+  /// differential fuzz and the PR-4 perf gate).
+  IncAvtCsrMode csr = IncAvtCsrMode::kMaintained;
 };
 
 /// Incremental tracker (the paper's primary contribution).
@@ -138,12 +147,10 @@ class IncAvtTracker : public AvtTracker {
 
   /// Local search over `pool` (already sorted), replicating the eager
   /// swap + extend loops with bound gating and the memo. Updates
-  /// anchors_/is_anchor/current; returns work counters via snap.
-  void LazyLocalSearch(const std::vector<VertexId>& pool,
-                       std::vector<uint8_t>& is_anchor, uint32_t& current,
+  /// anchors_/is_anchor_/current; returns work counters via snap.
+  void LazyLocalSearch(const std::vector<VertexId>& pool, uint32_t& current,
                        AvtSnapshotResult& snap);
-  void EagerLocalSearch(const std::vector<VertexId>& pool,
-                        std::vector<uint8_t>& is_anchor, uint32_t& current,
+  void EagerLocalSearch(const std::vector<VertexId>& pool, uint32_t& current,
                         AvtSnapshotResult& snap);
   /// num_threads > 1: the same slot loops fanned out over the trial
   /// engine — per-slot sharded evaluation (bound-gated when lazy),
@@ -151,7 +158,6 @@ class IncAvtTracker : public AvtTracker {
   /// to the serial searches. Uses the incumbent memo but not the
   /// per-(slot, candidate) memo.
   void ParallelLocalSearch(const std::vector<VertexId>& pool,
-                           std::vector<uint8_t>& is_anchor,
                            uint32_t& current, AvtSnapshotResult& snap);
 
   uint32_t k_;
@@ -162,10 +168,27 @@ class IncAvtTracker : public AvtTracker {
   CoreMaintainer maintainer_;
   std::unique_ptr<FollowerOracle> oracle_;
   /// Parallel slot-trial evaluator (created when num_threads > 1), bound
-  /// to the maintainer's graph/order — no CSR: the maintained adjacency
-  /// is dynamic.
+  /// to the maintainer's graph/order plus whichever CSR backing
+  /// options_.csr selects (the per-worker oracles share the maintained
+  /// mirror read-only).
   std::unique_ptr<TrialEngine> engine_;
+  /// kRebuildPerDelta scratch: refilled from the maintained graph at the
+  /// start of every ProcessDelta (caller-owned buffers, so the rebuild
+  /// reuses its high-water allocation). Stable address — the oracle and
+  /// engine bind it once.
+  CsrView rebuilt_csr_;
   std::vector<VertexId> anchors_;
+  /// Per-delta scratch, reused across deltas so ProcessDelta performs no
+  /// n-sized allocation in steady state (assign() reuses capacity; the
+  /// 1-byte-per-vertex memset is far cheaper than the cache misses of
+  /// wider layouts on these hot flags). pool_state_ memoizes the
+  /// Theorem-3 verdict per vertex within one delta — vertices reachable
+  /// from several impacted vertices are filtered once, not per
+  /// appearance. is_anchor_ is read by the local searches.
+  enum : uint8_t { kUnseen = 0, kRejected = 1, kPooled = 2 };
+  std::vector<uint8_t> pool_state_;
+  std::vector<uint8_t> is_anchor_;
+  std::vector<VertexId> pool_;
 
   // --- lazy-mode state ---------------------------------------------
   /// Memo key space:
@@ -177,8 +200,11 @@ class IncAvtTracker : public AvtTracker {
   ///   kIncumbentKey         — F(S) itself.
   /// Cleared whenever anchors_ changes (a new base invalidates every
   /// trial); churn kills individual entries via touch_index_, and a dead
-  /// base drags its dependent bounds along (slot_bound_keys_).
-  std::unordered_map<uint64_t, TrialMemo> memo_;
+  /// base drags its dependent bounds along (slot_bound_keys_). Flat
+  /// open-addressing storage (util/flat_map.h): commits clear in O(1)
+  /// via an epoch bump and the find/insert/erase churn of the per-delta
+  /// loop runs rehash- and allocation-free at the reserved capacity.
+  FlatKeyMap<TrialMemo> memo_;
   /// Inverted dependency index: touch_index_[v] lists the memo keys
   /// whose evaluation read v's state. ProcessDelta erases exactly those
   /// keys for each impacted vertex and its one-hop neighborhood; keys of

@@ -1,5 +1,7 @@
 #include "corelib/korder.h"
 
+#include "graph/dynamic_csr.h"
+
 namespace avt {
 
 void KOrder::Build(const Graph& graph) {
@@ -19,7 +21,8 @@ void KOrder::BuildFromImpl(const Adjacency& graph,
                            const CoreDecomposition& cores) {
   const VertexId n = graph.NumVertices();
   AVT_CHECK(cores.core.size() == n);
-  nodes_.assign(n, Node{});
+  hot_.assign(n, Hot{});
+  links_.assign(n, Link{});
   levels_.clear();
   relabel_count_ = 0;
   EnsureLevel(cores.max_core);
@@ -27,13 +30,13 @@ void KOrder::BuildFromImpl(const Adjacency& graph,
   AVT_CHECK_MSG(cores.peel_order.size() == n,
                 "pinned decompositions cannot seed a KOrder");
   for (VertexId v : cores.peel_order) {
-    nodes_[v].level = cores.core[v];
+    hot_[v].level = cores.core[v];
     PushBack(cores.core[v], v);
   }
   // The deg+ pass is the second O(m) scan of a build; over a CsrView it
   // runs on contiguous targets.
   for (VertexId v = 0; v < n; ++v) {
-    nodes_[v].deg_plus = ComputeDegPlus(graph, v);
+    hot_[v].deg_plus = ComputeDegPlus(graph, v);
   }
 }
 
@@ -47,46 +50,47 @@ uint32_t KOrder::ComputeDegPlus(const Adjacency& graph, VertexId v) const {
 }
 
 void KOrder::Detach(VertexId v) {
-  Node& node = nodes_[v];
-  Level& level = levels_[node.level];
-  if (node.prev != kNoVertex) {
-    nodes_[node.prev].next = node.next;
+  Link& link = links_[v];
+  Level& level = levels_[hot_[v].level];
+  if (link.prev != kNoVertex) {
+    links_[link.prev].next = link.next;
   } else {
-    level.head = node.next;
+    level.head = link.next;
   }
-  if (node.next != kNoVertex) {
-    nodes_[node.next].prev = node.prev;
+  if (link.next != kNoVertex) {
+    links_[link.next].prev = link.prev;
   } else {
-    level.tail = node.prev;
+    level.tail = link.prev;
   }
-  node.prev = kNoVertex;
-  node.next = kNoVertex;
+  link.prev = kNoVertex;
+  link.next = kNoVertex;
   --level.size;
 }
 
 void KOrder::PushFront(uint32_t level_index, VertexId v) {
   EnsureLevel(level_index);
   Level& level = levels_[level_index];
-  Node& node = nodes_[v];
-  node.level = level_index;
-  node.prev = kNoVertex;
-  node.next = level.head;
+  Hot& hot = hot_[v];
+  Link& link = links_[v];
+  hot.level = level_index;
+  link.prev = kNoVertex;
+  link.next = level.head;
   if (level.head != kNoVertex) {
-    uint64_t head_tag = nodes_[level.head].tag;
+    uint64_t head_tag = hot_[level.head].tag;
     if (head_tag < kTagGap) {
       // Re-attach state before relabeling; simplest correct approach:
       // temporarily push with tag 0, relabel the whole level.
-      nodes_[level.head].prev = v;
+      links_[level.head].prev = v;
       level.head = v;
       ++level.size;
-      node.tag = 0;
+      hot.tag = 0;
       RelabelLevel(level_index);
       return;
     }
-    node.tag = head_tag - kTagGap;
-    nodes_[level.head].prev = v;
+    hot.tag = head_tag - kTagGap;
+    links_[level.head].prev = v;
   } else {
-    node.tag = kTagOrigin;
+    hot.tag = kTagOrigin;
     level.tail = v;
   }
   level.head = v;
@@ -96,24 +100,25 @@ void KOrder::PushFront(uint32_t level_index, VertexId v) {
 void KOrder::PushBack(uint32_t level_index, VertexId v) {
   EnsureLevel(level_index);
   Level& level = levels_[level_index];
-  Node& node = nodes_[v];
-  node.level = level_index;
-  node.next = kNoVertex;
-  node.prev = level.tail;
+  Hot& hot = hot_[v];
+  Link& link = links_[v];
+  hot.level = level_index;
+  link.next = kNoVertex;
+  link.prev = level.tail;
   if (level.tail != kNoVertex) {
-    uint64_t tail_tag = nodes_[level.tail].tag;
+    uint64_t tail_tag = hot_[level.tail].tag;
     if (tail_tag > ~uint64_t{0} - kTagGap) {
-      nodes_[level.tail].next = v;
+      links_[level.tail].next = v;
       level.tail = v;
       ++level.size;
-      node.tag = ~uint64_t{0};
+      hot.tag = ~uint64_t{0};
       RelabelLevel(level_index);
       return;
     }
-    node.tag = tail_tag + kTagGap;
-    nodes_[level.tail].next = v;
+    hot.tag = tail_tag + kTagGap;
+    links_[level.tail].next = v;
   } else {
-    node.tag = kTagOrigin;
+    hot.tag = kTagOrigin;
     level.head = v;
   }
   level.tail = v;
@@ -124,8 +129,8 @@ void KOrder::RelabelLevel(uint32_t level_index) {
   ++relabel_count_;
   uint64_t tag = kTagOrigin;
   for (VertexId v = levels_[level_index].head; v != kNoVertex;
-       v = nodes_[v].next) {
-    nodes_[v].tag = tag;
+       v = links_[v].next) {
+    hot_[v].tag = tag;
     tag += kTagGap;
   }
 }
@@ -141,8 +146,13 @@ void KOrder::MoveToLevelBack(VertexId v, uint32_t level) {
 }
 
 uint32_t KOrder::RecomputeDegPlus(const Graph& graph, VertexId v) {
-  nodes_[v].deg_plus = ComputeDegPlus(graph, v);
-  return nodes_[v].deg_plus;
+  hot_[v].deg_plus = ComputeDegPlus(graph, v);
+  return hot_[v].deg_plus;
+}
+
+uint32_t KOrder::RecomputeDegPlus(const DynamicCsr& csr, VertexId v) {
+  hot_[v].deg_plus = ComputeDegPlus(csr, v);
+  return hot_[v].deg_plus;
 }
 
 std::vector<VertexId> KOrder::LevelVertices(uint32_t level) const {
@@ -150,7 +160,7 @@ std::vector<VertexId> KOrder::LevelVertices(uint32_t level) const {
   if (level >= levels_.size()) return out;
   out.reserve(levels_[level].size);
   for (VertexId v = levels_[level].head; v != kNoVertex;
-       v = nodes_[v].next) {
+       v = links_[v].next) {
     out.push_back(v);
   }
   return out;
@@ -158,10 +168,10 @@ std::vector<VertexId> KOrder::LevelVertices(uint32_t level) const {
 
 std::vector<VertexId> KOrder::FullOrder() const {
   std::vector<VertexId> out;
-  out.reserve(nodes_.size());
+  out.reserve(hot_.size());
   for (uint32_t level = 0; level < levels_.size(); ++level) {
     for (VertexId v = levels_[level].head; v != kNoVertex;
-         v = nodes_[v].next) {
+         v = links_[v].next) {
       out.push_back(v);
     }
   }

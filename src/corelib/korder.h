@@ -33,6 +33,8 @@
 
 namespace avt {
 
+class DynamicCsr;
+
 /// Sentinel for "no vertex" in the level lists.
 inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
 
@@ -53,12 +55,12 @@ class KOrder {
   void BuildFrom(const Graph& graph, const CoreDecomposition& cores);
 
   VertexId NumVertices() const {
-    return static_cast<VertexId>(nodes_.size());
+    return static_cast<VertexId>(hot_.size());
   }
 
-  uint32_t CoreOf(VertexId v) const { return nodes_[v].level; }
-  uint32_t DegPlus(VertexId v) const { return nodes_[v].deg_plus; }
-  uint64_t TagOf(VertexId v) const { return nodes_[v].tag; }
+  uint32_t CoreOf(VertexId v) const { return hot_[v].level; }
+  uint32_t DegPlus(VertexId v) const { return hot_[v].deg_plus; }
+  uint64_t TagOf(VertexId v) const { return hot_[v].tag; }
 
   /// Largest level index with storage (levels above may be empty).
   uint32_t MaxLevel() const {
@@ -67,8 +69,8 @@ class KOrder {
 
   /// True iff u ⪯ v strictly (u before v in the K-order).
   bool Precedes(VertexId u, VertexId v) const {
-    const Node& a = nodes_[u];
-    const Node& b = nodes_[v];
+    const Hot& a = hot_[u];
+    const Hot& b = hot_[v];
     if (a.level != b.level) return a.level < b.level;
     return a.tag < b.tag;
   }
@@ -79,8 +81,8 @@ class KOrder {
   VertexId LevelBack(uint32_t level) const {
     return level < levels_.size() ? levels_[level].tail : kNoVertex;
   }
-  VertexId NextInLevel(VertexId v) const { return nodes_[v].next; }
-  VertexId PrevInLevel(VertexId v) const { return nodes_[v].prev; }
+  VertexId NextInLevel(VertexId v) const { return links_[v].next; }
+  VertexId PrevInLevel(VertexId v) const { return links_[v].prev; }
   uint32_t LevelSize(uint32_t level) const {
     return level < levels_.size() ? levels_[level].size : 0;
   }
@@ -94,14 +96,17 @@ class KOrder {
   void MoveToLevelBack(VertexId v, uint32_t level);
 
   /// Recomputes deg+(v) from current positions; returns the new value.
+  /// The DynamicCsr overload serves the maintainer's mirrored cascades
+  /// (same ComputeDegPlus definition, contiguous scan).
   uint32_t RecomputeDegPlus(const Graph& graph, VertexId v);
+  uint32_t RecomputeDegPlus(const DynamicCsr& csr, VertexId v);
 
   void SetDegPlus(VertexId v, uint32_t value) {
-    nodes_[v].deg_plus = value;
+    hot_[v].deg_plus = value;
   }
   void IncrementDegPlus(VertexId v, int32_t delta) {
-    nodes_[v].deg_plus = static_cast<uint32_t>(
-        static_cast<int64_t>(nodes_[v].deg_plus) + delta);
+    hot_[v].deg_plus = static_cast<uint32_t>(
+        static_cast<int64_t>(hot_[v].deg_plus) + delta);
   }
 
   /// Materializes level `level` front-to-back (for tests/debugging).
@@ -114,12 +119,23 @@ class KOrder {
   uint64_t relabel_count() const { return relabel_count_; }
 
  private:
-  struct Node {
-    VertexId prev = kNoVertex;
-    VertexId next = kNoVertex;
+  /// Per-vertex state is split hot/cold by access pattern. The hot
+  /// struct holds exactly what the scan loops read — Precedes (level,
+  /// tag), CoreOf, DegPlus — in 16 aligned bytes, so every position
+  /// comparison in a cascade costs one cache line per vertex (the
+  /// former 24-byte combined node straddled two lines for a third of
+  /// all indices, and dragged the intrusive-list pointers into cache
+  /// that only mutations need). The cold struct holds the level-list
+  /// links, touched only by maintenance moves and level walks.
+  struct Hot {
     uint64_t tag = 0;
     uint32_t level = 0;
     uint32_t deg_plus = 0;
+  };
+  static_assert(sizeof(Hot) == 16, "keep position lookups one line wide");
+  struct Link {
+    VertexId prev = kNoVertex;
+    VertexId next = kNoVertex;
   };
   struct Level {
     VertexId head = kNoVertex;
@@ -146,7 +162,8 @@ class KOrder {
   void PushBack(uint32_t level, VertexId v);
   void RelabelLevel(uint32_t level);
 
-  std::vector<Node> nodes_;
+  std::vector<Hot> hot_;
+  std::vector<Link> links_;
   std::vector<Level> levels_;
   uint64_t relabel_count_ = 0;
 };

@@ -6,9 +6,21 @@ namespace avt {
 
 Graph Graph::FromEdges(VertexId num_vertices, const std::vector<Edge>& edges) {
   Graph g(num_vertices);
+  // Degree-counting reserve pass: size every neighbor list up front so
+  // the insertion loop never reallocates. Duplicates (skipped below)
+  // only make the counts a slight over-reserve.
+  std::vector<uint32_t> degree(num_vertices, 0);
   for (const Edge& e : edges) {
     AVT_CHECK_MSG(e.u < num_vertices && e.v < num_vertices,
                   "edge endpoint out of range");
+    if (e.u == e.v) continue;
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.adjacency_[v].reserve(degree[v]);
+  }
+  for (const Edge& e : edges) {
     g.AddEdge(e.u, e.v);
   }
   return g;
@@ -68,19 +80,23 @@ std::vector<Edge> Graph::CollectEdges() const {
 
 CsrView Graph::BuildCsr() const {
   CsrView csr;
+  BuildCsr(&csr);
+  return csr;
+}
+
+void Graph::BuildCsr(CsrView* out) const {
   const VertexId n = NumVertices();
-  csr.offsets_.resize(static_cast<size_t>(n) + 1);
-  csr.offsets_[0] = 0;
+  out->offsets_.resize(static_cast<size_t>(n) + 1);
+  out->offsets_[0] = 0;
   for (VertexId u = 0; u < n; ++u) {
-    csr.offsets_[u + 1] = csr.offsets_[u] + adjacency_[u].size();
+    out->offsets_[u + 1] = out->offsets_[u] + adjacency_[u].size();
   }
-  csr.targets_.resize(csr.offsets_[n]);
+  out->targets_.resize(out->offsets_[n]);
   for (VertexId u = 0; u < n; ++u) {
     std::copy(adjacency_[u].begin(), adjacency_[u].end(),
-              csr.targets_.begin() +
-                  static_cast<ptrdiff_t>(csr.offsets_[u]));
+              out->targets_.begin() +
+                  static_cast<ptrdiff_t>(out->offsets_[u]));
   }
-  return csr;
 }
 
 uint32_t Graph::MaxDegree() const {

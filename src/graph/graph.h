@@ -89,6 +89,12 @@ class Graph {
   /// view does not track later mutations.
   CsrView BuildCsr() const;
 
+  /// Same snapshot into caller-owned buffers: `out`'s vectors are
+  /// resized in place, so a view reused across solves (per-snapshot
+  /// solvers, the rebuild-per-delta tracker arm) stops reallocating
+  /// offsets/targets once it reaches its high-water capacity.
+  void BuildCsr(CsrView* out) const;
+
   /// Average degree 2m/n (0 for empty graph).
   double AverageDegree() const {
     return adjacency_.empty()

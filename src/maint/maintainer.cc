@@ -9,6 +9,7 @@ void CoreMaintainer::Reset(const Graph& graph) {
   graph_ = graph;
   order_.Build(graph_);
   stats_.Reset();
+  if (csr_enabled_) csr_.Rebuild(graph_);
   const size_t n = graph_.NumVertices();
   deg_minus_.Resize(n);
   in_heap_.Resize(n);
@@ -18,6 +19,19 @@ void CoreMaintainer::Reset(const Graph& graph) {
   cd_.Resize(n);
   dropped_.Resize(n);
   affected_mark_.Resize(n);
+}
+
+void CoreMaintainer::SetCsrMirror(bool enabled) {
+  // An enabled mirror is kept in lockstep by every mutation (and Reset
+  // rebuilds it), so re-enabling is a no-op — no redundant O(n + m)
+  // rebuild when a tracker re-initializes.
+  if (enabled == csr_enabled_) return;
+  csr_enabled_ = enabled;
+  if (enabled) {
+    csr_.Rebuild(graph_);
+  } else {
+    csr_ = DynamicCsr{};
+  }
 }
 
 void CoreMaintainer::MarkAffected(VertexId v) {
@@ -30,6 +44,7 @@ void CoreMaintainer::MarkAffected(VertexId v) {
 
 bool CoreMaintainer::InsertEdge(VertexId u, VertexId v) {
   if (!graph_.AddEdge(u, v)) return false;
+  if (csr_enabled_) csr_.AddEdge(u, v);
   ++stats_.edges_inserted;
 
   // Lemma 1: the endpoint earlier in K-order gains a later neighbor.
@@ -42,11 +57,17 @@ bool CoreMaintainer::InsertEdge(VertexId u, VertexId v) {
   // Lemma 2: core numbers can only change when deg+(root) exceeds its
   // core number.
   if (order_.DegPlus(root) <= level) return true;
-  RunInsertCascade(root, level);
+  if (csr_enabled_) {
+    RunInsertCascade(csr_, root, level);
+  } else {
+    RunInsertCascade(graph_, root, level);
+  }
   return true;
 }
 
-void CoreMaintainer::RunInsertCascade(VertexId root, uint32_t level) {
+template <typename Adjacency>
+void CoreMaintainer::RunInsertCascade(const Adjacency& adj, VertexId root,
+                                      uint32_t level) {
   ++stats_.cascades;
   deg_minus_.Clear();
   in_heap_.Clear();
@@ -78,7 +99,7 @@ void CoreMaintainer::RunInsertCascade(VertexId root, uint32_t level) {
                                    // later pushes can target it).
     candidate_.Set(w, 1);
     candidates_in_order.push_back(w);
-    for (VertexId x : graph_.Neighbors(w)) {
+    for (VertexId x : adj.Neighbors(w)) {
       if (order_.CoreOf(x) != level) continue;
       if (!order_.Precedes(w, x)) continue;
       if (candidate_.Get(x)) continue;
@@ -95,7 +116,7 @@ void CoreMaintainer::RunInsertCascade(VertexId root, uint32_t level) {
   std::queue<VertexId> review;
   for (VertexId w : candidates_in_order) {
     uint32_t support = 0;
-    for (VertexId x : graph_.Neighbors(w)) {
+    for (VertexId x : adj.Neighbors(w)) {
       if (order_.CoreOf(x) > level || candidate_.Get(x)) ++support;
     }
     support_.Set(w, support);
@@ -111,7 +132,7 @@ void CoreMaintainer::RunInsertCascade(VertexId root, uint32_t level) {
     eliminated_.Set(w, 1);
     candidate_.Set(w, 0);
     eliminated_in_order.push_back(w);
-    for (VertexId x : graph_.Neighbors(w)) {
+    for (VertexId x : adj.Neighbors(w)) {
       if (candidate_.Get(x) && !eliminated_.Get(x)) {
         support_.Add(x, static_cast<uint32_t>(-1));
         if (support_.Get(x) <= level) review.push(x);
@@ -139,7 +160,7 @@ void CoreMaintainer::RunInsertCascade(VertexId root, uint32_t level) {
   // changed: exactly the visited vertices (a vertex not visited has no
   // moved neighbor that crossed from before to after it).
   for (VertexId w : visited) {
-    order_.RecomputeDegPlus(graph_, w);
+    order_.RecomputeDegPlus(adj, w);
   }
 }
 
@@ -149,6 +170,7 @@ bool CoreMaintainer::RemoveEdge(VertexId u, VertexId v) {
   VertexId earlier = order_.Precedes(u, v) ? u : v;
   order_.IncrementDegPlus(earlier, -1);
   AVT_CHECK(graph_.RemoveEdge(u, v));
+  if (csr_enabled_) csr_.RemoveEdge(u, v);
   ++stats_.edges_removed;
   MarkAffected(u);
   MarkAffected(v);
@@ -161,11 +183,17 @@ bool CoreMaintainer::RemoveEdge(VertexId u, VertexId v) {
   std::vector<VertexId> seeds;
   if (ku == level) seeds.push_back(u);
   if (kv == level && v != u) seeds.push_back(v);
-  RunRemoveCascade(seeds, level);
+  if (csr_enabled_) {
+    RunRemoveCascade(csr_, seeds, level);
+  } else {
+    RunRemoveCascade(graph_, seeds, level);
+  }
   return true;
 }
 
-void CoreMaintainer::RunRemoveCascade(const std::vector<VertexId>& seeds,
+template <typename Adjacency>
+void CoreMaintainer::RunRemoveCascade(const Adjacency& adj,
+                                      const std::vector<VertexId>& seeds,
                                       uint32_t level) {
   cd_.Clear();
   dropped_.Clear();
@@ -180,7 +208,7 @@ void CoreMaintainer::RunRemoveCascade(const std::vector<VertexId>& seeds,
   auto touch = [&](VertexId w) {
     if (cd_.Contains(w)) return;
     uint32_t count = 0;
-    for (VertexId x : graph_.Neighbors(w)) {
+    for (VertexId x : adj.Neighbors(w)) {
       if (effective_core(x, level) >= level) ++count;
     }
     cd_.Set(w, count);
@@ -202,7 +230,7 @@ void CoreMaintainer::RunRemoveCascade(const std::vector<VertexId>& seeds,
     dropped_.Set(w, 1);
     dropped_in_order.push_back(w);
     MarkAffected(w);
-    for (VertexId x : graph_.Neighbors(w)) {
+    for (VertexId x : adj.Neighbors(w)) {
       if (order_.CoreOf(x) != level || dropped_.Get(x)) continue;
       if (cd_.Contains(x)) {
         cd_.Add(x, static_cast<uint32_t>(-1));
@@ -227,10 +255,10 @@ void CoreMaintainer::RunRemoveCascade(const std::vector<VertexId>& seeds,
   // vertex from their later set). Recomputing all level-`level` neighbors
   // is simpler and within the same complexity bound.
   for (VertexId w : dropped_in_order) {
-    order_.RecomputeDegPlus(graph_, w);
-    for (VertexId x : graph_.Neighbors(w)) {
+    order_.RecomputeDegPlus(adj, w);
+    for (VertexId x : adj.Neighbors(w)) {
       if (order_.CoreOf(x) == level) {
-        order_.RecomputeDegPlus(graph_, x);
+        order_.RecomputeDegPlus(adj, x);
       }
     }
   }

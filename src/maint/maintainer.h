@@ -39,6 +39,7 @@
 
 #include "corelib/korder.h"
 #include "graph/delta.h"
+#include "graph/dynamic_csr.h"
 #include "graph/graph.h"
 #include "util/epoch.h"
 
@@ -68,6 +69,20 @@ class CoreMaintainer {
   const KOrder& order() const { return order_; }
   uint32_t CoreOf(VertexId v) const { return order_.CoreOf(v); }
 
+  /// Enables/disables the delta-maintained CSR mirror of the graph's
+  /// adjacency. While enabled, every InsertEdge / RemoveEdge patches the
+  /// mirror in lockstep with the dynamic adjacency (identical neighbor
+  /// order at every point — see dynamic_csr.h), so scan-heavy readers
+  /// (the follower oracle, the trial engine's worker oracles) can stay
+  /// bound to one contiguous view across the whole snapshot stream.
+  /// Enabling (re)builds the mirror from the current graph; disabling
+  /// frees it. Reset() rebuilds an enabled mirror for the new graph.
+  void SetCsrMirror(bool enabled);
+
+  /// The maintained CSR mirror, or nullptr when disabled. The pointer
+  /// stays valid across deltas (the object is patched in place).
+  const DynamicCsr* csr() const { return csr_enabled_ ? &csr_ : nullptr; }
+
   /// Inserts one edge, updating cores/K-order. Returns false if the edge
   /// already existed (no-op).
   bool InsertEdge(VertexId u, VertexId v);
@@ -85,13 +100,22 @@ class CoreMaintainer {
   void ResetStats() { stats_.Reset(); }
 
  private:
-  void RunInsertCascade(VertexId root, uint32_t level);
-  void RunRemoveCascade(const std::vector<VertexId>& seeds, uint32_t level);
+  /// Cascades are templated over the adjacency they scan: the dynamic
+  /// per-vertex lists, or — when the mirror is enabled — the maintained
+  /// CSR (patched before the cascade runs, so both see the identical
+  /// post-mutation neighborhood in the identical order).
+  template <typename Adjacency>
+  void RunInsertCascade(const Adjacency& adj, VertexId root, uint32_t level);
+  template <typename Adjacency>
+  void RunRemoveCascade(const Adjacency& adj,
+                        const std::vector<VertexId>& seeds, uint32_t level);
   void MarkAffected(VertexId v);
 
   Graph graph_;
   KOrder order_;
   MaintenanceStats stats_;
+  DynamicCsr csr_;
+  bool csr_enabled_ = false;
 
   // Scratch for cascades (sized to vertex count by Reset()).
   EpochArray<uint32_t> deg_minus_;

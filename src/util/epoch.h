@@ -5,6 +5,13 @@
 // flags, candidate degrees, supports) without paying O(n) to clear or
 // allocating. EpochArray stamps each slot with the epoch that wrote it;
 // bumping the epoch invalidates everything at once.
+//
+// Layout: value and stamp live in ONE slot struct, not parallel arrays.
+// The cascade hot loops touch several EpochArrays per visited vertex;
+// with parallel arrays every Get/Set costs two cache lines (stamp +
+// value), with packed slots it costs one. That halves the scratch
+// traffic of the oracle's probe path — measurable on bandwidth-bound
+// per-delta workloads (docs/PERFORMANCE.md).
 
 #ifndef AVT_UTIL_EPOCH_H_
 #define AVT_UTIL_EPOCH_H_
@@ -25,26 +32,33 @@ class EpochArray {
   }
 
   void Resize(size_t size) {
-    values_.assign(size, default_);
-    stamps_.assign(size, 0);
+    slots_.assign(size, Slot{default_, 0});
     epoch_ = 1;
   }
 
-  size_t size() const { return values_.size(); }
+  size_t size() const { return slots_.size(); }
 
-  /// Invalidates all slots in O(1).
-  void Clear() { ++epoch_; }
+  /// Invalidates all slots in O(1). On stamp wrap-around (once per 2^32
+  /// clears) the array is physically reset so stale stamps can never
+  /// collide with a reused epoch.
+  void Clear() {
+    if (++epoch_ == 0) {
+      for (Slot& slot : slots_) slot.stamp = 0;
+      epoch_ = 1;
+    }
+  }
 
-  bool Contains(size_t i) const { return stamps_[i] == epoch_; }
+  bool Contains(size_t i) const { return slots_[i].stamp == epoch_; }
 
   /// Current value, or the default if the slot is stale.
   T Get(size_t i) const {
-    return stamps_[i] == epoch_ ? values_[i] : default_;
+    const Slot& slot = slots_[i];
+    return slot.stamp == epoch_ ? slot.value : default_;
   }
 
   void Set(size_t i, T value) {
-    stamps_[i] = epoch_;
-    values_[i] = value;
+    slots_[i].stamp = epoch_;
+    slots_[i].value = value;
   }
 
   /// Adds `delta` to the slot (initializing from the default) and returns
@@ -56,9 +70,13 @@ class EpochArray {
   }
 
  private:
-  std::vector<T> values_;
-  std::vector<uint64_t> stamps_;
-  uint64_t epoch_ = 1;
+  struct Slot {
+    T value;
+    uint32_t stamp;
+  };
+
+  std::vector<Slot> slots_;
+  uint32_t epoch_ = 1;
   T default_{};
 };
 

@@ -1,0 +1,181 @@
+// Flat open-addressing hash map keyed by uint64_t, built for the
+// incremental tracker's trial memo.
+//
+// The per-delta local search hammers its memo with a hot triple —
+// find / insert / erase — plus a whole-map clear on every anchor
+// commit. std::unordered_map pays a heap allocation per node and a
+// pointer chase per probe, and its clear() walks every node. This map
+// stores entries inline in one slot array (linear probing, power-of-two
+// capacity), erases with tombstones, and clears by bumping an epoch
+// stamp — O(1), no destruction, no free-list churn. Capacity only ever
+// grows (Reserve or load-factor doubling), so after a short warm-up the
+// steady-state loop runs allocation- and rehash-free at its high-water
+// mark.
+//
+// Values must be trivially copyable PODs (they are memcpy'd on rehash
+// and abandoned by Clear without destruction). Any uint64_t is a valid
+// key — occupancy lives in a per-slot state byte, not a reserved key.
+
+#ifndef AVT_UTIL_FLAT_MAP_H_
+#define AVT_UTIL_FLAT_MAP_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avt {
+
+/// Open-addressing uint64 -> Value map with O(1) epoch-based Clear.
+template <typename Value>
+class FlatKeyMap {
+  static_assert(std::is_trivially_copyable_v<Value>,
+                "FlatKeyMap values are memcpy'd and never destroyed");
+
+ public:
+  FlatKeyMap() { Rehash(kMinCapacity); }
+  explicit FlatKeyMap(size_t expected_entries) {
+    Rehash(CapacityFor(expected_entries));
+  }
+
+  /// Grows (never shrinks) so `expected_entries` live entries fit
+  /// without a rehash. Existing entries are preserved.
+  void Reserve(size_t expected_entries) {
+    const size_t want = CapacityFor(expected_entries);
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  /// O(1) logical clear: every slot's stamp goes stale at once.
+  void Clear() {
+    size_ = 0;
+    used_ = 0;
+    if (++epoch_ == 0) {  // stamp wrap: physically reset, restart at 1
+      for (Slot& slot : slots_) slot.stamp = 0;
+      epoch_ = 1;
+    }
+  }
+
+  /// Pointer to the value for `key`, or nullptr. Stable until the next
+  /// insert/Reserve (which may rehash).
+  Value* Find(uint64_t key) {
+    Slot* slot = FindSlot(key);
+    return slot != nullptr ? &slot->value : nullptr;
+  }
+  const Value* Find(uint64_t key) const {
+    const Slot* slot = const_cast<FlatKeyMap*>(this)->FindSlot(key);
+    return slot != nullptr ? &slot->value : nullptr;
+  }
+
+  /// Inserts or overwrites.
+  void Put(uint64_t key, const Value& value) {
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(key) & mask;
+    size_t first_tombstone = kNoSlot;
+    for (;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (slot.stamp != epoch_) {  // empty: key is absent
+        Slot& dest =
+            first_tombstone != kNoSlot ? slots_[first_tombstone] : slot;
+        const bool fresh = &dest == &slot;
+        dest.key = key;
+        dest.value = value;
+        dest.stamp = epoch_;
+        dest.state = kOccupied;
+        ++size_;
+        if (fresh && ++used_ * 4 >= slots_.size() * 3) {
+          Rehash(slots_.size() * 2);
+        }
+        return;
+      }
+      if (slot.state == kTombstone) {
+        if (first_tombstone == kNoSlot) first_tombstone = i;
+      } else if (slot.key == key) {
+        slot.value = value;
+        return;
+      }
+    }
+  }
+
+  /// Removes `key` if present; returns whether it was.
+  bool Erase(uint64_t key) {
+    Slot* slot = FindSlot(key);
+    if (slot == nullptr) return false;
+    slot->state = kTombstone;
+    --size_;
+    return true;
+  }
+
+ private:
+  enum : uint8_t { kOccupied = 0, kTombstone = 1 };
+  static constexpr size_t kMinCapacity = 64;
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  struct Slot {
+    uint64_t key = 0;
+    Value value{};
+    uint32_t stamp = 0;  // slot live iff stamp == epoch_
+    uint8_t state = kOccupied;
+  };
+
+  /// Smallest power-of-two capacity keeping `entries` under 3/4 load.
+  static size_t CapacityFor(size_t entries) {
+    size_t capacity = kMinCapacity;
+    while (entries * 4 >= capacity * 3) capacity *= 2;
+    return capacity;
+  }
+
+  /// SplitMix64 finalizer: full avalanche so the structured memo keys
+  /// ((slot << 32) | vertex) spread over the table.
+  static uint64_t Hash(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  Slot* FindSlot(uint64_t key) {
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (slot.stamp != epoch_) return nullptr;  // empty stops the probe
+      if (slot.state == kOccupied && slot.key == key) return &slot;
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    AVT_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    const uint32_t old_epoch = epoch_;
+    epoch_ = 1;
+    size_ = 0;
+    used_ = 0;
+    const size_t mask = slots_.size() - 1;
+    for (const Slot& slot : old) {
+      if (slot.stamp != old_epoch || slot.state != kOccupied) continue;
+      size_t i = Hash(slot.key) & mask;
+      while (slots_[i].stamp == epoch_) i = (i + 1) & mask;
+      slots_[i].key = slot.key;
+      slots_[i].value = slot.value;
+      slots_[i].stamp = epoch_;
+      slots_[i].state = kOccupied;
+      ++size_;
+      ++used_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  uint32_t epoch_ = 1;
+  size_t size_ = 0;  // live entries
+  size_t used_ = 0;  // occupied + tombstoned slots this epoch
+};
+
+}  // namespace avt
+
+#endif  // AVT_UTIL_FLAT_MAP_H_

@@ -11,6 +11,14 @@
 // maintenance or tracking path, regardless of which anchors the
 // heuristic picked.
 //
+// Every transition is driven through TWO trackers in lockstep: the
+// default (delta-maintained DynamicCsr scans) and the csr=kNone
+// baseline (dynamic-adjacency scans). After each delta the maintained
+// CSR must mirror the dynamic adjacency exactly — same per-vertex
+// neighbor sequence, order included — and both trackers must report
+// bit-identical anchors: the order-preservation contract of
+// graph/dynamic_csr.h, checked under the full churn distribution.
+//
 // On a mismatch the failing schedule is SHRUNK — whole transitions
 // first, then individual edges while the schedule is small — and
 // printed, so the minimized repro can be pasted into a regression test.
@@ -32,6 +40,7 @@
 #include "corelib/korder.h"
 #include "gen/models.h"
 #include "graph/delta.h"
+#include "graph/dynamic_csr.h"
 #include "util/random.h"
 
 namespace avt {
@@ -104,19 +113,72 @@ std::string FormatSchedule(const std::vector<EdgeDelta>& schedule) {
   return out.str();
 }
 
-// Replays the schedule through a fresh tracker, cross-checking every
-// snapshot against from-scratch recomputation. Returns "" when all
+// The maintained CSR must equal the dynamic adjacency elementwise —
+// same per-vertex neighbor ORDER, not just the same sets.
+std::string CompareCsrToAdjacency(const DynamicCsr* csr, const Graph& g) {
+  std::ostringstream why;
+  if (csr == nullptr) {
+    return "maintained tracker exposes no CSR mirror";
+  }
+  if (csr->NumVertices() != g.NumVertices() ||
+      csr->NumEdges() != g.NumEdges()) {
+    why << "CSR shape (" << csr->NumVertices() << ", " << csr->NumEdges()
+        << ") != graph (" << g.NumVertices() << ", " << g.NumEdges() << ")";
+    return why.str();
+  }
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    std::span<const VertexId> a = csr->Neighbors(u);
+    std::span<const VertexId> b = g.Neighbors(u);
+    if (a.size() != b.size()) {
+      why << "CSR degree(" << u << ")=" << a.size() << " != " << b.size();
+      return why.str();
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) {
+        why << "CSR neighbors(" << u << ")[" << i << "]=" << a[i]
+            << " != adjacency " << b[i] << " (order drift)";
+        return why.str();
+      }
+    }
+  }
+  return "";
+}
+
+// Replays the schedule through two fresh trackers — maintained-CSR
+// scans (default) and dynamic-adjacency scans (csr=kNone) — in
+// lockstep, cross-checking every snapshot against from-scratch
+// recomputation, the CSR mirror against the adjacency, and the two
+// trackers' anchors against each other. Returns "" when all
 // transitions agree, else a description of the first mismatch.
 std::string CheckSchedule(const Graph& g0,
                           const std::vector<EdgeDelta>& schedule,
                           uint32_t k, uint32_t l) {
-  IncAvtTracker tracker(k, l);
+  IncAvtTracker tracker(k, l);  // default: IncAvtCsrMode::kMaintained
+  IncAvtOptions nocsr_options;
+  nocsr_options.csr = IncAvtCsrMode::kNone;
+  IncAvtTracker nocsr_tracker(k, l, IncAvtMode::kRestricted, nocsr_options);
   tracker.ProcessFirst(g0);
+  nocsr_tracker.ProcessFirst(g0);
   Graph g = g0;
   for (size_t t = 0; t < schedule.size(); ++t) {
     schedule[t].Apply(g);
     AvtSnapshotResult snap = tracker.ProcessDelta(g, schedule[t]);
+    AvtSnapshotResult nocsr_snap = nocsr_tracker.ProcessDelta(g, schedule[t]);
     std::ostringstream why;
+
+    // Maintained CSR vs dynamic adjacency, and CSR-scan anchors vs
+    // adjacency-scan anchors.
+    std::string csr_drift =
+        CompareCsrToAdjacency(tracker.maintainer().csr(), g);
+    if (!csr_drift.empty()) {
+      why << "t=" << (t + 1) << ": " << csr_drift;
+      return why.str();
+    }
+    if (snap.anchors != nocsr_snap.anchors) {
+      why << "t=" << (t + 1)
+          << ": maintained-CSR anchors diverged from csr=none";
+      return why.str();
+    }
 
     // Maintained core numbers vs a fresh decomposition.
     CoreDecomposition cores = DecomposeCores(g);

@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <numeric>
 #include <set>
 
 #include "util/epoch.h"
 #include "util/flags.h"
+#include "util/flat_map.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -148,6 +150,107 @@ TEST(EpochArray, AddInitializesFromDefault) {
   EXPECT_EQ(arr.Add(1, 2), 7u);
   arr.Clear();
   EXPECT_EQ(arr.Add(1, 1), 1u);
+}
+
+TEST(FlatKeyMap, PutFindEraseRoundTrip) {
+  FlatKeyMap<uint32_t> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+  map.Put(7, 70);
+  map.Put(8, 80);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(7), 70u);
+  map.Put(7, 71);  // overwrite, size unchanged
+  EXPECT_EQ(*map.Find(7), 71u);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_FALSE(map.Erase(7));
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(8), 80u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatKeyMap, ClearIsLogicalAndReusable) {
+  FlatKeyMap<uint64_t> map;
+  for (uint64_t key = 0; key < 100; ++key) map.Put(key, key * 3);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  for (uint64_t key = 0; key < 100; ++key) EXPECT_EQ(map.Find(key), nullptr);
+  map.Put(5, 42);
+  ASSERT_NE(map.Find(5), nullptr);
+  EXPECT_EQ(*map.Find(5), 42u);
+}
+
+TEST(FlatKeyMap, ProbesThroughTombstones) {
+  // Fill, erase a stretch, then re-find: tombstones must not stop the
+  // probe before live entries placed behind them.
+  FlatKeyMap<uint32_t> map;
+  for (uint64_t key = 0; key < 40; ++key) map.Put(key, 1);
+  for (uint64_t key = 0; key < 40; key += 2) map.Erase(key);
+  for (uint64_t key = 1; key < 40; key += 2) {
+    ASSERT_NE(map.Find(key), nullptr) << key;
+  }
+  // Re-insert into tombstoned slots.
+  for (uint64_t key = 0; key < 40; key += 2) map.Put(key, 2);
+  for (uint64_t key = 0; key < 40; ++key) {
+    ASSERT_NE(map.Find(key), nullptr) << key;
+    EXPECT_EQ(*map.Find(key), key % 2 == 0 ? 2u : 1u);
+  }
+}
+
+TEST(FlatKeyMap, ReserveEliminatesRehashAndGrowthStillWorks) {
+  FlatKeyMap<uint64_t> map(1 << 12);
+  const size_t reserved = map.capacity();
+  for (uint64_t key = 0; key < (1 << 12); ++key) map.Put(key * 977, key);
+  EXPECT_EQ(map.capacity(), reserved);  // no rehash within the reserve
+  for (uint64_t key = 0; key < (1 << 12); ++key) {
+    ASSERT_NE(map.Find(key * 977), nullptr);
+    EXPECT_EQ(*map.Find(key * 977), key);
+  }
+  // Outrun the reserve: the map doubles and keeps every entry.
+  for (uint64_t key = 1 << 12; key < (1 << 13); ++key) map.Put(key * 977, key);
+  EXPECT_GT(map.capacity(), reserved);
+  for (uint64_t key = 0; key < (1 << 13); ++key) {
+    ASSERT_NE(map.Find(key * 977), nullptr);
+  }
+}
+
+TEST(FlatKeyMap, MatchesReferenceMapUnderChurn) {
+  FlatKeyMap<uint64_t> map;
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(4242);
+  for (int op = 0; op < 20000; ++op) {
+    const uint64_t key = rng.Uniform(512) | (rng.Uniform(4) << 32);
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {
+        const uint64_t value = rng.Uniform(1000000);
+        map.Put(key, value);
+        reference[key] = value;
+        break;
+      }
+      case 2: {
+        EXPECT_EQ(map.Erase(key), reference.erase(key) > 0);
+        break;
+      }
+      default: {
+        auto it = reference.find(key);
+        const uint64_t* found = map.Find(key);
+        if (it == reference.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    if (op % 2500 == 0) {
+      map.Clear();
+      reference.clear();
+    }
+    EXPECT_EQ(map.size(), reference.size());
+  }
 }
 
 TEST(Flags, ParsesAllForms) {
