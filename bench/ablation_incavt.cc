@@ -15,7 +15,9 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "core/engine.h"
 #include "core/inc_avt.h"
+#include "graph/delta_source.h"
 
 using namespace avt;
 using namespace avt::bench;
@@ -24,17 +26,14 @@ namespace {
 
 AvtRunResult RunMode(const SnapshotSequence& sequence, uint32_t k,
                      uint32_t l, IncAvtMode mode) {
-  AvtRunResult run;
+  AvtEngine engine(std::make_unique<IncAvtTracker>(k, l, mode),
+                   std::make_unique<SequenceSource>(&sequence));
+  Status status = engine.Drain();
+  AVT_CHECK_MSG(status.ok(), status.ToString().c_str());
+  AvtRunResult run = engine.TakeResult();
   run.algorithm = AvtAlgorithm::kIncAvt;
   run.k = k;
   run.l = l;
-  IncAvtTracker tracker(k, l, mode);
-  sequence.ForEachSnapshot(
-      [&](size_t t, const Graph& graph, const EdgeDelta& delta) {
-        run.snapshots.push_back(t == 0
-                                    ? tracker.ProcessFirst(graph)
-                                    : tracker.ProcessDelta(graph, delta));
-      });
   return run;
 }
 

@@ -1,18 +1,23 @@
 // Quickstart: the 60-second tour of the AVT library.
 //
 // Builds a small social graph, computes its k-core, asks the Greedy
-// solver for the best anchors, and then tracks anchors across an evolving
-// version of the graph with IncAVT.
+// solver for the best anchors, and then tracks anchors across an
+// evolving version of the graph by streaming churn deltas through
+// AvtEngine — no snapshot is ever materialized past G_0.
 //
 //   ./quickstart [--k=3] [--l=2]
 
 #include <cstdio>
+#include <memory>
 
 #include "anchor/anchored_core.h"
 #include "anchor/greedy.h"
 #include "core/avt.h"
+#include "core/engine.h"
+#include "core/run_summary.h"
 #include "corelib/decomposition.h"
 #include "gen/churn.h"
+#include "gen/generator_source.h"
 #include "gen/models.h"
 #include "util/flags.h"
 #include "util/random.h"
@@ -47,26 +52,33 @@ int main(int argc, char** argv) {
   std::printf("\n  -> %u followers join the %u-core\n",
               best.num_followers(), k);
 
-  // 4. The same question on an evolving network: track anchors with the
-  //    incremental IncAVT algorithm across 8 churn snapshots.
+  // 4. The same question on an evolving network: stream 8 churn
+  //    transitions through the engine and track anchors incrementally.
+  //    The source generates each delta on demand; the tracker maintains
+  //    its own graph — nobody materializes snapshots.
   ChurnOptions churn;
   churn.num_snapshots = 8;
   churn.min_churn = 30;
   churn.max_churn = 80;
-  SnapshotSequence sequence = MakeChurnSnapshots(graph, churn, rng);
+  AvtEngine engine(
+      MakeTracker(AvtAlgorithm::kIncAvt, k, l),
+      std::make_unique<ChurnSource>(graph, churn, rng));
 
-  AvtRunResult run = RunAvt(sequence, AvtAlgorithm::kIncAvt, k, l);
-  std::printf("\nIncAVT over %zu snapshots:\n", sequence.NumSnapshots());
+  std::printf("\nIncAVT over a streamed churn workload:\n");
   std::printf("%4s %10s %12s %14s %10s\n", "t", "followers", "|C_k(S)|",
               "candidates", "millis");
-  for (const AvtSnapshotResult& snap : run.snapshots) {
+  engine.SetObserver([](const AvtSnapshotResult& snap) {
     std::printf("%4zu %10u %12u %14lu %10.2f\n", snap.t,
                 snap.num_followers, snap.anchored_core_size,
                 static_cast<unsigned long>(snap.candidates_visited),
                 snap.millis);
+  });
+  Status status = engine.Drain();
+  if (!status.ok()) {
+    std::fprintf(stderr, "stream failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
   }
-  std::printf("\ntotal time: %.1f ms, total candidate probes: %lu\n",
-              run.TotalMillis(),
-              static_cast<unsigned long>(run.TotalCandidatesVisited()));
+  std::printf("\n%s\n", FormatRunSummary(engine.Summary()).c_str());
   return 0;
 }

@@ -1,24 +1,28 @@
 #!/usr/bin/env bash
-# Reproduces BENCH_PR2.json + BENCH_PR3.json + BENCH_PR4.json: Release
-# build, then the perf gate bench.
+# Reproduces BENCH_PR2.json + BENCH_PR3.json + BENCH_PR4.json +
+# BENCH_PR5.json: Release build, then the perf gate bench.
 #
 #   scripts/bench.sh                 # full gates (n=50k): BENCH_PR2.json
 #                                    # + BENCH_PR3.json (thread scaling)
 #                                    # + BENCH_PR4.json (CSR maintenance)
+#                                    # + BENCH_PR5.json (stream ingestion)
 #   scripts/bench.sh --smoke         # small run for CI (bench_smoke.json
 #                                    # + bench_smoke_pr3.json
-#                                    # + bench_smoke_pr4.json)
+#                                    # + bench_smoke_pr4.json
+#                                    # + bench_smoke_pr5.json)
+#   scripts/bench.sh --stream-out=X.json   # redirect the PR-5 JSON
 #   scripts/bench.sh -- --n=100000   # extra args forwarded to bench_perf_gate
 #
 # The gate measures the eager ("before", seed execution strategy) and
 # lazy ("after", certified-bound) pick loops on identical inputs, the
-# lazy loops across the --threads-list worker counts, and the IncAVT
+# lazy loops across the --threads-list worker counts, the IncAVT
 # per-delta workload across the three cascade-scan backings (no CSR /
-# rebuild-per-delta / delta-maintained), checks all outputs are
-# bit-identical, and emits the before/after JSON that
-# docs/PERFORMANCE.md explains. Wall times move with the host (the PR-3
-# JSON records host_cpus for that reason); the work counters
-# (oracle_queries, bound_probes) are deterministic.
+# rebuild-per-delta / delta-maintained), and the three ingestion
+# drivers (materialized snapshot-pull / streamed AvtEngine / coalesced
+# windows), checks all outputs are bit-identical, and emits the
+# before/after JSON that docs/PERFORMANCE.md explains. Wall times move
+# with the host (the PR-3 JSON records host_cpus for that reason); the
+# work counters (oracle_queries, bound_probes) are deterministic.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,13 +30,19 @@ cd "$(dirname "$0")/.."
 out="BENCH_PR2.json"
 threads_out="BENCH_PR3.json"
 csr_out="BENCH_PR4.json"
+stream_out="BENCH_PR5.json"
 extra=()
 if [[ "${1:-}" == "--smoke" ]]; then
   shift
   out="bench_smoke.json"
   threads_out="bench_smoke_pr3.json"
   csr_out="bench_smoke_pr4.json"
+  stream_out="bench_smoke_pr5.json"
   extra+=(--n=8000 --t=6 --repeats=1)
+fi
+if [[ "${1:-}" == --stream-out=* ]]; then
+  stream_out="${1#--stream-out=}"
+  shift
 fi
 if [[ "${1:-}" == "--" ]]; then
   shift
@@ -43,5 +53,5 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$jobs" --target bench_perf_gate
 
 ./build/bench_perf_gate --out="$out" --threads-out="$threads_out" \
-  --csr-out="$csr_out" "${extra[@]}" "$@"
-echo "bench output: $out + $threads_out + $csr_out"
+  --csr-out="$csr_out" --stream-out="$stream_out" "${extra[@]}" "$@"
+echo "bench output: $out + $threads_out + $csr_out + $stream_out"

@@ -47,6 +47,10 @@ TrialEngine::TrialEngine(const Graph* graph, const KOrder* order,
   }
 }
 
+void TrialEngine::ResizeScratch() {
+  for (auto& oracle : oracles_) oracle->ResizeScratch();
+}
+
 uint64_t TrialEngine::CascadeVisited() const {
   uint64_t total = 0;
   for (const auto& oracle : oracles_) total += oracle->stats().visited;

@@ -82,6 +82,11 @@ class TrialEngine {
 
   uint32_t num_threads() const { return num_threads_; }
 
+  /// Re-sizes every worker oracle's scratch after the bound graph/order
+  /// grew (streaming sources add vertices mid-stream). Call between
+  /// Evaluate calls only.
+  void ResizeScratch();
+
   /// Argmax over live candidates of F(base ∪ {x}) under `policy`. `live`
   /// must be duplicate-free and disjoint from `base`; id-ascending order
   /// is NOT required (the reduction never depends on it).

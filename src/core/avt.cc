@@ -4,8 +4,10 @@
 #include "anchor/greedy.h"
 #include "anchor/olak.h"
 #include "anchor/rcm.h"
+#include "core/engine.h"
 #include "core/inc_avt.h"
 #include "corelib/decomposition.h"
+#include "graph/delta_source.h"
 #include "util/timer.h"
 
 namespace avt {
@@ -39,18 +41,18 @@ uint64_t AvtRunResult::TotalFollowers() const {
   return total;
 }
 
-AvtSnapshotResult StaticAvtTracker::SolveSnapshot(const Graph& graph) {
+AvtSnapshotResult StaticAvtTracker::SolveSnapshot() {
   Timer timer;
   AvtSnapshotResult snap;
   snap.t = t_;
-  SolverResult solved = solver_->Solve(graph, k_, l_);
+  SolverResult solved = solver_->Solve(graph_, k_, l_);
   snap.anchors = solved.anchors;
   snap.num_followers = solved.num_followers();
   snap.candidates_visited = solved.candidates_visited;
 
-  CoreDecomposition cores = DecomposeCores(graph);
+  CoreDecomposition cores = DecomposeCores(graph_);
   uint32_t kcore = 0;
-  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
     if (cores.core[v] >= k_) ++kcore;
   }
   uint32_t anchors_outside = 0;
@@ -65,14 +67,14 @@ AvtSnapshotResult StaticAvtTracker::SolveSnapshot(const Graph& graph) {
 
 AvtSnapshotResult StaticAvtTracker::ProcessFirst(const Graph& g0) {
   t_ = 0;
-  return SolveSnapshot(g0);
+  graph_ = g0;
+  return SolveSnapshot();
 }
 
-AvtSnapshotResult StaticAvtTracker::ProcessDelta(const Graph& graph,
-                                                 const EdgeDelta& delta) {
-  (void)delta;  // static trackers re-solve from the materialized snapshot
+AvtSnapshotResult StaticAvtTracker::ProcessDelta(const EdgeDelta& delta) {
   ++t_;
-  return SolveSnapshot(graph);
+  delta.Apply(graph_);  // from-scratch families maintain their own copy
+  return SolveSnapshot();
 }
 
 std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
@@ -108,21 +110,20 @@ std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
 AvtRunResult RunAvt(const SnapshotSequence& sequence, AvtAlgorithm algorithm,
                     uint32_t k, uint32_t l, uint32_t num_threads,
                     IncAvtCsrMode csr_mode) {
-  AvtRunResult run;
-  run.algorithm = algorithm;
-  run.k = k;
-  run.l = l;
   std::unique_ptr<AvtTracker> tracker =
       MakeTracker(algorithm, k, l, num_threads, csr_mode);
   AVT_CHECK(tracker != nullptr);
-  sequence.ForEachSnapshot([&](size_t t, const Graph& graph,
-                               const EdgeDelta& delta) {
-    if (t == 0) {
-      run.snapshots.push_back(tracker->ProcessFirst(graph));
-    } else {
-      run.snapshots.push_back(tracker->ProcessDelta(graph, delta));
-    }
-  });
+  // Every run — bench, CLI, test — rides the streaming engine; the
+  // sequence adapter re-emits deltas verbatim, so this is bit-identical
+  // to the retired materialized ForEachSnapshot replay.
+  AvtEngine engine(std::move(tracker),
+                   std::make_unique<SequenceSource>(&sequence));
+  Status status = engine.Drain();
+  AVT_CHECK_MSG(status.ok(), status.ToString().c_str());
+  AvtRunResult run = engine.TakeResult();
+  run.algorithm = algorithm;
+  run.k = k;
+  run.l = l;
   return run;
 }
 

@@ -86,7 +86,12 @@ struct AvtRunResult {
   uint64_t TotalFollowers() const;
 };
 
-/// Streaming tracker interface over an evolving graph.
+/// Streaming tracker interface over an evolving graph. Trackers consume
+/// a delta STREAM: after ProcessFirst seeds them with G_0, each
+/// ProcessDelta receives only the transition — every tracker retains
+/// whatever state it needs (the incremental tracker its maintained
+/// graph + K-order, the from-scratch baselines their own snapshot
+/// copy), so drivers never materialize graphs on the trackers' behalf.
 class AvtTracker {
  public:
   virtual ~AvtTracker() = default;
@@ -94,15 +99,24 @@ class AvtTracker {
   /// Processes the first snapshot.
   virtual AvtSnapshotResult ProcessFirst(const Graph& g0) = 0;
 
-  /// Processes the transition to the next snapshot. `graph` is the
-  /// already-updated snapshot (G_t), `delta` the transition from G_{t-1}.
-  virtual AvtSnapshotResult ProcessDelta(const Graph& graph,
-                                         const EdgeDelta& delta) = 0;
+  /// Processes the transition G_{t-1} -> G_t described by `delta`. Every
+  /// endpoint must be inside the tracker's current vertex universe
+  /// (grow first via EnsureVertices; AvtEngine does this automatically
+  /// for streaming sources).
+  virtual AvtSnapshotResult ProcessDelta(const EdgeDelta& delta) = 0;
+
+  /// Grows the tracker's vertex universe to at least `count` ids (new
+  /// vertices isolated; no effect when already large enough). Called
+  /// between transitions only, never mid-ProcessDelta.
+  virtual void EnsureVertices(VertexId count) = 0;
 
   virtual std::string name() const = 0;
 };
 
 /// Re-solve-per-snapshot tracker wrapping any single-snapshot solver.
+/// Retains its own copy of the current snapshot and applies each delta
+/// to it — the O(m) snapshot cost lives with the algorithm family that
+/// actually re-reads the whole graph, not with every caller.
 class StaticAvtTracker : public AvtTracker {
  public:
   StaticAvtTracker(std::unique_ptr<AnchorSolver> solver, uint32_t k,
@@ -110,17 +124,20 @@ class StaticAvtTracker : public AvtTracker {
       : solver_(std::move(solver)), k_(k), l_(l) {}
 
   AvtSnapshotResult ProcessFirst(const Graph& g0) override;
-  AvtSnapshotResult ProcessDelta(const Graph& graph,
-                                 const EdgeDelta& delta) override;
+  AvtSnapshotResult ProcessDelta(const EdgeDelta& delta) override;
+  void EnsureVertices(VertexId count) override {
+    if (count > 0) graph_.EnsureVertex(count - 1);
+  }
   std::string name() const override { return solver_->name(); }
 
  private:
-  AvtSnapshotResult SolveSnapshot(const Graph& graph);
+  AvtSnapshotResult SolveSnapshot();
 
   std::unique_ptr<AnchorSolver> solver_;
   uint32_t k_;
   uint32_t l_;
   size_t t_ = 0;
+  Graph graph_;  // retained current snapshot
 };
 
 /// Runs one algorithm over a whole snapshot sequence. `num_threads`

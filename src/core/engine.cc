@@ -1,0 +1,112 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <string>
+
+namespace avt {
+
+AvtEngine::AvtEngine(std::unique_ptr<AvtTracker> tracker,
+                     std::unique_ptr<DeltaSource> source,
+                     EngineOptions options)
+    : tracker_(std::move(tracker)),
+      source_(std::move(source)),
+      options_(options) {
+  AVT_CHECK_MSG(tracker_ != nullptr, "AvtEngine needs a tracker");
+  AVT_CHECK_MSG(source_ != nullptr, "AvtEngine needs a delta source");
+}
+
+void AvtEngine::Record(AvtSnapshotResult snap) {
+  total_millis_ += snap.millis;
+  max_millis_ = std::max(max_millis_, snap.millis);
+  total_candidates_ += snap.candidates_visited;
+  total_followers_ += snap.num_followers;
+  if (processed_ > 0) {
+    double jaccard = JaccardSimilarity(previous_anchors_, snap.anchors);
+    stability_sum_ += jaccard;
+    if (jaccard < 1.0) ++anchor_changes_;
+  }
+  previous_anchors_ = snap.anchors;
+  ++processed_;
+  if (observer_) observer_(snap);
+  if (options_.keep_snapshots) result_.snapshots.push_back(snap);
+  last_ = std::move(snap);
+}
+
+StatusOr<bool> AvtEngine::Step() {
+  if (!started_) {
+    started_ = true;
+    const Graph& g0 = source_->InitialGraph();
+    num_vertices_ = g0.NumVertices();
+    Record(tracker_->ProcessFirst(g0));
+    return true;
+  }
+
+  // A delta that failed validation last Step is re-delivered, so a
+  // caller that resolves the problem (grows the tracker by hand, flips
+  // grow_universe) and retries does not silently skip the transition.
+  EdgeDelta delta;
+  if (has_pending_delta_) {
+    delta = std::move(pending_delta_);
+    has_pending_delta_ = false;
+  } else if (!source_->NextDelta(&delta)) {
+    return false;
+  }
+
+  // Source boundary: every endpoint must fit the tracker's universe.
+  VertexId max_id = 0;
+  bool any_endpoint = false;
+  for (const std::vector<Edge>* batch : {&delta.insertions,
+                                         &delta.deletions}) {
+    for (const Edge& e : *batch) {
+      max_id = std::max({max_id, e.u, e.v});
+      any_endpoint = true;
+    }
+  }
+  if (any_endpoint && max_id >= num_vertices_) {
+    if (!options_.grow_universe) {
+      pending_delta_ = std::move(delta);
+      has_pending_delta_ = true;
+      return Status::OutOfRange(
+          "delta (transition " + std::to_string(processed_) +
+          " from source '" + source_->name() + "') references vertex " +
+          std::to_string(max_id) + " but the universe holds " +
+          std::to_string(num_vertices_) +
+          " vertices; enable EngineOptions::grow_universe for streaming "
+          "sources or fix the source");
+    }
+    tracker_->EnsureVertices(max_id + 1);
+    num_vertices_ = max_id + 1;
+  }
+
+  Record(tracker_->ProcessDelta(delta));
+  return true;
+}
+
+Status AvtEngine::Drain() {
+  for (;;) {
+    StatusOr<bool> stepped = Step();
+    if (!stepped.ok()) return stepped.status();
+    if (!stepped.value()) return Status::Ok();
+  }
+}
+
+RunSummary AvtEngine::Summary() const {
+  RunSummary summary;
+  summary.snapshots = processed_;
+  if (processed_ == 0) return summary;
+  summary.total_millis = total_millis_;
+  summary.max_millis = max_millis_;
+  summary.total_candidates = total_candidates_;
+  summary.total_followers = total_followers_;
+  summary.mean_millis = total_millis_ / static_cast<double>(processed_);
+  summary.mean_followers = static_cast<double>(total_followers_) /
+                           static_cast<double>(processed_);
+  const size_t transitions = processed_ - 1;
+  summary.anchor_stability =
+      transitions == 0 ? 1.0
+                       : stability_sum_ / static_cast<double>(transitions);
+  summary.anchor_changes = anchor_changes_;
+  return summary;
+}
+
+}  // namespace avt

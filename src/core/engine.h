@@ -1,0 +1,130 @@
+// AvtEngine: the push-based streaming layer between delta sources and
+// trackers.
+//
+//   DeltaSource  ──pull──▶  AvtEngine  ──push──▶  AvtTracker
+//        │                      │                     │
+//   (file / generator /    validates ids,        per-snapshot
+//    sequence / coalesce)  grows the universe,   AvtSnapshotResult
+//                          times & records            │
+//                               └────────▶ RunSummary sink
+//
+// The engine owns one tracker and one source, drives the stream
+// (Step-at-a-time for tools that pause and inspect, Drain for batch
+// runs), and folds every snapshot into a running RunSummary so long
+// streams can drop per-snapshot results (keep_snapshots = false) and
+// still report aggregates in O(1) memory.
+//
+// The engine is also the SOURCE BOUNDARY for vertex-universe growth: a
+// delta referencing an id outside the tracker's universe either grows
+// the tracker first (grow_universe, the default — streaming file
+// sources discover vertices mid-stream) or is rejected with a precise
+// Status naming the offending id — never handed down to trip an
+// assertion deep inside Graph::AddEdge.
+//
+// Replay invariance: driving a tracker through AvtEngine +
+// SequenceSource produces bit-identical snapshots to the historical
+// materialized ForEachSnapshot replay (the source re-emits deltas
+// verbatim and trackers maintain their own state); enforced by
+// tests/engine_test.cc and the differential fuzz.
+
+#ifndef AVT_CORE_ENGINE_H_
+#define AVT_CORE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "core/avt.h"
+#include "core/run_summary.h"
+#include "graph/delta_source.h"
+#include "util/status.h"
+
+namespace avt {
+
+/// Engine behavior knobs.
+struct EngineOptions {
+  /// Grow the tracker's vertex universe when a delta references unseen
+  /// ids (streaming sources). When false such a delta is an error.
+  bool grow_universe = true;
+  /// Retain every per-snapshot result in result(). Disable for
+  /// unbounded streams: aggregates and last() stay available.
+  bool keep_snapshots = true;
+};
+
+/// Facade driving one tracker off one delta stream.
+class AvtEngine {
+ public:
+  AvtEngine(std::unique_ptr<AvtTracker> tracker,
+            std::unique_ptr<DeltaSource> source,
+            EngineOptions options = EngineOptions{});
+
+  /// Processes the next snapshot: G_0 on the first call, then one
+  /// pulled delta per call. Returns false when the stream is exhausted,
+  /// or an error Status when a delta fails validation — the rejected
+  /// delta is retained and re-delivered by the next Step, so resolving
+  /// the problem and retrying never skips a transition.
+  StatusOr<bool> Step();
+
+  /// Steps until the stream is exhausted or a step fails.
+  Status Drain();
+
+  /// Observer invoked after every processed snapshot (pause/inspect
+  /// hook for tools and benches; called before Step returns).
+  void SetObserver(std::function<void(const AvtSnapshotResult&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Snapshots processed so far (G_0 included once processed).
+  size_t SnapshotsProcessed() const { return processed_; }
+
+  /// The most recent snapshot result. Requires SnapshotsProcessed() > 0.
+  const AvtSnapshotResult& last() const { return last_; }
+
+  /// All per-snapshot results (algorithm/k/l fields are the caller's to
+  /// fill; the engine records snapshots only). Empty snapshots when
+  /// keep_snapshots is false.
+  const AvtRunResult& result() const { return result_; }
+  AvtRunResult TakeResult() { return std::move(result_); }
+
+  /// Running aggregate over everything processed so far — identical to
+  /// SummarizeRun(result()) when snapshots are kept, and still exact
+  /// when they are not.
+  RunSummary Summary() const;
+
+  /// Current vertex universe as the engine has grown it.
+  VertexId NumVertices() const { return num_vertices_; }
+
+  AvtTracker& tracker() { return *tracker_; }
+  const AvtTracker& tracker() const { return *tracker_; }
+  const DeltaSource& source() const { return *source_; }
+
+ private:
+  void Record(AvtSnapshotResult snap);
+
+  std::unique_ptr<AvtTracker> tracker_;
+  std::unique_ptr<DeltaSource> source_;
+  EngineOptions options_;
+  std::function<void(const AvtSnapshotResult&)> observer_;
+
+  bool started_ = false;
+  size_t processed_ = 0;
+  VertexId num_vertices_ = 0;
+  /// A delta rejected by validation, re-delivered on the next Step.
+  EdgeDelta pending_delta_;
+  bool has_pending_delta_ = false;
+  AvtRunResult result_;
+  AvtSnapshotResult last_;
+
+  // Incremental RunSummary sink (exact SummarizeRun semantics).
+  double total_millis_ = 0;
+  double max_millis_ = 0;
+  uint64_t total_candidates_ = 0;
+  uint64_t total_followers_ = 0;
+  double stability_sum_ = 0;
+  size_t anchor_changes_ = 0;
+  std::vector<VertexId> previous_anchors_;
+};
+
+}  // namespace avt
+
+#endif  // AVT_CORE_ENGINE_H_

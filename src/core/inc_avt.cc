@@ -401,8 +401,18 @@ void IncAvtTracker::ParallelLocalSearch(const std::vector<VertexId>& pool,
   }
 }
 
-AvtSnapshotResult IncAvtTracker::ProcessDelta(const Graph& graph,
-                                              const EdgeDelta& delta) {
+void IncAvtTracker::EnsureVertices(VertexId count) {
+  if (count <= maintainer_.graph().NumVertices()) return;
+  maintainer_.EnsureVertices(count);
+  const size_t n = maintainer_.graph().NumVertices();
+  pool_state_.resize(n, kUnseen);
+  is_anchor_.resize(n, 0);
+  touch_index_.resize(n);
+  if (oracle_) oracle_->ResizeScratch();
+  if (engine_) engine_->ResizeScratch();
+}
+
+AvtSnapshotResult IncAvtTracker::ProcessDelta(const EdgeDelta& delta) {
   Timer timer;
   AvtSnapshotResult snap;
   snap.t = ++t_;
@@ -410,8 +420,6 @@ AvtSnapshotResult IncAvtTracker::ProcessDelta(const Graph& graph,
   // Step 1: bounded K-order maintenance; collect impacted vertices
   // (union of the paper's VI and VR before the core-number filter).
   std::vector<VertexId> impacted = maintainer_.ApplyDelta(delta);
-  AVT_CHECK_MSG(maintainer_.graph().NumEdges() == graph.NumEdges(),
-                "maintained graph diverged from the snapshot stream");
 
   const Graph& g = maintainer_.graph();
   const KOrder& order = maintainer_.order();

@@ -108,8 +108,13 @@ class IncAvtTracker : public AvtTracker {
       : k_(k), l_(l), mode_(mode), options_(options) {}
 
   AvtSnapshotResult ProcessFirst(const Graph& g0) override;
-  AvtSnapshotResult ProcessDelta(const Graph& graph,
-                                 const EdgeDelta& delta) override;
+  AvtSnapshotResult ProcessDelta(const EdgeDelta& delta) override;
+  /// Streaming growth: new isolated vertices join the maintained graph,
+  /// K-order (back of level 0), CSR mirror, the oracle/engine scratch,
+  /// and this tracker's per-vertex state, all without invalidating the
+  /// cross-snapshot memo — an isolated vertex intersects no recorded
+  /// dependency region and cannot change any query's result.
+  void EnsureVertices(VertexId count) override;
   std::string name() const override {
     switch (mode_) {
       case IncAvtMode::kRestricted: return "IncAVT";

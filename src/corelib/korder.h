@@ -54,6 +54,20 @@ class KOrder {
   /// Rebuilds from an existing decomposition (must match `graph`).
   void BuildFrom(const Graph& graph, const CoreDecomposition& cores);
 
+  /// Appends one isolated vertex (core 0, deg+ 0) at the back of level
+  /// 0 and returns its id. Any level-0 position satisfies the K-order
+  /// invariants for a vertex with no edges — it supports nobody and
+  /// deg+(v) = 0 <= core(v) — so back insertion is both valid and the
+  /// cheapest choice. Streaming sources use this to grow the universe
+  /// without an O(m) rebuild.
+  VertexId AddVertex() {
+    const VertexId v = static_cast<VertexId>(hot_.size());
+    hot_.push_back(Hot{});
+    links_.push_back(Link{});
+    PushBack(0, v);
+    return v;
+  }
+
   VertexId NumVertices() const {
     return static_cast<VertexId>(hot_.size());
   }

@@ -4,61 +4,65 @@
 
 namespace avt {
 
+EdgeDelta NextChurnDelta(Graph& current, const ChurnOptions& options,
+                         Rng& rng) {
+  const VertexId n = current.NumVertices();
+  EdgeDelta delta;
+  uint32_t removals = static_cast<uint32_t>(
+      rng.UniformInt(options.min_churn, options.max_churn));
+  uint32_t insertions =
+      options.independent_draws
+          ? static_cast<uint32_t>(
+                rng.UniformInt(options.min_churn, options.max_churn))
+          : removals;
+
+  // Deletions: uniform sample of current edges.
+  std::vector<Edge> edges = current.CollectEdges();
+  removals = std::min<uint32_t>(removals,
+                                static_cast<uint32_t>(edges.size()));
+  if (removals > 0) {
+    std::vector<uint64_t> picks =
+        rng.SampleDistinct(edges.size(), removals);
+    for (uint64_t index : picks) {
+      const Edge& e = edges[index];
+      delta.deletions.push_back(e);
+      current.RemoveEdge(e.u, e.v);
+    }
+  }
+
+  // Insertions: uniform absent pairs (rejection sampling). Pairs deleted
+  // in this same step are excluded so E+ and E- stay disjoint — the
+  // order-insensitive form IncAVT assumes.
+  auto just_deleted = [&delta](VertexId u, VertexId v) {
+    Edge probe(u, v);
+    for (const Edge& e : delta.deletions) {
+      if (e == probe) return true;
+    }
+    return false;
+  };
+  uint32_t added = 0;
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = static_cast<uint64_t>(insertions) * 100 +
+                                1000;
+  while (added < insertions && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = static_cast<VertexId>(rng.Uniform(n));
+    VertexId v = static_cast<VertexId>(rng.Uniform(n));
+    if (u == v || just_deleted(u, v)) continue;
+    if (current.AddEdge(u, v)) {
+      delta.insertions.push_back(Edge(u, v));
+      ++added;
+    }
+  }
+  return delta;
+}
+
 SnapshotSequence MakeChurnSnapshots(const Graph& initial,
                                     const ChurnOptions& options, Rng& rng) {
   SnapshotSequence sequence(initial);
   Graph current = initial;
-  const VertexId n = current.NumVertices();
-
   for (size_t step = 1; step < options.num_snapshots; ++step) {
-    EdgeDelta delta;
-    uint32_t removals = static_cast<uint32_t>(
-        rng.UniformInt(options.min_churn, options.max_churn));
-    uint32_t insertions =
-        options.independent_draws
-            ? static_cast<uint32_t>(
-                  rng.UniformInt(options.min_churn, options.max_churn))
-            : removals;
-
-    // Deletions: uniform sample of current edges.
-    std::vector<Edge> edges = current.CollectEdges();
-    removals = std::min<uint32_t>(removals,
-                                  static_cast<uint32_t>(edges.size()));
-    if (removals > 0) {
-      std::vector<uint64_t> picks =
-          rng.SampleDistinct(edges.size(), removals);
-      for (uint64_t index : picks) {
-        const Edge& e = edges[index];
-        delta.deletions.push_back(e);
-        current.RemoveEdge(e.u, e.v);
-      }
-    }
-
-    // Insertions: uniform absent pairs (rejection sampling). Pairs deleted
-    // in this same step are excluded so E+ and E- stay disjoint — the
-    // order-insensitive form IncAVT assumes.
-    auto just_deleted = [&delta](VertexId u, VertexId v) {
-      Edge probe(u, v);
-      for (const Edge& e : delta.deletions) {
-        if (e == probe) return true;
-      }
-      return false;
-    };
-    uint32_t added = 0;
-    uint64_t attempts = 0;
-    const uint64_t max_attempts = static_cast<uint64_t>(insertions) * 100 +
-                                  1000;
-    while (added < insertions && attempts < max_attempts) {
-      ++attempts;
-      VertexId u = static_cast<VertexId>(rng.Uniform(n));
-      VertexId v = static_cast<VertexId>(rng.Uniform(n));
-      if (u == v || just_deleted(u, v)) continue;
-      if (current.AddEdge(u, v)) {
-        delta.insertions.push_back(Edge(u, v));
-        ++added;
-      }
-    }
-    sequence.PushDelta(std::move(delta));
+    sequence.PushDelta(NextChurnDelta(current, options, rng));
   }
   return sequence;
 }

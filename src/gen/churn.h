@@ -28,6 +28,15 @@ struct ChurnOptions {
   bool independent_draws = true;
 };
 
+/// One churn step against `current`: samples the removals and
+/// insertions, applies them to `current` in place, and returns the
+/// transition. MakeChurnSnapshots is a loop over this, and ChurnSource
+/// (gen/generator_source.h) streams it delta-by-delta — same code, same
+/// Rng consumption, so the streamed and materialized protocols are
+/// bit-identical for equal seeds.
+EdgeDelta NextChurnDelta(Graph& current, const ChurnOptions& options,
+                         Rng& rng);
+
 /// Builds a T-snapshot sequence by applying random churn to `initial`.
 SnapshotSequence MakeChurnSnapshots(const Graph& initial,
                                     const ChurnOptions& options, Rng& rng);

@@ -1,0 +1,40 @@
+#include "gen/generator_source.h"
+
+#include <algorithm>
+
+namespace avt {
+
+TemporalWindowSource::TemporalWindowSource(TemporalEventLog log, size_t T,
+                                           uint32_t window_days)
+    : log_(std::move(log)), T_(T), window_days_(window_days) {
+  AVT_CHECK(T_ >= 1);
+  t_min_ = log_.MinTimestamp();
+  t_max_ = log_.MaxTimestamp();
+  const int64_t boundary = WindowBoundary(t_min_, t_max_, 1, T_);
+  ConsumeUpTo(boundary);
+  EdgeDelta first;
+  differ_.EmitWindow(boundary - static_cast<int64_t>(window_days_), &first);
+  AVT_CHECK(first.deletions.empty());
+  initial_ = Graph(log_.num_vertices);
+  for (const Edge& e : first.insertions) initial_.AddEdge(e.u, e.v);
+}
+
+void TemporalWindowSource::ConsumeUpTo(int64_t boundary) {
+  while (cursor_ < log_.events.size() &&
+         log_.events[cursor_].timestamp <= boundary) {
+    const TemporalEdge& e = log_.events[cursor_];
+    if (e.u != e.v) differ_.Observe(e.u, e.v, e.timestamp);
+    ++cursor_;
+  }
+}
+
+bool TemporalWindowSource::NextDelta(EdgeDelta* delta) {
+  if (next_t_ > T_) return false;
+  const int64_t boundary = WindowBoundary(t_min_, t_max_, next_t_, T_);
+  ++next_t_;
+  ConsumeUpTo(boundary);
+  differ_.EmitWindow(boundary - static_cast<int64_t>(window_days_), delta);
+  return true;
+}
+
+}  // namespace avt

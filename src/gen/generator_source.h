@@ -1,0 +1,94 @@
+// Generator-backed delta sources: synthetic workloads as streams.
+//
+// The churn protocol (gen/churn.h) and the sliding-window temporal
+// replicas (gen/temporal.h) historically produced whole
+// SnapshotSequences; these adapters stream the identical transitions
+// one pull at a time, so a bench or the CLI can drive arbitrarily long
+// synthetic workloads through AvtEngine in O(m + |Δ|) working memory:
+//
+//   ChurnSource          — one NextChurnDelta step per pull; for equal
+//                          seeds the delta stream is bit-identical to
+//                          MakeChurnSnapshots;
+//   TemporalWindowSource — window-diffs an in-memory event log with the
+//                          same WindowDiffer the file source uses; the
+//                          stream mirrors WindowSnapshots exactly
+//                          (initial graph included).
+//
+// Both are pinned against their materialized counterparts in
+// tests/delta_source_test.cc.
+
+#ifndef AVT_GEN_GENERATOR_SOURCE_H_
+#define AVT_GEN_GENERATOR_SOURCE_H_
+
+#include <string>
+#include <utility>
+
+#include "gen/churn.h"
+#include "graph/delta_source.h"
+#include "graph/io.h"
+#include "util/random.h"
+
+namespace avt {
+
+/// Streams the paper's churn protocol: G_0 plus num_snapshots - 1
+/// generated transitions. Owns its working graph and Rng; pass the Rng
+/// by value in the exact state MakeChurnSnapshots would consume it to
+/// get a bit-identical stream.
+class ChurnSource : public DeltaSource {
+ public:
+  ChurnSource(Graph initial, const ChurnOptions& options, Rng rng)
+      : initial_(std::move(initial)),
+        current_(initial_),
+        options_(options),
+        rng_(rng) {}
+
+  const Graph& InitialGraph() const override { return initial_; }
+
+  bool NextDelta(EdgeDelta* delta) override {
+    if (emitted_ + 1 >= options_.num_snapshots) return false;
+    ++emitted_;
+    *delta = NextChurnDelta(current_, options_, rng_);
+    return true;
+  }
+
+  std::string name() const override { return "churn-gen"; }
+
+ private:
+  Graph initial_;
+  Graph current_;
+  ChurnOptions options_;
+  Rng rng_;
+  size_t emitted_ = 0;
+};
+
+/// Streams WindowSnapshots(log, T, window_days) delta-by-delta: same
+/// boundary rule, same sorted window diffs, same full vertex universe
+/// (an in-memory log knows its num_vertices up front, unlike a file
+/// stream). Owns the log.
+class TemporalWindowSource : public DeltaSource {
+ public:
+  TemporalWindowSource(TemporalEventLog log, size_t T,
+                       uint32_t window_days);
+
+  const Graph& InitialGraph() const override { return initial_; }
+  bool NextDelta(EdgeDelta* delta) override;
+  std::string name() const override { return "temporal-gen"; }
+
+ private:
+  /// Feeds events with timestamp <= boundary into the differ.
+  void ConsumeUpTo(int64_t boundary);
+
+  TemporalEventLog log_;
+  WindowDiffer differ_;
+  Graph initial_;
+  size_t T_;
+  uint32_t window_days_;
+  size_t cursor_ = 0;   // next unconsumed event
+  size_t next_t_ = 2;   // next window to emit (window 1 built G_0)
+  int64_t t_min_ = 0;
+  int64_t t_max_ = 0;
+};
+
+}  // namespace avt
+
+#endif  // AVT_GEN_GENERATOR_SOURCE_H_

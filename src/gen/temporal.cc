@@ -4,6 +4,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "graph/delta_source.h"
+
 namespace avt {
 namespace {
 
@@ -215,8 +217,6 @@ SnapshotSequence WindowSnapshots(const TemporalEventLog& log, size_t T,
   AVT_CHECK(T >= 1);
   const int64_t t_min = log.MinTimestamp();
   const int64_t t_max = log.MaxTimestamp();
-  const double span =
-      std::max<double>(1.0, static_cast<double>(t_max - t_min + 1));
 
   // last_seen[pair] -> most recent timestamp; recomputed per boundary by
   // a single sweep (events are sorted by time).
@@ -229,26 +229,30 @@ SnapshotSequence WindowSnapshots(const TemporalEventLog& log, size_t T,
   std::vector<Graph> snapshots;
   size_t cursor = 0;
   for (size_t t = 1; t <= T; ++t) {
-    int64_t boundary =
-        t_min +
-        static_cast<int64_t>(span * static_cast<double>(t) /
-                             static_cast<double>(T)) -
-        1;
+    // Shared boundary rule (graph/delta_source.h) so the streamed and
+    // materialized windowings cannot drift.
+    int64_t boundary = WindowBoundary(t_min, t_max, t, T);
     while (cursor < log.events.size() &&
            log.events[cursor].timestamp <= boundary) {
       const TemporalEdge& e = log.events[cursor];
       last_seen[pack(e.u, e.v)] = e.timestamp;
       ++cursor;
     }
-    Graph g(log.num_vertices);
     int64_t horizon = boundary - static_cast<int64_t>(window_days);
+    // Build the window graph from SORTED pairs, not hash-map order:
+    // adjacency order feeds peel-order tie-breaks, and the streamed
+    // replay (StreamingEdgeFileSource applies sorted canonical deltas)
+    // must construct bit-identical adjacency.
+    std::vector<Edge> window_edges;
     for (const auto& [key, when] : last_seen) {
       if (when > horizon) {
-        VertexId u = static_cast<VertexId>(key >> 32);
-        VertexId v = static_cast<VertexId>(key & 0xffffffffu);
-        g.AddEdge(u, v);
+        window_edges.emplace_back(static_cast<VertexId>(key >> 32),
+                                  static_cast<VertexId>(key & 0xffffffffu));
       }
     }
+    std::sort(window_edges.begin(), window_edges.end());
+    Graph g(log.num_vertices);
+    for (const Edge& e : window_edges) g.AddEdge(e.u, e.v);
     snapshots.push_back(std::move(g));
   }
 

@@ -9,6 +9,8 @@
 #ifndef AVT_GRAPH_DELTA_H_
 #define AVT_GRAPH_DELTA_H_
 
+#include <algorithm>
+#include <iterator>
 #include <vector>
 
 #include "graph/graph.h"
@@ -49,6 +51,36 @@ struct EdgeDelta {
     inv.insertions = deletions;
     inv.deletions = insertions;
     return inv;
+  }
+
+  /// Normalizes to the unique canonical form with identical Apply()
+  /// semantics under the default insert-first order: both batches
+  /// sorted, duplicates and self-loops dropped, and an edge present in
+  /// BOTH batches collapsed to its deletion alone. The collapse is
+  /// exact: insert-then-delete ends with the edge absent whether or not
+  /// it existed before, and so does the lone deletion — but the lone
+  /// deletion costs zero cascades where the pair cost two. Loaders,
+  /// CoalescingSource, and the engine's validation all assume (and
+  /// preserve) this form. A canonical delta has disjoint sorted batches,
+  /// so Apply's insert-first / delete-first orders agree on it.
+  void Canonicalize() {
+    auto scrub = [](std::vector<Edge>& edges) {
+      edges.erase(std::remove_if(edges.begin(), edges.end(),
+                                 [](const Edge& e) { return e.u == e.v; }),
+                  edges.end());
+      std::sort(edges.begin(), edges.end());
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    };
+    scrub(insertions);
+    scrub(deletions);
+    if (!insertions.empty() && !deletions.empty()) {
+      std::vector<Edge> kept;
+      kept.reserve(insertions.size());
+      std::set_difference(insertions.begin(), insertions.end(),
+                          deletions.begin(), deletions.end(),
+                          std::back_inserter(kept));
+      insertions = std::move(kept);
+    }
   }
 };
 

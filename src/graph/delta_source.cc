@@ -1,0 +1,237 @@
+#include "graph/delta_source.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+namespace avt {
+namespace {
+
+/// Packs a normalized pair into one map key.
+uint64_t PackPair(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+Edge UnpackPair(uint64_t key) {
+  return Edge(static_cast<VertexId>(key >> 32),
+              static_cast<VertexId>(key & 0xffffffffu));
+}
+
+}  // namespace
+
+// --- CoalescingSource --------------------------------------------------
+
+CoalescingSource::CoalescingSource(std::unique_ptr<DeltaSource> inner,
+                                   size_t window)
+    : inner_(std::move(inner)), window_(window) {
+  AVT_CHECK_MSG(inner_ != nullptr, "CoalescingSource needs a source");
+  AVT_CHECK_MSG(window_ >= 1, "coalescing window must be >= 1");
+}
+
+bool CoalescingSource::NextDelta(EdgeDelta* delta) {
+  if (window_ == 1) return inner_->NextDelta(delta);  // exact passthrough
+
+  // Last-op-wins merge. Replaying ops in stream order, every edge's
+  // final membership is decided by its last operation alone, and
+  // Apply/ApplyDelta treat a redundant operation (inserting a present
+  // edge, deleting an absent one) as a no-op — so the merged batch
+  // reaches exactly the state the op-by-op window replay reaches.
+  std::unordered_map<uint64_t, bool> last_insert;
+  EdgeDelta pulled;
+  size_t merged = 0;
+  for (; merged < window_ && inner_->NextDelta(&pulled); ++merged) {
+    // A transition applies insertions before deletions (EdgeDelta::
+    // Apply); respect that order so "last op" means what replay means.
+    for (const Edge& e : pulled.insertions) {
+      last_insert[PackPair(e.u, e.v)] = true;
+    }
+    for (const Edge& e : pulled.deletions) {
+      last_insert[PackPair(e.u, e.v)] = false;
+    }
+  }
+  if (merged == 0) return false;
+
+  delta->insertions.clear();
+  delta->deletions.clear();
+  for (const auto& [key, is_insert] : last_insert) {
+    (is_insert ? delta->insertions : delta->deletions)
+        .push_back(UnpackPair(key));
+  }
+  delta->Canonicalize();  // hash order -> sorted deterministic batches
+  return true;
+}
+
+// --- WindowDiffer ------------------------------------------------------
+
+void WindowDiffer::Observe(VertexId u, VertexId v, int64_t timestamp) {
+  auto [it, inserted] =
+      pairs_.try_emplace(PackPair(u, v), PairState{timestamp, false});
+  if (!inserted) it->second.last_seen = timestamp;
+}
+
+void WindowDiffer::EmitWindow(int64_t horizon, EdgeDelta* delta) {
+  delta->insertions.clear();
+  delta->deletions.clear();
+  for (auto it = pairs_.begin(); it != pairs_.end();) {
+    PairState& state = it->second;
+    const bool in_window = state.last_seen > horizon;
+    if (in_window != state.present) {
+      (in_window ? delta->insertions : delta->deletions)
+          .push_back(UnpackPair(it->first));
+    }
+    if (!in_window) {
+      // Aged out (or observed already stale): only a future event can
+      // revive this pair, and that event re-creates the entry — forget
+      // it so memory tracks the live window, not the whole history.
+      it = pairs_.erase(it);
+    } else {
+      state.present = true;
+      ++it;
+    }
+  }
+  delta->Canonicalize();
+}
+
+// --- StreamingEdgeFileSource -------------------------------------------
+
+StatusOr<std::unique_ptr<StreamingEdgeFileSource>>
+StreamingEdgeFileSource::Open(const std::string& path, size_t T,
+                              uint32_t window_days) {
+  if (T < 1) {
+    return Status::InvalidArgument("stream needs at least one snapshot");
+  }
+
+  // Metadata pass: timestamp range + sortedness, O(1) memory. The batch
+  // loader tolerates unsorted files by sorting in memory; a stream
+  // cannot, so reject disorder here with line-level context instead of
+  // producing silently wrong windows.
+  std::ifstream scan(path);
+  if (!scan) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string line;
+  size_t line_number = 0;
+  int64_t t_min = 0;
+  int64_t t_max = 0;
+  int64_t previous = 0;
+  bool any = false;
+  std::unordered_set<uint64_t> raw_ids;
+  while (std::getline(scan, line)) {
+    ++line_number;
+    if (IsCommentOrBlankLine(line)) continue;
+    std::istringstream ls(line);
+    uint64_t a = 0, b = 0;
+    int64_t ts = 0;
+    if (!(ls >> a >> b >> ts)) {
+      return Status::Corruption("bad temporal edge at line " +
+                                std::to_string(line_number));
+    }
+    // Self-loop lines are not events: the batch loader drops them
+    // before they can influence ids, ordering, or the timestamp range,
+    // and the boundary rule must see the identical range or the two
+    // windowings drift apart.
+    if (a == b) continue;
+    if (any && ts < previous) {
+      return Status::InvalidArgument(
+          "temporal edge list is not sorted by timestamp (line " +
+          std::to_string(line_number) +
+          "); sort the file to stream it, or load it in memory with "
+          "LoadTemporalEdgeList");
+    }
+    previous = ts;
+    if (!any || ts < t_min) t_min = ts;
+    if (!any || ts > t_max) t_max = ts;
+    any = true;
+    raw_ids.insert(a);
+    raw_ids.insert(b);
+  }
+  if (!any) {
+    return Status::InvalidArgument("temporal edge list " + path +
+                                   " contains no events");
+  }
+
+  auto source =
+      std::unique_ptr<StreamingEdgeFileSource>(new StreamingEdgeFileSource());
+  source->path_ = path;
+  source->T_ = T;
+  source->window_days_ = window_days;
+  source->t_min_ = t_min;
+  source->t_max_ = t_max;
+  source->file_.open(path);
+  if (!source->file_) {
+    return Status::IoError("cannot reopen " + path);
+  }
+
+  // Window 1 builds G_0 over the FULL declared universe (not-yet-active
+  // vertices isolated, exactly like the batch loader's fixed universe).
+  // Sorted canonical insertions mean G_0's adjacency order is exactly
+  // what the materialized WindowSnapshots path builds.
+  const int64_t boundary = WindowBoundary(t_min, t_max, 1, T);
+  Status status = source->ConsumeUpTo(boundary);
+  if (!status.ok()) return status;
+  EdgeDelta first;
+  source->differ_.EmitWindow(boundary - static_cast<int64_t>(window_days),
+                             &first);
+  AVT_CHECK(first.deletions.empty());
+  source->initial_ = Graph(static_cast<VertexId>(raw_ids.size()));
+  for (const Edge& e : first.insertions) {
+    source->initial_.AddEdge(e.u, e.v);
+  }
+  return source;
+}
+
+Status StreamingEdgeFileSource::ConsumeUpTo(int64_t boundary) {
+  if (has_pending_) {
+    if (pending_ts_ > boundary) return Status::Ok();
+    differ_.Observe(pending_u_, pending_v_, pending_ts_);
+    has_pending_ = false;
+  }
+  std::string line;
+  while (std::getline(file_, line)) {
+    ++line_number_;
+    if (IsCommentOrBlankLine(line)) continue;
+    std::istringstream ls(line);
+    uint64_t a = 0, b = 0;
+    int64_t ts = 0;
+    if (!(ls >> a >> b >> ts)) {
+      return Status::Corruption("bad temporal edge at line " +
+                                std::to_string(line_number_));
+    }
+    if (a == b) continue;  // the loader drops self-loops before mapping
+    // First-appearance id compaction, exactly like LoadTemporalEdgeList
+    // (sequenced Map calls; see graph/io.cc).
+    auto map_id = [this](uint64_t raw) {
+      auto [it, inserted] =
+          ids_.emplace(raw, static_cast<VertexId>(ids_.size()));
+      (void)inserted;
+      return it->second;
+    };
+    VertexId u = map_id(a);
+    VertexId v = map_id(b);
+    if (ts > boundary) {
+      has_pending_ = true;
+      pending_u_ = u;
+      pending_v_ = v;
+      pending_ts_ = ts;
+      return Status::Ok();
+    }
+    differ_.Observe(u, v, ts);
+  }
+  return Status::Ok();
+}
+
+bool StreamingEdgeFileSource::NextDelta(EdgeDelta* delta) {
+  if (next_t_ > T_) return false;
+  const int64_t boundary = WindowBoundary(t_min_, t_max_, next_t_, T_);
+  ++next_t_;
+  // Ordering/grammar were validated by Open's metadata pass, so a parse
+  // failure here means the file changed under us — fail loudly.
+  Status status = ConsumeUpTo(boundary);
+  AVT_CHECK_MSG(status.ok(), status.ToString().c_str());
+  differ_.EmitWindow(boundary - static_cast<int64_t>(window_days_), delta);
+  return true;
+}
+
+}  // namespace avt

@@ -55,6 +55,14 @@ class DynamicCsr {
   /// order per vertex is copied verbatim.
   void Rebuild(const Graph& graph);
 
+  /// Mirrors Graph::EnsureVertex: appends isolated vertices (empty
+  /// zero-capacity slabs — the first Append relocates to a real slab)
+  /// until the universe holds `count` ids. Streaming sources grow the
+  /// maintained graph mid-stream and the mirror must follow in lockstep.
+  void EnsureVertices(VertexId count) {
+    if (count > NumVertices()) slabs_.resize(count, Slab{});
+  }
+
   /// Mirrors Graph::AddEdge AFTER the graph accepted it (the caller
   /// guarantees u != v and the edge was absent): appends v to u's slab
   /// and u to v's slab, exactly like the dynamic adjacency's push_back.

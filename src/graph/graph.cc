@@ -27,7 +27,13 @@ Graph Graph::FromEdges(VertexId num_vertices, const std::vector<Edge>& edges) {
 }
 
 bool Graph::AddEdge(VertexId u, VertexId v) {
-  AVT_DCHECK(u < NumVertices() && v < NumVertices());
+  // Active in release builds: mutation endpoints arrive from deltas and
+  // files, and an out-of-range id must fail loudly here (callers that
+  // stream a growing universe call EnsureVertex first), never index out
+  // of bounds. Two compares per edge mutation is noise next to the list
+  // operations below.
+  AVT_CHECK_MSG(u < NumVertices() && v < NumVertices(),
+                "AddEdge endpoint out of range (grow with EnsureVertex)");
   if (u == v) return false;
   if (HasEdge(u, v)) return false;
   adjacency_[u].push_back(v);
@@ -37,7 +43,8 @@ bool Graph::AddEdge(VertexId u, VertexId v) {
 }
 
 bool Graph::RemoveEdge(VertexId u, VertexId v) {
-  AVT_DCHECK(u < NumVertices() && v < NumVertices());
+  AVT_CHECK_MSG(u < NumVertices() && v < NumVertices(),
+                "RemoveEdge endpoint out of range (grow with EnsureVertex)");
   if (u == v) return false;
   auto erase_one = [this](VertexId from, VertexId target) {
     auto& list = adjacency_[from];

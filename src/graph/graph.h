@@ -61,6 +61,17 @@ class Graph {
     return static_cast<VertexId>(adjacency_.size() - 1);
   }
 
+  /// Grows the vertex universe so `v` is a valid id (no-op when it
+  /// already is); new vertices are isolated. Streaming delta sources
+  /// discover vertices mid-stream, and an edge referencing an unseen id
+  /// must grow the universe explicitly here — Graph::AddEdge treats an
+  /// out-of-range endpoint as a programming error, not a growth request.
+  void EnsureVertex(VertexId v) {
+    if (v >= NumVertices()) {
+      adjacency_.resize(static_cast<size_t>(v) + 1);
+    }
+  }
+
   /// Inserts edge (u, v). Returns false (and does nothing) if the edge
   /// already exists or u == v.
   bool AddEdge(VertexId u, VertexId v);

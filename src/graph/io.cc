@@ -24,15 +24,15 @@ class IdCompactor {
   VertexId next_ = 0;
 };
 
-bool IsCommentOrBlank(const std::string& line) {
+}  // namespace
+
+bool IsCommentOrBlankLine(const std::string& line) {
   for (char c : line) {
     if (c == '#' || c == '%') return true;
     if (!isspace(static_cast<unsigned char>(c))) return false;
   }
   return true;
 }
-
-}  // namespace
 
 StatusOr<Graph> ParseEdgeList(const std::string& body) {
   std::istringstream in(body);
@@ -42,7 +42,7 @@ StatusOr<Graph> ParseEdgeList(const std::string& body) {
   size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    if (IsCommentOrBlank(line)) continue;
+    if (IsCommentOrBlankLine(line)) continue;
     std::istringstream ls(line);
     uint64_t a = 0, b = 0;
     if (!(ls >> a >> b)) {
@@ -77,7 +77,7 @@ StatusOr<TemporalEventLog> LoadTemporalEdgeList(const std::string& path) {
   size_t line_number = 0;
   while (std::getline(file, line)) {
     ++line_number;
-    if (IsCommentOrBlank(line)) continue;
+    if (IsCommentOrBlankLine(line)) continue;
     std::istringstream ls(line);
     uint64_t a = 0, b = 0;
     int64_t t = 0;

@@ -62,6 +62,12 @@ Status SaveTemporalEdgeList(const TemporalEventLog& log,
 /// Parses an in-memory edge-list body (used by tests; same grammar).
 StatusOr<Graph> ParseEdgeList(const std::string& body);
 
+/// True for lines every loader skips: blank, or starting with '#'/'%'
+/// after optional whitespace. Exposed so the streaming temporal source
+/// (graph/delta_source.cc) tokenizes files with the exact grammar of
+/// LoadTemporalEdgeList — one definition, no drift.
+bool IsCommentOrBlankLine(const std::string& line);
+
 }  // namespace avt
 
 #endif  // AVT_GRAPH_IO_H_

@@ -2,9 +2,11 @@
 //
 // G = {G_1, ..., G_T} is stored as G_1 and T-1 deltas. Materialize(t)
 // replays deltas to produce any snapshot; ForEachSnapshot streams
-// snapshots in order reusing one working graph, which is how the static
-// trackers (OLAK/Greedy/RCM re-run per snapshot) and IncAVT consume the
-// sequence.
+// snapshots in order reusing one working graph (analysis-side
+// consumers: coreness history, reports, tests). Trackers no longer
+// take snapshots at all — AvtEngine drives them off a DeltaSource
+// (graph/delta_source.h), with SequenceSource adapting this container
+// to the stream verbatim.
 
 #ifndef AVT_GRAPH_SNAPSHOTS_H_
 #define AVT_GRAPH_SNAPSHOTS_H_

@@ -21,6 +21,24 @@ void CoreMaintainer::Reset(const Graph& graph) {
   affected_mark_.Resize(n);
 }
 
+void CoreMaintainer::EnsureVertices(VertexId count) {
+  if (count <= graph_.NumVertices()) return;
+  while (graph_.NumVertices() < count) {
+    graph_.AddVertex();
+    order_.AddVertex();
+  }
+  if (csr_enabled_) csr_.EnsureVertices(count);
+  const size_t n = graph_.NumVertices();
+  deg_minus_.Grow(n);
+  in_heap_.Grow(n);
+  candidate_.Grow(n);
+  eliminated_.Grow(n);
+  support_.Grow(n);
+  cd_.Grow(n);
+  dropped_.Grow(n);
+  affected_mark_.Grow(n);
+}
+
 void CoreMaintainer::SetCsrMirror(bool enabled) {
   // An enabled mirror is kept in lockstep by every mutation (and Reset
   // rebuilds it), so re-enabling is a no-op — no redundant O(n + m)

@@ -83,6 +83,15 @@ class CoreMaintainer {
   /// stays valid across deltas (the object is patched in place).
   const DynamicCsr* csr() const { return csr_enabled_ ? &csr_ : nullptr; }
 
+  /// Grows the vertex universe to at least `count` ids: isolated
+  /// vertices appended to the graph, the K-order (back of level 0), the
+  /// CSR mirror when enabled, and every cascade scratch array — all in
+  /// lockstep, no rebuild. Streaming delta sources discover vertices
+  /// mid-stream; callers grow before ApplyDelta so edge endpoints are
+  /// always in range. Existing state (cores, tags, deg+) is untouched:
+  /// an isolated vertex cannot change any other vertex's core number.
+  void EnsureVertices(VertexId count);
+
   /// Inserts one edge, updating cores/K-order. Returns false if the edge
   /// already existed (no-op).
   bool InsertEdge(VertexId u, VertexId v);

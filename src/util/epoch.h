@@ -36,6 +36,15 @@ class EpochArray {
     epoch_ = 1;
   }
 
+  /// Extends the index space without disturbing live slots: appended
+  /// slots carry stamp 0, which no live epoch ever equals, so they read
+  /// as stale until first written. Streaming workloads grow the vertex
+  /// universe mid-run and must not pay (or suffer) the full reset that
+  /// Resize performs. Never shrinks.
+  void Grow(size_t size) {
+    if (size > slots_.size()) slots_.resize(size, Slot{default_, 0});
+  }
+
   size_t size() const { return slots_.size(); }
 
   /// Invalidates all slots in O(1). On stamp wrap-around (once per 2^32

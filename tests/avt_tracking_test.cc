@@ -80,7 +80,7 @@ TEST(AvtTracking, IncAvtMaintainedIndexStaysConsistent) {
         if (t == 0) {
           tracker.ProcessFirst(graph);
         } else {
-          tracker.ProcessDelta(graph, delta);
+          tracker.ProcessDelta(delta);
         }
         InvariantReport report = CheckKOrderInvariants(
             tracker.maintainer().graph(), tracker.maintainer().order());

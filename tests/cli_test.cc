@@ -305,6 +305,176 @@ TEST_F(CliTest, ConvertWindowsTemporalLog) {
   }
 }
 
+// --- stream command ----------------------------------------------------
+
+TEST_F(CliTest, HelpMentionsStreamCommand) {
+  std::string out;
+  ASSERT_EQ(Run({"help"}, &out), 0);
+  EXPECT_NE(out.find("stream"), std::string::npos);
+  EXPECT_NE(out.find("--coalesce-window"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamGeneratedChurnWorkload) {
+  std::string out;
+  ASSERT_EQ(Run({"stream", "--source=gen", "--n=300", "--t=5", "--k=3",
+                 "--l=3", "--churn-min=20", "--churn-max=40"},
+                &out),
+            0);
+  EXPECT_NE(out.find("source churn-gen: 5 snapshots"), std::string::npos);
+  EXPECT_NE(out.find("anchor stability"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamTemporalFileMatchesMaterializedTrack) {
+  // The same temporal log driven through `track --temporal` (batch
+  // load, WindowSnapshots, SequenceSource) and `stream --source=file`
+  // (StreamingEdgeFileSource) must report identical per-snapshot
+  // followers / anchored-core / candidates columns.
+  std::string log_path = TempPath("stream_log.txt");
+  {
+    std::ofstream file(log_path);
+    // 30 sorted events over a dense little community.
+    for (int i = 0; i < 30; ++i) {
+      int u = i % 5;
+      int v = (i + 1 + i / 5) % 6;
+      if (u == v) v = (v + 1) % 6;
+      file << u << ' ' << v << ' ' << i * 3 << '\n';
+    }
+  }
+  // Keeps the first `columns` whitespace/pipe-separated fields of every
+  // numeric table row (dropping the trailing millis column).
+  auto result_rows = [](const std::string& text, int columns) {
+    std::string kept;
+    std::istringstream stream(text);
+    for (std::string line; std::getline(stream, line);) {
+      if (line.find("ms total") != std::string::npos) continue;
+      for (char& c : line) {
+        if (c == '|') c = ' ';
+      }
+      std::istringstream row(line);
+      std::string t;
+      if (!(row >> t) ||
+          t.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      kept += t;
+      std::string field;
+      for (int i = 1; i < columns && row >> field; ++i) {
+        kept += " " + field;
+      }
+      kept += "\n";
+    }
+    return kept;
+  };
+  std::string tracked, streamed;
+  ASSERT_EQ(Run({"track", "--temporal=" + log_path, "--t=4", "--window=30",
+                 "--k=2", "--l=2", "--algo=incavt"},
+                &tracked),
+            0);
+  ASSERT_EQ(Run({"stream", "--source=file", "--temporal=" + log_path,
+                 "--t=4", "--window=30", "--k=2", "--l=2",
+                 "--algo=incavt"},
+                &streamed),
+            0);
+  // track rows: t followers anchored_core candidates [millis];
+  // stream rows: t vertices followers anchored_core candidates
+  // [millis]. The vertices column is constant here (full universe
+  // declared up front), so compare after dropping it.
+  auto drop_second_column = [](const std::string& rows) {
+    std::string kept;
+    std::istringstream stream(rows);
+    for (std::string line; std::getline(stream, line);) {
+      std::istringstream row(line);
+      std::string t, vertices, rest;
+      row >> t >> vertices;
+      std::getline(row, rest);
+      kept += t + rest + "\n";
+    }
+    return kept;
+  };
+  EXPECT_NE(result_rows(tracked, 4), "");
+  EXPECT_EQ(result_rows(tracked, 4),
+            drop_second_column(result_rows(streamed, 5)));
+}
+
+TEST_F(CliTest, StreamCoalesceWindowOneIsIdentity) {
+  // Identical up to wall-clock: strip the trailing millis column and
+  // the timing summary line before comparing.
+  auto deterministic = [](const std::string& text) {
+    std::string kept;
+    std::istringstream stream(text);
+    for (std::string line; std::getline(stream, line);) {
+      if (line.find("ms total") != std::string::npos) continue;
+      for (char& c : line) {
+        if (c == '|') c = ' ';
+      }
+      std::istringstream row(line);
+      std::string t;
+      if (!(row >> t) ||
+          t.find_first_not_of("0123456789") != std::string::npos) {
+        kept += line + "\n";
+        continue;
+      }
+      std::string vertices, followers, core, candidates;
+      row >> vertices >> followers >> core >> candidates;
+      kept += t + " " + vertices + " " + followers + " " + core + " " +
+              candidates + "\n";
+    }
+    return kept;
+  };
+  std::string plain, coalesced;
+  ASSERT_EQ(Run({"stream", "--source=gen", "--n=250", "--t=5", "--k=3",
+                 "--l=3"},
+                &plain),
+            0);
+  ASSERT_EQ(Run({"stream", "--source=gen", "--n=250", "--t=5", "--k=3",
+                 "--l=3", "--coalesce-window=1"},
+                &coalesced),
+            0);
+  EXPECT_EQ(deterministic(plain), deterministic(coalesced));
+}
+
+TEST_F(CliTest, StreamCoalesceMergesTransitions) {
+  std::string out;
+  ASSERT_EQ(Run({"stream", "--source=gen", "--n=250", "--t=7", "--k=3",
+                 "--l=3", "--coalesce-window=3"},
+                &out),
+            0);
+  // 6 upstream transitions coalesce into ceil(6/3) = 2, plus G_0.
+  EXPECT_NE(out.find("3 snapshots"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamRejectsBadFlags) {
+  std::string out, err;
+  EXPECT_EQ(Run({"stream", "--source=teleport"}, &out, &err), 2);
+  EXPECT_NE(err.find("unknown --source"), std::string::npos);
+
+  EXPECT_EQ(Run({"stream", "--source=gen", "--coalesce-window=0"}, &out,
+                &err),
+            2);
+  EXPECT_NE(err.find("--coalesce-window must be a positive integer"),
+            std::string::npos);
+
+  EXPECT_EQ(Run({"stream", "--source=file"}, &out, &err), 2);
+  EXPECT_NE(err.find("--temporal"), std::string::npos);
+
+  EXPECT_EQ(Run({"stream", "--source=sequence"}, &out, &err), 2);
+  EXPECT_NE(err.find("--dataset"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamRejectsUnsortedTemporalFile) {
+  std::string log_path = TempPath("unsorted_log.txt");
+  {
+    std::ofstream file(log_path);
+    file << "0 1 100\n2 3 50\n";
+  }
+  std::string out, err;
+  EXPECT_EQ(Run({"stream", "--source=file", "--temporal=" + log_path,
+                 "--t=3", "--window=30"},
+                &out, &err),
+            1);
+  EXPECT_NE(err.find("not sorted by timestamp"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace avt

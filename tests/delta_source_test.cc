@@ -1,0 +1,421 @@
+// Delta-source layer tests: every streaming source must mirror the
+// materialized construction it replaces — identical delta sequences,
+// identical replayed graphs, and (for the coalescing decorator)
+// bit-identical tracking results — plus EdgeDelta::Canonicalize as the
+// standalone utility the sources build on.
+
+#include "graph/delta_source.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/inc_avt.h"
+#include "gen/churn.h"
+#include "gen/generator_source.h"
+#include "gen/models.h"
+#include "gen/temporal.h"
+#include "graph/io.h"
+#include "util/random.h"
+
+namespace avt {
+namespace {
+
+// Emits a fixed initial graph + delta script (for decorator tests).
+class VectorSource : public DeltaSource {
+ public:
+  VectorSource(Graph initial, std::vector<EdgeDelta> deltas)
+      : initial_(std::move(initial)), deltas_(std::move(deltas)) {}
+
+  const Graph& InitialGraph() const override { return initial_; }
+  bool NextDelta(EdgeDelta* delta) override {
+    if (next_ >= deltas_.size()) return false;
+    *delta = deltas_[next_++];
+    return true;
+  }
+  std::string name() const override { return "vector"; }
+
+ private:
+  Graph initial_;
+  std::vector<EdgeDelta> deltas_;
+  size_t next_ = 0;
+};
+
+std::vector<EdgeDelta> DrainSource(DeltaSource& source) {
+  std::vector<EdgeDelta> deltas;
+  EdgeDelta delta;
+  while (source.NextDelta(&delta)) deltas.push_back(delta);
+  return deltas;
+}
+
+void ExpectSameDeltas(const std::vector<EdgeDelta>& a,
+                      const std::vector<EdgeDelta>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t].insertions, b[t].insertions) << "t=" << t;
+    EXPECT_EQ(a[t].deletions, b[t].deletions) << "t=" << t;
+  }
+}
+
+// --- EdgeDelta::Canonicalize ------------------------------------------
+
+TEST(Canonicalize, SortsDedupesAndDropsSelfLoops) {
+  EdgeDelta delta;
+  delta.insertions = {Edge(5, 2), Edge(1, 3), Edge(5, 2), Edge(4, 4)};
+  delta.deletions = {Edge(9, 9), Edge(8, 6), Edge(6, 8)};
+  delta.Canonicalize();
+  EXPECT_EQ(delta.insertions, (std::vector<Edge>{Edge(1, 3), Edge(2, 5)}));
+  EXPECT_EQ(delta.deletions, (std::vector<Edge>{Edge(6, 8)}));
+}
+
+TEST(Canonicalize, CollapsesInsertDeletePairsToTheDeletion) {
+  EdgeDelta delta;
+  delta.insertions = {Edge(0, 1), Edge(2, 3)};
+  delta.deletions = {Edge(1, 0), Edge(4, 5)};
+  delta.Canonicalize();
+  // (0,1) appears in both batches; insert-then-delete ends absent in
+  // every starting state, exactly like the lone deletion.
+  EXPECT_EQ(delta.insertions, (std::vector<Edge>{Edge(2, 3)}));
+  EXPECT_EQ(delta.deletions, (std::vector<Edge>{Edge(0, 1), Edge(4, 5)}));
+}
+
+TEST(Canonicalize, PreservesApplySemantics) {
+  Rng rng(11);
+  Graph g = ErdosRenyi(40, 120, rng);
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng delta_rng(100 + seed);
+    EdgeDelta messy;
+    for (int i = 0; i < 30; ++i) {
+      VertexId u = static_cast<VertexId>(delta_rng.Uniform(40));
+      VertexId v = static_cast<VertexId>(delta_rng.Uniform(40));
+      if (delta_rng.Bernoulli(0.5)) {
+        messy.insertions.push_back(Edge(u, v));
+      } else {
+        messy.deletions.push_back(Edge(u, v));
+      }
+    }
+    EdgeDelta canonical = messy;
+    canonical.Canonicalize();
+    Graph a = g;
+    Graph b = g;
+    messy.Apply(a);
+    canonical.Apply(b);
+    EXPECT_TRUE(a == b) << "seed " << seed;
+  }
+}
+
+TEST(Canonicalize, EmptyDeltaStaysEmpty) {
+  EdgeDelta delta;
+  delta.Canonicalize();
+  EXPECT_TRUE(delta.Empty());
+}
+
+// --- SequenceSource ----------------------------------------------------
+
+TEST(SequenceSource, EmitsDeltasVerbatim) {
+  Rng rng(21);
+  Graph initial = ChungLuPowerLaw(120, 5.0, 2.2, 30, rng);
+  ChurnOptions options;
+  options.num_snapshots = 6;
+  options.min_churn = 10;
+  options.max_churn = 25;
+  SnapshotSequence sequence = MakeChurnSnapshots(initial, options, rng);
+
+  SequenceSource source(&sequence);
+  EXPECT_TRUE(source.InitialGraph() == sequence.initial());
+  std::vector<EdgeDelta> streamed = DrainSource(source);
+  ExpectSameDeltas(streamed, sequence.deltas());
+}
+
+// --- ChurnSource vs MakeChurnSnapshots --------------------------------
+
+TEST(ChurnSource, BitIdenticalToMaterializedProtocol) {
+  Rng graph_rng(31);
+  Graph initial = ChungLuPowerLaw(150, 6.0, 2.2, 40, graph_rng);
+  ChurnOptions options;
+  options.num_snapshots = 8;
+  options.min_churn = 15;
+  options.max_churn = 40;
+
+  // Same Rng state feeds both constructions.
+  Rng protocol_rng(77);
+  SnapshotSequence sequence =
+      MakeChurnSnapshots(initial, options, protocol_rng);
+  ChurnSource source(initial, options, Rng(77));
+
+  EXPECT_TRUE(source.InitialGraph() == sequence.initial());
+  std::vector<EdgeDelta> streamed = DrainSource(source);
+  ExpectSameDeltas(streamed, sequence.deltas());
+}
+
+// --- TemporalWindowSource vs WindowSnapshots --------------------------
+
+TemporalEventLog SmallTemporalLog(uint64_t seed) {
+  Rng rng(seed);
+  TemporalGenOptions options;
+  options.num_vertices = 200;
+  options.num_events = 12'000;
+  options.num_days = 120;
+  return GenCommunityEmailEvents(options, 6, 0.85, rng);
+}
+
+TEST(TemporalWindowSource, MirrorsWindowSnapshots) {
+  TemporalEventLog log = SmallTemporalLog(41);
+  const size_t T = 6;
+  const uint32_t window = 30;
+  SnapshotSequence sequence = WindowSnapshots(log, T, window);
+  TemporalWindowSource source(log, T, window);
+
+  EXPECT_TRUE(source.InitialGraph() == sequence.initial());
+  std::vector<EdgeDelta> streamed = DrainSource(source);
+  ExpectSameDeltas(streamed, sequence.deltas());
+}
+
+// --- StreamingEdgeFileSource ------------------------------------------
+
+class TempFileTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    auto path = std::filesystem::temp_directory_path() /
+                ("avt_delta_source_" + name);
+    created_.push_back(path.string());
+    return path.string();
+  }
+  void TearDown() override {
+    for (const std::string& path : created_) std::remove(path.c_str());
+  }
+  std::vector<std::string> created_;
+};
+
+using StreamingEdgeFileSourceTest = TempFileTest;
+
+TEST_F(StreamingEdgeFileSourceTest, MirrorsMaterializedWindowing) {
+  TemporalEventLog log = SmallTemporalLog(43);
+  std::string path = TempPath("log.txt");
+  ASSERT_TRUE(SaveTemporalEdgeList(log, path).ok());
+
+  // The materialized mirror of the FILE: load (same first-appearance id
+  // compaction the stream performs) then window.
+  auto loaded = LoadTemporalEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  const size_t T = 6;
+  const uint32_t window = 30;
+  SnapshotSequence sequence = WindowSnapshots(loaded.value(), T, window);
+
+  auto opened = StreamingEdgeFileSource::Open(path, T, window);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  StreamingEdgeFileSource& source = *opened.value();
+
+  // The metadata pass declared the full dense universe, so G_0 is
+  // bit-identical to the batch loader's initial snapshot.
+  EXPECT_TRUE(source.InitialGraph() == sequence.initial());
+  EXPECT_EQ(source.InitialGraph().NumVertices(),
+            loaded.value().num_vertices);
+
+  std::vector<EdgeDelta> streamed = DrainSource(source);
+  ExpectSameDeltas(streamed, sequence.deltas());
+  // After the whole file: every id the loader assigned has been seen.
+  EXPECT_EQ(source.NumVerticesSeen(), loaded.value().num_vertices);
+
+  // Replaying streamed deltas reproduces every materialized snapshot.
+  Graph replay = source.InitialGraph();
+  for (size_t t = 0; t < streamed.size(); ++t) {
+    streamed[t].Apply(replay);
+    EXPECT_TRUE(replay == sequence.Materialize(t + 1)) << "t=" << (t + 1);
+  }
+}
+
+TEST_F(StreamingEdgeFileSourceTest, SelfLoopLinesAreInvisibleLikeTheLoader) {
+  // The batch loader drops self-loops before they can touch ids or the
+  // timestamp range; the stream's metadata pass must agree, or the
+  // window boundaries drift. The self-loops here carry the extreme
+  // timestamps AND appear out of timestamp order relative to real
+  // events — both must be ignored.
+  std::string path = TempPath("selfloops.txt");
+  {
+    std::ofstream file(path);
+    file << "9 9 1\n"     // self-loop owns t_min and is out of order
+         << "0 1 10\n0 2 12\n1 2 14\n2 3 20\n0 3 26\n"
+         << "7 7 999\n";  // self-loop owns t_max
+  }
+  auto loaded = LoadTemporalEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  const size_t T = 3;
+  const uint32_t window = 8;
+  SnapshotSequence sequence = WindowSnapshots(loaded.value(), T, window);
+
+  auto opened = StreamingEdgeFileSource::Open(path, T, window);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  StreamingEdgeFileSource& source = *opened.value();
+  EXPECT_TRUE(source.InitialGraph() == sequence.initial());
+  ExpectSameDeltas(DrainSource(source), sequence.deltas());
+}
+
+TEST_F(StreamingEdgeFileSourceTest, MissingFileIsAnIoError) {
+  auto opened = StreamingEdgeFileSource::Open("/nonexistent/nope.txt", 4, 30);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(StreamingEdgeFileSourceTest, UnsortedFileIsRejectedWithContext) {
+  std::string path = TempPath("unsorted.txt");
+  {
+    std::ofstream file(path);
+    file << "0 1 100\n2 3 50\n";
+  }
+  auto opened = StreamingEdgeFileSource::Open(path, 4, 30);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(opened.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(StreamingEdgeFileSourceTest, MalformedLineIsCorruption) {
+  std::string path = TempPath("bad.txt");
+  {
+    std::ofstream file(path);
+    file << "# header\n0 1 5\nnot an edge\n";
+  }
+  auto opened = StreamingEdgeFileSource::Open(path, 4, 30);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+// --- CoalescingSource --------------------------------------------------
+
+TEST(CoalescingSource, WindowOneIsTheIdentity) {
+  // Churn deltas have UNSORTED batches; the identity must preserve them
+  // byte for byte, not merely up to canonicalization.
+  Rng rng(51);
+  Graph initial = ChungLuPowerLaw(100, 5.0, 2.2, 30, rng);
+  ChurnOptions options;
+  options.num_snapshots = 5;
+  options.min_churn = 10;
+  options.max_churn = 30;
+  SnapshotSequence sequence = MakeChurnSnapshots(initial, options, rng);
+
+  CoalescingSource source(std::make_unique<SequenceSource>(&sequence), 1);
+  std::vector<EdgeDelta> streamed = DrainSource(source);
+  ExpectSameDeltas(streamed, sequence.deltas());
+}
+
+TEST(CoalescingSource, InsertThenDeleteCollapsesInsideTheWindow) {
+  Graph initial(4);
+  initial.AddEdge(0, 1);
+  EdgeDelta first;
+  first.insertions = {Edge(2, 3)};  // new edge, deleted next step
+  EdgeDelta second;
+  second.deletions = {Edge(2, 3), Edge(0, 1)};
+  CoalescingSource source(
+      std::make_unique<VectorSource>(
+          initial, std::vector<EdgeDelta>{first, second}),
+      2);
+  EdgeDelta merged;
+  ASSERT_TRUE(source.NextDelta(&merged));
+  // (2,3)'s last op is its deletion — a no-op on the pre-window graph,
+  // so the blip costs zero cascades; (0,1)'s deletion is real.
+  EXPECT_TRUE(merged.insertions.empty());
+  EXPECT_EQ(merged.deletions, (std::vector<Edge>{Edge(0, 1), Edge(2, 3)}));
+  EXPECT_FALSE(source.NextDelta(&merged));
+}
+
+TEST(CoalescingSource, DeleteThenReinsertCollapsesToANoOpInsertion) {
+  Graph initial(3);
+  initial.AddEdge(0, 1);
+  EdgeDelta first;
+  first.deletions = {Edge(0, 1)};
+  EdgeDelta second;
+  second.insertions = {Edge(0, 1)};
+  CoalescingSource source(
+      std::make_unique<VectorSource>(
+          initial, std::vector<EdgeDelta>{first, second}),
+      2);
+  EdgeDelta merged;
+  ASSERT_TRUE(source.NextDelta(&merged));
+  EXPECT_EQ(merged.insertions, (std::vector<Edge>{Edge(0, 1)}));
+  EXPECT_TRUE(merged.deletions.empty());
+  Graph replay = initial;
+  merged.Apply(replay);
+  EXPECT_TRUE(replay == initial);
+}
+
+TEST(CoalescingSource, ReplayVisitsEveryWindowBoundarySnapshot) {
+  Rng rng(61);
+  Graph initial = ChungLuPowerLaw(120, 6.0, 2.2, 30, rng);
+  ChurnOptions options;
+  options.num_snapshots = 10;  // 9 deltas
+  options.min_churn = 10;
+  options.max_churn = 30;
+  SnapshotSequence sequence = MakeChurnSnapshots(initial, options, rng);
+
+  for (size_t window : {2u, 3u, 4u}) {
+    CoalescingSource source(std::make_unique<SequenceSource>(&sequence),
+                            window);
+    Graph replay = source.InitialGraph();
+    EdgeDelta merged;
+    size_t boundary = 0;
+    while (source.NextDelta(&merged)) {
+      merged.Apply(replay);
+      boundary = std::min(boundary + window, sequence.deltas().size());
+      EXPECT_TRUE(replay == sequence.Materialize(boundary))
+          << "window=" << window << " boundary=" << boundary;
+    }
+    EXPECT_EQ(boundary, sequence.deltas().size()) << "window=" << window;
+  }
+}
+
+// Coalesced vs uncoalesced-net replay: the incremental tracker fed
+// CoalescingSource output must produce bit-identical anchors to the
+// same tracker fed the pure net deltas (DiffGraphs between boundary
+// snapshots) — the no-op entries a last-op-wins merge keeps are
+// invisible to the maintainer.
+TEST(CoalescingSource, FuzzCoalescedReplayMatchesNetDeltaReplay) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(700 + seed);
+    Graph initial = ChungLuPowerLaw(140, 6.0, 2.2, 35, rng);
+    ChurnOptions options;
+    options.num_snapshots = 9;
+    options.min_churn = 10;
+    options.max_churn = 35;
+    SnapshotSequence sequence = MakeChurnSnapshots(initial, options, rng);
+
+    for (size_t window : {2u, 3u}) {
+      // Net-delta mirror: diff every window-th materialized snapshot.
+      std::vector<EdgeDelta> net;
+      Graph previous = sequence.initial();
+      size_t boundary = 0;
+      while (boundary < sequence.deltas().size()) {
+        boundary = std::min(boundary + window, sequence.deltas().size());
+        Graph next = sequence.Materialize(boundary);
+        net.push_back(DiffGraphs(previous, next));
+        previous = std::move(next);
+      }
+
+      IncAvtTracker coalesced_tracker(3, 4);
+      IncAvtTracker net_tracker(3, 4);
+      coalesced_tracker.ProcessFirst(sequence.initial());
+      net_tracker.ProcessFirst(sequence.initial());
+      CoalescingSource source(
+          std::make_unique<SequenceSource>(&sequence), window);
+      EdgeDelta merged;
+      size_t step = 0;
+      while (source.NextDelta(&merged)) {
+        ASSERT_LT(step, net.size());
+        AvtSnapshotResult a = coalesced_tracker.ProcessDelta(merged);
+        AvtSnapshotResult b = net_tracker.ProcessDelta(net[step]);
+        EXPECT_EQ(a.anchors, b.anchors)
+            << "seed " << seed << " window " << window << " step " << step;
+        EXPECT_EQ(a.num_followers, b.num_followers)
+            << "seed " << seed << " window " << window << " step " << step;
+        ++step;
+      }
+      EXPECT_EQ(step, net.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace avt

@@ -28,19 +28,27 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "anchor/anchored_core.h"
 #include "anchor/follower_oracle.h"
+#include "core/engine.h"
 #include "core/inc_avt.h"
 #include "corelib/decomposition.h"
 #include "corelib/korder.h"
 #include "gen/models.h"
+#include "gen/temporal.h"
 #include "graph/delta.h"
+#include "graph/delta_source.h"
 #include "graph/dynamic_csr.h"
+#include "graph/io.h"
 #include "util/random.h"
 
 namespace avt {
@@ -162,8 +170,8 @@ std::string CheckSchedule(const Graph& g0,
   Graph g = g0;
   for (size_t t = 0; t < schedule.size(); ++t) {
     schedule[t].Apply(g);
-    AvtSnapshotResult snap = tracker.ProcessDelta(g, schedule[t]);
-    AvtSnapshotResult nocsr_snap = nocsr_tracker.ProcessDelta(g, schedule[t]);
+    AvtSnapshotResult snap = tracker.ProcessDelta(schedule[t]);
+    AvtSnapshotResult nocsr_snap = nocsr_tracker.ProcessDelta(schedule[t]);
     std::ostringstream why;
 
     // Maintained CSR vs dynamic adjacency, and CSR-scan anchors vs
@@ -304,6 +312,65 @@ TEST(DifferentialFuzz, IncAvtMatchesFromScratchRecomputation) {
       return;  // one minimized repro is enough output
     }
   }
+}
+
+// Acceptance matrix for the streaming refactor: a temporal edge-list
+// FILE streamed through AvtEngine (StreamingEdgeFileSource, the
+// zero-materialization ingestion path, coalesce-window 1 == no
+// decorator) must produce bit-identical anchors and follower counts to
+// the materialized WindowSnapshots replay of the SAME file, across
+// {lazy, eager} x csr {none, maintained} x threads {1, 8}.
+TEST(DifferentialFuzz, StreamedFileReplayMatchesMaterializedMatrix) {
+  Rng rng(808);
+  TemporalGenOptions options;
+  options.num_vertices = 250;
+  options.num_events = 15'000;
+  options.num_days = 120;
+  TemporalEventLog log = GenBurstyMessageEvents(options, 0.2, 4.0, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "avt_fuzz_stream_log.txt")
+          .string();
+  ASSERT_TRUE(SaveTemporalEdgeList(log, path).ok());
+  auto loaded = LoadTemporalEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  const size_t T = 6;
+  const uint32_t window = 30;
+  SnapshotSequence sequence = WindowSnapshots(loaded.value(), T, window);
+
+  const uint32_t k = 3;
+  const uint32_t l = 4;
+  for (bool lazy : {true, false}) {
+    for (IncAvtCsrMode mode :
+         {IncAvtCsrMode::kNone, IncAvtCsrMode::kMaintained}) {
+      for (uint32_t threads : {1u, 8u}) {
+        IncAvtOptions options_inc;
+        options_inc.lazy = lazy;
+        options_inc.csr = mode;
+        options_inc.num_threads = threads;
+        auto run_config = [&](std::unique_ptr<DeltaSource> source) {
+          AvtEngine engine(
+              std::make_unique<IncAvtTracker>(
+                  k, l, IncAvtMode::kRestricted, options_inc),
+              std::move(source));
+          std::vector<std::pair<std::vector<VertexId>, uint32_t>> track;
+          engine.SetObserver([&](const AvtSnapshotResult& snap) {
+            track.emplace_back(snap.anchors, snap.num_followers);
+          });
+          EXPECT_TRUE(engine.Drain().ok());
+          return track;
+        };
+        auto materialized =
+            run_config(std::make_unique<SequenceSource>(&sequence));
+        auto opened = StreamingEdgeFileSource::Open(path, T, window);
+        ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+        auto streamed = run_config(std::move(opened).value());
+        EXPECT_EQ(materialized, streamed)
+            << "lazy=" << lazy << " csr=" << static_cast<int>(mode)
+            << " threads=" << threads;
+      }
+    }
+  }
+  std::remove(path.c_str());
 }
 
 TEST(DifferentialFuzz, SurvivesEmptyAndDegenerateDeltas) {

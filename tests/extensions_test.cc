@@ -214,7 +214,7 @@ AvtRunResult RunMode(const SnapshotSequence& sequence, IncAvtMode mode) {
       [&](size_t t, const Graph& graph, const EdgeDelta& delta) {
         run.snapshots.push_back(t == 0
                                     ? tracker.ProcessFirst(graph)
-                                    : tracker.ProcessDelta(graph, delta));
+                                    : tracker.ProcessDelta(delta));
       });
   return run;
 }

@@ -58,6 +58,30 @@ TEST(Graph, AddVertexGrowsUniverse) {
   EXPECT_TRUE(g.AddEdge(0, v));
 }
 
+TEST(Graph, EnsureVertexGrowsOnDemand) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.EnsureVertex(2);  // already valid: no-op
+  EXPECT_EQ(g.NumVertices(), 3u);
+  g.EnsureVertex(7);  // grows to hold id 7, new vertices isolated
+  EXPECT_EQ(g.NumVertices(), 8u);
+  EXPECT_EQ(g.Degree(7), 0u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.AddEdge(2, 7));
+  g.EnsureVertex(0);  // never shrinks
+  EXPECT_EQ(g.NumVertices(), 8u);
+}
+
+TEST(GraphDeathTest, OutOfRangeMutationFailsLoudly) {
+  // A delta referencing an unseen vertex must be caught at the source
+  // boundary (AvtEngine) or grown via EnsureVertex first; reaching
+  // AddEdge/RemoveEdge with an out-of-range id is a loud error in every
+  // build type, not silent out-of-bounds indexing.
+  Graph g(3);
+  EXPECT_DEATH(g.AddEdge(0, 5), "EnsureVertex");
+  EXPECT_DEATH(g.RemoveEdge(0, 5), "EnsureVertex");
+}
+
 TEST(Graph, CollectEdgesNormalizedAndSorted) {
   Graph g(4);
   g.AddEdge(3, 1);

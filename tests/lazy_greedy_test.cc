@@ -112,10 +112,10 @@ TEST(LazyIncAvt, MatchesEagerWithFullPool) {
     sequence.ForEachSnapshot([&](size_t t, const Graph& graph,
                                  const EdgeDelta& delta) {
       AvtSnapshotResult a = t == 0 ? lazy_tracker.ProcessFirst(graph)
-                                   : lazy_tracker.ProcessDelta(graph, delta);
+                                   : lazy_tracker.ProcessDelta(delta);
       AvtSnapshotResult b = t == 0
                                 ? eager_tracker.ProcessFirst(graph)
-                                : eager_tracker.ProcessDelta(graph, delta);
+                                : eager_tracker.ProcessDelta(delta);
       EXPECT_EQ(a.anchors, b.anchors) << "seed " << seed << " t=" << t;
       EXPECT_EQ(a.num_followers, b.num_followers)
           << "seed " << seed << " t=" << t;
@@ -144,10 +144,10 @@ TEST(LazyIncAvt, MatchesEagerAcrossChurn) {
     sequence.ForEachSnapshot([&](size_t t, const Graph& graph,
                                  const EdgeDelta& delta) {
       AvtSnapshotResult a = t == 0 ? lazy_tracker.ProcessFirst(graph)
-                                   : lazy_tracker.ProcessDelta(graph, delta);
+                                   : lazy_tracker.ProcessDelta(delta);
       AvtSnapshotResult b = t == 0
                                 ? eager_tracker.ProcessFirst(graph)
-                                : eager_tracker.ProcessDelta(graph, delta);
+                                : eager_tracker.ProcessDelta(delta);
       EXPECT_EQ(a.anchors, b.anchors) << "seed " << seed << " t=" << t;
       EXPECT_EQ(a.num_followers, b.num_followers)
           << "seed " << seed << " t=" << t;

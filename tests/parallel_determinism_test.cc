@@ -117,7 +117,7 @@ TrackTrace RunIncAvt(const SnapshotSequence& sequence, uint32_t k,
   sequence.ForEachSnapshot([&](size_t t, const Graph& graph,
                                const EdgeDelta& delta) {
     AvtSnapshotResult snap = t == 0 ? tracker.ProcessFirst(graph)
-                                    : tracker.ProcessDelta(graph, delta);
+                                    : tracker.ProcessDelta(delta);
     trace.anchors.push_back(snap.anchors);
     trace.followers.push_back(snap.num_followers);
   });
@@ -179,7 +179,7 @@ TEST(ParallelIncAvt, WiderPoolModeStaysDeterministic) {
     sequence.ForEachSnapshot([&](size_t t, const Graph& graph,
                                  const EdgeDelta& delta) {
       AvtSnapshotResult snap = t == 0 ? tracker.ProcessFirst(graph)
-                                      : tracker.ProcessDelta(graph, delta);
+                                      : tracker.ProcessDelta(delta);
       trace.anchors.push_back(snap.anchors);
       trace.followers.push_back(snap.num_followers);
     });

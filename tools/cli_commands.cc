@@ -8,13 +8,18 @@
 #include "anchor/olak.h"
 #include "anchor/rcm.h"
 #include "core/avt.h"
+#include "core/engine.h"
+#include "core/run_summary.h"
 #include "corelib/coreness_history.h"
 #include "corelib/decomposition.h"
 #include "corelib/graph_stats.h"
+#include "gen/churn.h"
 #include "gen/datasets.h"
 #include "gen/degree_sequence.h"
+#include "gen/generator_source.h"
 #include "gen/models.h"
 #include "gen/temporal.h"
+#include "graph/delta_source.h"
 #include "graph/io.h"
 #include "util/table.h"
 
@@ -312,6 +317,121 @@ int RunTrackCommand(const Flags& flags, FILE* out, FILE* err) {
   return 0;
 }
 
+int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
+  uint32_t num_threads;
+  if (!ParseThreads(flags, err, &num_threads)) return 2;
+  IncAvtCsrMode csr_mode;
+  if (!ParseCsrMode(flags, err, &csr_mode)) return 2;
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 3));
+  const uint32_t l = static_cast<uint32_t>(flags.GetInt("l", 5));
+  const size_t T = static_cast<size_t>(flags.GetInt("t", 10));
+  const std::string algo = flags.GetString("algo", "incavt");
+  AvtAlgorithm algorithm;
+  if (!ParseAlgorithm(algo, &algorithm)) {
+    std::fprintf(err,
+                 "error: unknown --algo '%s' (greedy, olak, rcm, incavt, "
+                 "brute)\n",
+                 algo.c_str());
+    return 2;
+  }
+  const int64_t coalesce = flags.Has("coalesce-window")
+                               ? flags.GetInt("coalesce-window", -1)
+                               : 1;
+  if (coalesce < 1) {
+    std::fprintf(err,
+                 "error: --coalesce-window must be a positive integer "
+                 "(got '%s')\n",
+                 flags.GetString("coalesce-window", "").c_str());
+    return 2;
+  }
+
+  // Build the source. A sequence source needs its backing sequence
+  // alive for the whole run; it lives here.
+  SnapshotSequence sequence;
+  std::unique_ptr<DeltaSource> source;
+  const std::string kind = flags.GetString("source", "file");
+  if (kind == "file") {
+    const std::string temporal = flags.GetString("temporal", "");
+    if (temporal.empty()) {
+      std::fprintf(err,
+                   "error: --source=file needs --temporal=<edge list>\n");
+      return 2;
+    }
+    auto opened = StreamingEdgeFileSource::Open(
+        temporal, T, static_cast<uint32_t>(flags.GetInt("window", 45)));
+    if (!opened.ok()) {
+      std::fprintf(err, "error: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    source = std::move(opened).value();
+  } else if (kind == "gen") {
+    Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+    Graph initial = ChungLuPowerLaw(
+        static_cast<VertexId>(flags.GetInt("n", 1000)),
+        flags.GetDouble("avg-degree", 6.0), flags.GetDouble("alpha", 2.2),
+        static_cast<uint32_t>(
+            flags.GetInt("max-degree",
+                         std::max<int64_t>(flags.GetInt("n", 1000) / 20,
+                                           16))),
+        rng);
+    ChurnOptions churn;
+    churn.num_snapshots = T;
+    churn.min_churn =
+        static_cast<uint32_t>(flags.GetInt("churn-min", 100));
+    churn.max_churn =
+        static_cast<uint32_t>(flags.GetInt("churn-max", 250));
+    source = std::make_unique<ChurnSource>(std::move(initial), churn, rng);
+  } else if (kind == "sequence") {
+    const std::string dataset = flags.GetString("dataset", "");
+    if (dataset.empty()) {
+      std::fprintf(err,
+                   "error: --source=sequence needs --dataset=<name>\n");
+      return 2;
+    }
+    const DatasetInfo& info = DatasetByName(dataset);
+    sequence = MakeDatasetSnapshots(
+        info, flags.GetDouble("scale", 0.25), T,
+        static_cast<uint64_t>(flags.GetInt("seed", 42)));
+    source = std::make_unique<SequenceSource>(&sequence);
+  } else {
+    std::fprintf(err,
+                 "error: unknown --source '%s' (file, gen, sequence)\n",
+                 kind.c_str());
+    return 2;
+  }
+  if (coalesce > 1) {
+    source = std::make_unique<CoalescingSource>(
+        std::move(source), static_cast<size_t>(coalesce));
+  }
+
+  AvtEngine engine(MakeTracker(algorithm, k, l, num_threads, csr_mode),
+                   std::move(source));
+  TablePrinter table(
+      {"t", "vertices", "followers", "anchored_core", "candidates",
+       "millis"});
+  engine.SetObserver([&](const AvtSnapshotResult& snap) {
+    table.Row()
+        .UInt(snap.t)
+        .UInt(engine.NumVertices())
+        .UInt(snap.num_followers)
+        .UInt(snap.anchored_core_size)
+        .UInt(snap.candidates_visited)
+        .Double(snap.millis, 2);
+  });
+  Status status = engine.Drain();
+  if (!status.ok()) {
+    std::fprintf(err, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "%s", table.ToText().c_str());
+  std::fprintf(out, "source %s: %zu snapshots, %u vertices discovered\n",
+               engine.source().name().c_str(), engine.SnapshotsProcessed(),
+               engine.NumVertices());
+  std::fprintf(out, "%s\n", FormatRunSummary(engine.Summary()).c_str());
+  return 0;
+}
+
 int RunConvertCommand(const Flags& flags, FILE* out, FILE* err) {
   if (flags.positional().empty()) {
     std::fprintf(err, "error: missing <temporal-edge-list> argument\n");
@@ -354,9 +474,18 @@ std::string UsageText() {
       "[--algo] [--threads])\n"
       "  track    AVT over an evolving graph   (--dataset|--temporal --t "
       "--k --l [--algo] [--threads] [--csr])\n"
+      "  stream   AVT over a delta stream      (--source=file|gen|sequence "
+      "--k --l [--coalesce-window N]\n"
+      "           file: --temporal --t --window; gen: --n --churn-min/max "
+      "--seed; sequence: --dataset)\n"
       "  convert  temporal log -> snapshots    (<temporal> --t --window "
       "--out-prefix)\n"
       "\n"
+      "stream drives the tracker through the push-based AvtEngine: no\n"
+      "snapshot is ever materialized past G_0, vertex universes grow on\n"
+      "demand, and --coalesce-window N merges N transitions into one\n"
+      "net-effect delta (N=1 streams verbatim; results then match track\n"
+      "bit for bit).\n"
       "--threads N (>= 1) sizes the parallel trial engine of greedy and\n"
       "incavt; results are bit-identical at every thread count. Other\n"
       "algorithms run serial regardless.\n"
@@ -377,6 +506,7 @@ int RunCli(int argc, char** argv, FILE* out, FILE* err) {
   if (command == "core") return RunCoreCommand(flags, out, err);
   if (command == "anchors") return RunAnchorsCommand(flags, out, err);
   if (command == "track") return RunTrackCommand(flags, out, err);
+  if (command == "stream") return RunStreamCommand(flags, out, err);
   if (command == "convert") return RunConvertCommand(flags, out, err);
   if (command == "help" || command == "--help") {
     std::fprintf(out, "%s", UsageText().c_str());

@@ -8,6 +8,7 @@
 //   avt_cli core    graph.txt --k=3
 //   avt_cli anchors graph.txt --k=3 --l=5 [--algo=greedy|olak|rcm|brute]
 //   avt_cli track   --dataset=eu-core --t=10 --k=3 --l=5 [--algo=incavt]
+//   avt_cli stream  --source=file --temporal=log.txt --t=10 --k=3 --l=5
 //   avt_cli convert temporal.txt --t=10 --window=45 --out-prefix=snap
 //
 // All commands return 0 on success and print diagnostics to `err` on
@@ -39,6 +40,10 @@ int RunAnchorsCommand(const Flags& flags, FILE* out, FILE* err);
 
 /// Tracks anchors over a dataset replica or a temporal edge list.
 int RunTrackCommand(const Flags& flags, FILE* out, FILE* err);
+
+/// Streams deltas through AvtEngine: --source {file, gen, sequence},
+/// optional window coalescing (--coalesce-window N).
+int RunStreamCommand(const Flags& flags, FILE* out, FILE* err);
 
 /// Converts a temporal edge list into windowed snapshot edge lists.
 int RunConvertCommand(const Flags& flags, FILE* out, FILE* err);
