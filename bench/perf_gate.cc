@@ -45,6 +45,16 @@
 //   {lazy, eager} x csr {none, maintained} x threads {1, 8} and asserts
 //   bit-identical anchors and follower counts — the acceptance matrix.
 //
+// PR-6 gate — parallel scaling after the batching/partition bugfix:
+// asserts the trial-engine work counters are thread-count-invariant
+// (BENCH_PR3's defect was oracle_queries scaling linearly with the
+// thread count), asserts engine-batched IncAVT replay is bit-identical
+// to a net-delta mirror at every batch boundary for batch {1, --batch,
+// 16} x threads {1, 8}, measures batched IncAVT across --threads-list,
+// and — below 2 CPUs skips with a notice, at >= 4 CPUs ENFORCES —
+// speedup_max_threads_vs_1 > 1.0 on both workloads. Emitted to
+// --scaling-out.
+//
 // Outputs are asserted identical between all strategies, thread counts,
 // and scan backings before any number is written: the gate measures a
 // speedup, never a quality trade. The JSON is intentionally flat so
@@ -55,6 +65,7 @@
 //                     [--threads-list=1,2,4,8] [--threads-out=BENCH_PR3.json]
 //                     [--csr-out=BENCH_PR4.json]
 //                     [--stream-out=BENCH_PR5.json] [--coalesce-window=3]
+//                     [--scaling-out=BENCH_PR6.json] [--batch=3]
 //
 // --repeats re-runs each timed section and keeps the fastest wall time
 // (work counters are deterministic and identical across repeats).
@@ -119,7 +130,8 @@ GateMetrics MeasureIncAvt(const SnapshotSequence& sequence, uint32_t k,
                           uint32_t l, bool lazy, int repeats,
                           std::vector<std::vector<VertexId>>* anchors_out,
                           uint32_t num_threads = 1,
-                          IncAvtCsrMode csr_mode = IncAvtCsrMode::kMaintained) {
+                          IncAvtCsrMode csr_mode = IncAvtCsrMode::kMaintained,
+                          size_t batch_size = 1) {
   GateMetrics metrics;
   metrics.millis = 1e300;
   for (int r = 0; r < repeats; ++r) {
@@ -127,6 +139,7 @@ GateMetrics MeasureIncAvt(const SnapshotSequence& sequence, uint32_t k,
     options.lazy = lazy;
     options.num_threads = num_threads;
     options.csr = csr_mode;
+    options.batch_size = batch_size;
     // All tracking rides the streaming engine; snap.millis is the
     // tracker's own per-transition timer, so the sum matches the old
     // externally-timed ProcessDelta loop.
@@ -549,6 +562,141 @@ int main(int argc, char** argv) {
               "for {lazy, eager} x csr {none, maintained} x threads "
               "{1, 8}\n");
 
+  // --- Gate 6 (PR 6): parallel scaling after the batching fix --------
+  // BENCH_PR3 recorded the defect this PR fixes: the per-shard trial
+  // engine resolved one winner PER SHARD, so oracle_queries scaled
+  // linearly with the thread count and threads=8 lost to threads=1 on
+  // both workloads. The fixed engine's counters are thread-count
+  // invariant (asserted below), the live candidates are partitioned by
+  // K-order region, and the incremental tracker amortizes its
+  // invalidation walk over --batch merged deltas. This gate asserts
+  // the counters, asserts batched replay == the net-delta mirror at
+  // every batch boundary for batch {1, --batch, 16} x threads {1, 8},
+  // and — on hosts with enough CPUs to measure wall scaling — enforces
+  // speedup_max_threads_vs_1 > 1.0 for both workloads.
+  const std::string scaling_out =
+      flags.GetString("scaling-out", "BENCH_PR6.json");
+  const size_t gate6_batch = static_cast<size_t>(flags.GetInt("batch", 3));
+  AVT_CHECK_MSG(gate6_batch >= 1, "--batch must be >= 1");
+
+  // (a) Work counters must be pure functions of the workload.
+  for (size_t i = 1; i < thread_counts.size(); ++i) {
+    AVT_CHECK_MSG(greedy_by_threads[i].oracle_queries ==
+                          greedy_by_threads[0].oracle_queries &&
+                      greedy_by_threads[i].bound_probes ==
+                          greedy_by_threads[0].bound_probes,
+                  "perf gate violated: greedy work counters scale with "
+                  "the thread count (the BENCH_PR3 defect)");
+    AVT_CHECK_MSG(incavt_by_threads[i].oracle_queries ==
+                          incavt_by_threads[0].oracle_queries &&
+                      incavt_by_threads[i].bound_probes ==
+                          incavt_by_threads[0].bound_probes,
+                  "perf gate violated: IncAVT work counters scale with "
+                  "the thread count (the BENCH_PR3 defect)");
+  }
+  std::printf("work counters: thread-count-invariant on both workloads "
+              "across all measured counts\n");
+
+  // (b) Batched replay == net-delta mirror (one DiffGraphs transaction
+  // per boundary) — the Theorem-3-safe batching contract, at gate scale.
+  auto mirror_track = [&](size_t batch) {
+    std::vector<std::vector<VertexId>> track;
+    IncAvtTracker mirror(k, l);
+    track.push_back(mirror.ProcessFirst(sequence.initial()).anchors);
+    Graph prev = sequence.initial();
+    Graph working = sequence.initial();
+    size_t t = 0;
+    for (const EdgeDelta& delta : sequence.deltas()) {
+      delta.Apply(working);
+      ++t;
+      if (t % batch == 0 || t == sequence.deltas().size()) {
+        track.push_back(
+            mirror.ProcessDelta(DiffGraphs(prev, working)).anchors);
+        prev = working;
+      }
+    }
+    return track;
+  };
+  for (size_t b : {size_t{1}, gate6_batch, size_t{16}}) {
+    // batch 1 must be VERBATIM per-delta delivery; larger batches must
+    // match the mirror at every emitted boundary.
+    const std::vector<std::vector<VertexId>> expected =
+        b == 1 ? lazy_track : mirror_track(b);
+    for (uint32_t threads : {1u, 8u}) {
+      std::vector<std::vector<VertexId>> track;
+      MeasureIncAvt(sequence, k, l, /*lazy=*/true, /*repeats=*/1, &track,
+                    threads, IncAvtCsrMode::kMaintained, b);
+      AVT_CHECK_MSG(track == expected,
+                    "perf gate violated: batched IncAVT diverged from "
+                    "the net-delta mirror replay");
+    }
+  }
+  std::printf("batch identity: engine batch {1, %zu, 16} == net-delta "
+              "mirror at every boundary, threads {1, 8}\n",
+              gate6_batch);
+
+  // (c) Batched IncAVT thread scaling (the measured arm: batching gives
+  // the parallel phase pools big enough to amortize the fan-out).
+  const std::vector<std::vector<VertexId>> batched_expected =
+      mirror_track(gate6_batch);
+  std::vector<GateMetrics> incavt_batched_by_threads;
+  for (uint32_t threads : thread_counts) {
+    std::vector<std::vector<VertexId>> track;
+    incavt_batched_by_threads.push_back(
+        MeasureIncAvt(sequence, k, l, /*lazy=*/true, repeats, &track,
+                      threads, IncAvtCsrMode::kMaintained, gate6_batch));
+    AVT_CHECK_MSG(track == batched_expected,
+                  "perf gate violated: batched IncAVT diverged across "
+                  "thread counts");
+    std::printf("threads %2u (batch %zu): incavt %8.2f ms/batch (%.2fx)\n",
+                threads, gate6_batch,
+                incavt_batched_by_threads.back().millis /
+                    static_cast<double>(batched_expected.size() - 1),
+                Ratio(incavt_batched_by_threads.front().millis,
+                      incavt_batched_by_threads.back().millis));
+  }
+  for (size_t i = 1; i < thread_counts.size(); ++i) {
+    AVT_CHECK_MSG(incavt_batched_by_threads[i].oracle_queries ==
+                          incavt_batched_by_threads[0].oracle_queries &&
+                      incavt_batched_by_threads[i].bound_probes ==
+                          incavt_batched_by_threads[0].bound_probes,
+                  "perf gate violated: batched IncAVT work counters "
+                  "scale with the thread count");
+  }
+
+  // (d) Wall-clock scaling assertion, gated on the host: below 2 CPUs
+  // wall scaling is unmeasurable (the PR-3 gate silently asserted
+  // nothing there — this one says so); at >= 4 CPUs threads=max must
+  // beat threads=1 on BOTH workloads.
+  const double greedy_speedup = Ratio(greedy_by_threads.front().millis,
+                                      greedy_by_threads.back().millis);
+  const double incavt_batched_speedup =
+      Ratio(incavt_batched_by_threads.front().millis,
+            incavt_batched_by_threads.back().millis);
+  const char* wall_assert = "recorded";
+  if (host_cpus < 2) {
+    wall_assert = "skipped";
+    std::printf("scaling gate: SKIPPED — host has %u CPU(s); wall-clock "
+                "scaling is unmeasurable here (outputs, counters, and "
+                "batch identity asserted above)\n",
+                host_cpus);
+  } else if (host_cpus >= 4) {
+    wall_assert = "enforced";
+    AVT_CHECK_MSG(greedy_speedup > 1.0,
+                  "perf gate violated: greedy threads=max is no faster "
+                  "than threads=1 on a >=4-CPU host");
+    AVT_CHECK_MSG(incavt_batched_speedup > 1.0,
+                  "perf gate violated: batched IncAVT threads=max is no "
+                  "faster than threads=1 on a >=4-CPU host");
+    std::printf("scaling gate: ENFORCED — greedy %.2fx, batched incavt "
+                "%.2fx at max threads vs 1 (%u CPUs)\n",
+                greedy_speedup, incavt_batched_speedup, host_cpus);
+  } else {
+    std::printf("scaling gate: recorded only — %u CPUs is too few to "
+                "enforce a speedup, too many to skip the record\n",
+                host_cpus);
+  }
+
   // --- Emit JSON -----------------------------------------------------
   FILE* f = std::fopen(out.c_str(), "w");
   AVT_CHECK_MSG(f != nullptr, "cannot open bench output file");
@@ -704,5 +852,46 @@ int main(int argc, char** argv) {
   std::fprintf(sf, "}\n");
   std::fclose(sf);
   std::printf("wrote %s\n", stream_out.c_str());
+
+  // --- Emit BENCH_PR6.json (parallel scaling after the fix) ----------
+  FILE* gf = std::fopen(scaling_out.c_str(), "w");
+  AVT_CHECK_MSG(gf != nullptr, "cannot open scaling output file");
+  std::fprintf(gf, "{\n");
+  std::fprintf(gf, "  \"bench\": \"perf_gate_parallel_scaling\",\n");
+  std::fprintf(gf, "  \"pr\": 6,\n");
+  std::fprintf(
+      gf,
+      "  \"config\": {\"n\": %u, \"avg_degree\": 8.0, \"alpha\": 2.1, "
+      "\"k\": %u, \"l\": %u, \"snapshots\": %zu, \"churn_min\": %u, "
+      "\"churn_max\": %u, \"seed\": %" PRIu64 ", \"repeats\": %d, "
+      "\"strategy\": \"lazy\", \"csr\": \"maintained\", \"batch\": %zu},\n",
+      n, k, l, T, churn, churn + 100, seed, repeats, gate6_batch);
+  std::fprintf(gf, "  \"host_cpus\": %u,\n", host_cpus);
+  std::fprintf(gf, "  \"wall_assert\": \"%s\",\n", wall_assert);
+  std::fprintf(gf, "  \"greedy_solve\": {\n");
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    std::string key = "threads_" + std::to_string(thread_counts[i]);
+    PrintMetrics(gf, key.c_str(), greedy_by_threads[i], ",");
+  }
+  std::fprintf(gf, "    \"speedup_max_threads_vs_1\": %.2f\n",
+               greedy_speedup);
+  std::fprintf(gf, "  },\n");
+  std::fprintf(gf, "  \"incavt_per_delta_batched\": {\n");
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    std::string key = "threads_" + std::to_string(thread_counts[i]);
+    PrintMetrics(gf, key.c_str(), incavt_batched_by_threads[i], ",");
+  }
+  std::fprintf(gf, "    \"speedup_max_threads_vs_1\": %.2f\n",
+               incavt_batched_speedup);
+  std::fprintf(gf, "  },\n");
+  std::fprintf(gf, "  \"incavt_per_delta_batch1_speedup\": %.2f,\n",
+               Ratio(incavt_by_threads.front().millis,
+                     incavt_by_threads.back().millis));
+  std::fprintf(gf, "  \"counters_thread_invariant\": true,\n");
+  std::fprintf(gf, "  \"batch_identity\": [1, %zu, 16],\n", gate6_batch);
+  std::fprintf(gf, "  \"identical_outputs\": true\n");
+  std::fprintf(gf, "}\n");
+  std::fclose(gf);
+  std::printf("wrote %s\n", scaling_out.c_str());
   return 0;
 }

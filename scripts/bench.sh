@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Reproduces BENCH_PR2.json + BENCH_PR3.json + BENCH_PR4.json +
-# BENCH_PR5.json: Release build, then the perf gate bench.
+# BENCH_PR5.json + BENCH_PR6.json: Release build, then the perf gate.
 #
 #   scripts/bench.sh                 # full gates (n=50k): BENCH_PR2.json
 #                                    # + BENCH_PR3.json (thread scaling)
 #                                    # + BENCH_PR4.json (CSR maintenance)
 #                                    # + BENCH_PR5.json (stream ingestion)
+#                                    # + BENCH_PR6.json (parallel scaling
+#                                    #   after the batching fix; enforces
+#                                    #   speedup > 1 at >= 4 CPUs)
 #   scripts/bench.sh --smoke         # small run for CI (bench_smoke.json
 #                                    # + bench_smoke_pr3.json
 #                                    # + bench_smoke_pr4.json
-#                                    # + bench_smoke_pr5.json)
+#                                    # + bench_smoke_pr5.json
+#                                    # + bench_smoke_pr6.json)
 #   scripts/bench.sh --stream-out=X.json   # redirect the PR-5 JSON
 #   scripts/bench.sh -- --n=100000   # extra args forwarded to bench_perf_gate
 #
@@ -31,6 +35,7 @@ out="BENCH_PR2.json"
 threads_out="BENCH_PR3.json"
 csr_out="BENCH_PR4.json"
 stream_out="BENCH_PR5.json"
+scaling_out="BENCH_PR6.json"
 extra=()
 if [[ "${1:-}" == "--smoke" ]]; then
   shift
@@ -38,6 +43,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
   threads_out="bench_smoke_pr3.json"
   csr_out="bench_smoke_pr4.json"
   stream_out="bench_smoke_pr5.json"
+  scaling_out="bench_smoke_pr6.json"
   extra+=(--n=8000 --t=6 --repeats=1)
 fi
 if [[ "${1:-}" == --stream-out=* ]]; then
@@ -53,5 +59,6 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$jobs" --target bench_perf_gate
 
 ./build/bench_perf_gate --out="$out" --threads-out="$threads_out" \
-  --csr-out="$csr_out" --stream-out="$stream_out" "${extra[@]}" "$@"
-echo "bench output: $out + $threads_out + $csr_out + $stream_out"
+  --csr-out="$csr_out" --stream-out="$stream_out" \
+  --scaling-out="$scaling_out" "${extra[@]}" "$@"
+echo "bench output: $out + $threads_out + $csr_out + $stream_out + $scaling_out"

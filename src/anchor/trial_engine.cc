@@ -1,6 +1,7 @@
 #include "anchor/trial_engine.h"
 
 #include <algorithm>
+#include <numeric>
 #include <queue>
 
 namespace avt {
@@ -8,7 +9,7 @@ namespace {
 
 /// Lazy heap entry, max-heap by value with smaller id first on ties —
 /// the common tie-break of every pick loop. A vertex appears at most
-/// once per shard, so (value, vertex) never fully ties.
+/// once per call, so (value, vertex) never fully ties.
 struct LazyEntry {
   uint32_t value;  // exact ? F(base ∪ {v}) : certified upper bound
   VertexId vertex;
@@ -19,26 +20,33 @@ struct LazyEntry {
   }
 };
 
-/// Per-shard (or per-worker) winner candidate.
-struct ShardBest {
+/// Per-worker winner candidate (eager mode).
+struct WorkerBest {
   VertexId vertex = kNoVertex;
   uint32_t followers = 0;
   uint64_t full_queries = 0;
-  uint64_t bound_probes = 0;
 };
 
-bool Improves(const ShardBest& best, uint32_t followers, VertexId vertex) {
+bool Improves(const WorkerBest& best, uint32_t followers, VertexId vertex) {
   if (best.vertex == kNoVertex) return true;
   if (followers != best.followers) return followers > best.followers;
   return vertex < best.vertex;
 }
+
+/// Below this many probes per worker the fork-join wakeup plus the
+/// per-worker base-cascade rebuild cost more than the probes they
+/// spread; the serial path computes the identical bounds, so the
+/// cutover changes nothing observable. (BENCH_PR3's IncAVT arm lost
+/// 1.4x at 8 threads precisely because steady-state pools are this
+/// small.)
+constexpr size_t kMinProbesPerWorker = 8;
 
 }  // namespace
 
 TrialEngine::TrialEngine(const Graph* graph, const KOrder* order,
                          const CsrView* csr, uint32_t num_threads,
                          const DynamicCsr* dynamic_csr)
-    : num_threads_(std::max<uint32_t>(1, num_threads)) {
+    : num_threads_(std::max<uint32_t>(1, num_threads)), order_(order) {
   if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
   oracles_.reserve(num_threads_);
   for (uint32_t w = 0; w < num_threads_; ++w) {
@@ -63,73 +71,111 @@ TrialOutcome TrialEngine::Evaluate(std::span<const VertexId> live,
   TrialOutcome outcome;
   if (live.empty()) return outcome;
 
-  const uint32_t workers = num_threads_;
-  std::vector<ShardBest> bests(workers);
-
   if (policy.lazy) {
-    // Fixed contiguous shards: each worker runs the certified-bound CELF
-    // discipline over its own slice with its own oracle, so the winner
-    // AND the per-shard counters are pure functions of (live, base, k,
-    // workers). Each worker rebuilds the base cascade privately — the
-    // base is one phase-1 walk of S, tiny next to |shard| bound probes.
-    auto shard_body = [&](uint32_t w) {
-      const size_t lo = ThreadPool::BlockBegin(live.size(), workers, w);
-      const size_t hi = ThreadPool::BlockEnd(live.size(), workers, w);
-      if (lo >= hi) return;
-      FollowerOracle& oracle = *oracles_[w];
-      ShardBest& best = bests[w];
+    // --- Phase 1: one certified bound per candidate, partition-parallel.
+    // Each bound is a pure function of (base, candidate, k) — the
+    // marginal probe continues the worker's private resident base
+    // cascade over epoch-reset overlays — so the filled array is
+    // identical no matter which worker computed which slot, or whether
+    // any fan-out happened at all.
+    bounds_.resize(live.size());
+    const bool fan_out =
+        pool_ != nullptr &&
+        live.size() >= static_cast<size_t>(num_threads_) * kMinProbesPerWorker;
+    if (!fan_out) {
+      FollowerOracle& oracle = *oracles_[0];
       oracle.BuildBase(base, k);
-      std::priority_queue<LazyEntry> heap;
-      for (size_t i = lo; i < hi; ++i) {
-        ++best.bound_probes;
-        heap.push({oracle.MarginalUpperBound(live[i]), live[i], false});
+      for (size_t i = 0; i < live.size(); ++i) {
+        bounds_[i] = oracle.MarginalUpperBound(live[i]);
       }
-      while (!heap.empty()) {
-        LazyEntry top = heap.top();
-        if (policy.gate && top.value <= policy.floor) return;  // settled
-        if (top.exact) {
-          best.vertex = top.vertex;
-          best.followers = top.value;
-          return;
-        }
-        heap.pop();
-        ++best.full_queries;
-        heap.push({oracle.CountFollowers(base, top.vertex, k), top.vertex,
-                   true});
-      }
-    };
-    if (pool_ != nullptr) {
-      pool_->Run(shard_body);
     } else {
-      shard_body(0);
-    }
-  } else {
-    // Eager: one full query per candidate, fanned out with work stealing.
-    // The per-worker running best depends on which indices the worker
-    // ran, but the reduction below recovers the unique global (followers
-    // desc, id asc) maximum from any partition; the query count is
-    // |live| regardless.
-    ParallelFor(pool_.get(), live.size(), /*grain=*/8,
-                [&](uint32_t w, size_t i) {
-                  FollowerOracle& oracle = *oracles_[w];
-                  ShardBest& best = bests[w];
-                  ++best.full_queries;
-                  uint32_t followers =
-                      oracle.CountFollowers(base, live[i], k);
-                  if (policy.gate && followers <= policy.floor) return;
-                  if (Improves(best, followers, live[i])) {
-                    best.vertex = live[i];
-                    best.followers = followers;
-                  }
+      // Graph-region partition: candidates sorted by K-order position
+      // (level, tag), then block-split, so one worker's probes cascade
+      // through neighboring K-order state instead of striding the whole
+      // order. Purely a locality choice — the winner and counters never
+      // depend on the partition.
+      perm_.resize(live.size());
+      std::iota(perm_.begin(), perm_.end(), 0u);
+      const KOrder* order = order_;
+      std::sort(perm_.begin(), perm_.end(),
+                [order, live](uint32_t a, uint32_t b) {
+                  const VertexId u = live[a];
+                  const VertexId v = live[b];
+                  const uint32_t lu = order->CoreOf(u);
+                  const uint32_t lv = order->CoreOf(v);
+                  if (lu != lv) return lu < lv;
+                  const uint64_t tu = order->TagOf(u);
+                  const uint64_t tv = order->TagOf(v);
+                  if (tu != tv) return tu < tv;
+                  return u < v;
                 });
+      const uint32_t workers = num_threads_;
+      pool_->Run([&](uint32_t w) {
+        const size_t lo = ThreadPool::BlockBegin(live.size(), workers, w);
+        const size_t hi = ThreadPool::BlockEnd(live.size(), workers, w);
+        if (lo >= hi) return;
+        FollowerOracle& oracle = *oracles_[w];
+        oracle.BuildBase(base, k);
+        for (size_t j = lo; j < hi; ++j) {
+          const uint32_t i = perm_[j];
+          bounds_[i] = oracle.MarginalUpperBound(live[i]);
+        }
+      });
+    }
+    outcome.bound_probes = live.size();
+
+    // --- Phase 2: one GLOBAL certified-bound CELF heap, serial resolve.
+    // Exactly the serial discipline: pop the (value desc, id asc) top;
+    // settle with zero further queries if it cannot beat the floor;
+    // accept it if exact; otherwise resolve it with ONE full query and
+    // re-insert. Only the global winner is ever resolved exactly, so
+    // full_queries is independent of the thread count.
+    std::priority_queue<LazyEntry> heap;
+    for (size_t i = 0; i < live.size(); ++i) {
+      heap.push({bounds_[i], live[i], false});
+    }
+    FollowerOracle& resolver = *oracles_[0];
+    while (!heap.empty()) {
+      LazyEntry top = heap.top();
+      if (policy.gate && top.value <= policy.floor) break;  // settled
+      if (top.exact) {
+        outcome.vertex = top.vertex;
+        outcome.followers = top.value;
+        break;
+      }
+      heap.pop();
+      ++outcome.full_queries;
+      heap.push({resolver.CountFollowers(base, top.vertex, k), top.vertex,
+                 true});
+    }
+    return outcome;
   }
+
+  // Eager: one full query per candidate, fanned out with work stealing.
+  // The per-worker running best depends on which indices the worker
+  // ran, but the reduction below recovers the unique global (followers
+  // desc, id asc) maximum from any partition; the query count is
+  // |live| regardless of the thread count.
+  std::vector<WorkerBest> bests(num_threads_);
+  ParallelFor(pool_.get(), live.size(), /*grain=*/8,
+              [&](uint32_t w, size_t i) {
+                FollowerOracle& oracle = *oracles_[w];
+                WorkerBest& best = bests[w];
+                ++best.full_queries;
+                uint32_t followers =
+                    oracle.CountFollowers(base, live[i], k);
+                if (policy.gate && followers <= policy.floor) return;
+                if (Improves(best, followers, live[i])) {
+                  best.vertex = live[i];
+                  best.followers = followers;
+                }
+              });
 
   // Deterministic fold: ascending worker id, strict (followers desc,
   // id asc) tie-break over exact counts.
-  ShardBest winner;
-  for (const ShardBest& best : bests) {
+  WorkerBest winner;
+  for (const WorkerBest& best : bests) {
     outcome.full_queries += best.full_queries;
-    outcome.bound_probes += best.bound_probes;
     if (best.vertex == kNoVertex) continue;
     if (Improves(winner, best.followers, best.vertex)) {
       winner.vertex = best.vertex;

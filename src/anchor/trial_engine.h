@@ -14,25 +14,37 @@
 //   * one FollowerOracle per worker — oracle queries are non-destructive
 //     over the shared structures, and each worker's cascade scratch
 //     (including its own resident base cascade) is private;
-//   * the live-candidate list is split into FIXED contiguous per-worker
-//     shards (ThreadPool::BlockBegin/End), so in lazy mode each shard's
-//     bound heap — and therefore its probe/query counters — depends only
-//     on (live, base, k, num_threads), never on scheduling;
-//   * lazy shards run the certified-bound CELF discipline locally: build
-//     the shard's max-heap of MarginalUpperBound probes keyed
-//     (value desc, id asc), pop-resolve with full queries until the top
-//     is exact (or provably cannot beat the floor) — the shard winner is
-//     the shard's exhaustive argmax by the bound-soundness argument of
-//     greedy.h / docs/PERFORMANCE.md;
+//   * lazy mode runs in two phases. Phase 1 (parallel): the live list is
+//     partitioned into per-worker GRAPH REGIONS — candidates sorted by
+//     K-order position (level, tag), then block-split — so the marginal
+//     cascades a worker probes share cache-resident K-order state; each
+//     worker builds the base cascade once and writes one certified
+//     MarginalUpperBound per candidate into an index-addressed slot.
+//     Phase 2 (serial): ONE global CELF heap over all bounds, keyed
+//     (value desc, id asc), pop-resolved with full queries on worker 0's
+//     oracle until the top is exact (or provably cannot beat the floor).
+//     Because each bound is a pure function of (base, candidate, k) —
+//     independent of which worker produced it or in what order — the
+//     heap's content, its pop sequence, and therefore the winner AND the
+//     full_queries/bound_probes counters are identical to the serial
+//     loop at every thread count. In particular the global winner is
+//     resolved exactly ONCE per call: full queries no longer scale with
+//     the worker count (the PR-3 per-shard design resolved one winner
+//     per shard, multiplying exact queries by the thread count — the
+//     regression BENCH_PR3 recorded);
 //   * eager mode fans the full queries out with work stealing
 //     (ParallelFor) and keeps a per-worker running best — valid because
 //     the global (followers desc, id asc) maximum of a set is reachable
-//     from any partition of it;
-//   * the reduction folds shard/worker winners in ascending worker id
-//     with the same strict tie-break. Winners are exact counts, so the
-//     fold yields the unique global argmax: anchors are bit-identical to
-//     the serial path at every thread count (pinned by
-//     tests/parallel_determinism_test.cc).
+//     from any partition of it, and the query count is |live| at every
+//     thread count;
+//   * small live sets skip the fan-out entirely (the base-cascade
+//     rebuild per worker plus the fork-join wakeup dwarf a handful of
+//     marginal probes); the serial path computes the identical bounds,
+//     so the cutover is invisible in outputs and counters.
+//
+// Anchors are bit-identical to the serial path at every thread count,
+// and the work counters are thread-count-invariant — both pinned by
+// tests/parallel_determinism_test.cc.
 
 #ifndef AVT_ANCHOR_TRIAL_ENGINE_H_
 #define AVT_ANCHOR_TRIAL_ENGINE_H_
@@ -52,13 +64,14 @@ struct TrialPolicy {
   /// full query per candidate. Identical winner either way.
   bool lazy = true;
   /// When true, only trials with followers strictly above `floor`
-  /// qualify (IncAVT's swap slots); a lazy shard whose top bound cannot
+  /// qualify (IncAVT's swap slots); a lazy call whose top bound cannot
   /// beat the floor settles with zero full queries.
   bool gate = false;
   uint32_t floor = 0;
 };
 
-/// Winner plus deterministic work counters (summed over shards).
+/// Winner plus deterministic work counters. Both counters are pure
+/// functions of (live, base, k, policy) — never of the thread count.
 struct TrialOutcome {
   VertexId vertex = kNoVertex;  // kNoVertex: no live candidate qualified
   uint32_t followers = 0;       // exact F(base ∪ {vertex})
@@ -89,7 +102,8 @@ class TrialEngine {
 
   /// Argmax over live candidates of F(base ∪ {x}) under `policy`. `live`
   /// must be duplicate-free and disjoint from `base`; id-ascending order
-  /// is NOT required (the reduction never depends on it).
+  /// is NOT required (neither the reduction nor the K-order partition
+  /// depends on it).
   TrialOutcome Evaluate(std::span<const VertexId> live,
                         std::span<const VertexId> base, uint32_t k,
                         const TrialPolicy& policy);
@@ -100,8 +114,14 @@ class TrialEngine {
 
  private:
   const uint32_t num_threads_;
+  const KOrder* order_;               // partition key source (level, tag)
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
   std::vector<std::unique_ptr<FollowerOracle>> oracles_;
+  /// Evaluate scratch, reused across calls: per-candidate certified
+  /// bounds (index-addressed, so phase 1 writes are race-free) and the
+  /// K-order-sorted index permutation behind the region partition.
+  std::vector<uint32_t> bounds_;
+  std::vector<uint32_t> perm_;
 };
 
 }  // namespace avt

@@ -79,7 +79,8 @@ AvtSnapshotResult StaticAvtTracker::ProcessDelta(const EdgeDelta& delta) {
 
 std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
                                         uint32_t l, uint32_t num_threads,
-                                        IncAvtCsrMode csr_mode) {
+                                        IncAvtCsrMode csr_mode,
+                                        size_t batch_size) {
   switch (algorithm) {
     case AvtAlgorithm::kGreedy: {
       GreedyOptions options;
@@ -100,6 +101,7 @@ std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
       IncAvtOptions options;
       options.num_threads = num_threads;
       options.csr = csr_mode;
+      options.batch_size = batch_size;
       return std::make_unique<IncAvtTracker>(k, l, IncAvtMode::kRestricted,
                                              options);
     }
@@ -109,9 +111,9 @@ std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
 
 AvtRunResult RunAvt(const SnapshotSequence& sequence, AvtAlgorithm algorithm,
                     uint32_t k, uint32_t l, uint32_t num_threads,
-                    IncAvtCsrMode csr_mode) {
+                    IncAvtCsrMode csr_mode, size_t batch_size) {
   std::unique_ptr<AvtTracker> tracker =
-      MakeTracker(algorithm, k, l, num_threads, csr_mode);
+      MakeTracker(algorithm, k, l, num_threads, csr_mode, batch_size);
   AVT_CHECK(tracker != nullptr);
   // Every run — bench, CLI, test — rides the streaming engine; the
   // sequence adapter re-emits deltas verbatim, so this is bit-identical

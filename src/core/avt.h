@@ -110,6 +110,16 @@ class AvtTracker {
   /// between transitions only, never mid-ProcessDelta.
   virtual void EnsureVertices(VertexId count) = 0;
 
+  /// How many consecutive source deltas the driver should merge into
+  /// one net-effect transaction before each ProcessDelta call. 1 (the
+  /// default) means verbatim per-delta delivery; trackers whose
+  /// per-transition fixed costs dominate (IncAVT's invalidation walk +
+  /// candidate-pool rebuild) override this to request batched
+  /// transactions. With N > 1 the tracker observes every N-th snapshot
+  /// of the stream — exactly the state a per-delta replay reaches at
+  /// those boundaries (DeltaBatcher's last-op-wins guarantee).
+  virtual size_t PreferredBatchSize() const { return 1; }
+
   virtual std::string name() const = 0;
 };
 
@@ -144,16 +154,24 @@ class StaticAvtTracker : public AvtTracker {
 /// sizes the trial engine of the algorithms that have one (Greedy,
 /// IncAVT); the other algorithms ignore it. `csr_mode` selects IncAVT's
 /// cascade-scan backing (ignored by the other algorithms). Output is
-/// bit-identical at every thread count and every csr mode.
+/// bit-identical at every thread count and every csr mode. `batch_size`
+/// sets IncAVT's delta-transaction width (ignored by the re-solve
+/// families, whose per-snapshot cost has no per-delta fixed part): with
+/// N > 1 the engine merges N consecutive deltas per transaction, so the
+/// run reports one result per BATCH BOUNDARY snapshot — each
+/// bit-identical to the per-delta replay's result at that snapshot
+/// (tests/differential_fuzz_test.cc pins this).
 AvtRunResult RunAvt(const SnapshotSequence& sequence, AvtAlgorithm algorithm,
                     uint32_t k, uint32_t l, uint32_t num_threads = 1,
-                    IncAvtCsrMode csr_mode = IncAvtCsrMode::kMaintained);
+                    IncAvtCsrMode csr_mode = IncAvtCsrMode::kMaintained,
+                    size_t batch_size = 1);
 
-/// Factory for trackers (IncAVT included). `num_threads` / `csr_mode` as
-/// in RunAvt.
+/// Factory for trackers (IncAVT included). `num_threads` / `csr_mode` /
+/// `batch_size` as in RunAvt.
 std::unique_ptr<AvtTracker> MakeTracker(
     AvtAlgorithm algorithm, uint32_t k, uint32_t l, uint32_t num_threads = 1,
-    IncAvtCsrMode csr_mode = IncAvtCsrMode::kMaintained);
+    IncAvtCsrMode csr_mode = IncAvtCsrMode::kMaintained,
+    size_t batch_size = 1);
 
 }  // namespace avt
 

@@ -44,12 +44,31 @@ StatusOr<bool> AvtEngine::Step() {
   // A delta that failed validation last Step is re-delivered, so a
   // caller that resolves the problem (grows the tracker by hand, flips
   // grow_universe) and retries does not silently skip the transition.
+  // (The pending delta is already merged/validated-shaped: batching
+  // happened before the failed validation, so the retry path needs no
+  // re-merge.)
   EdgeDelta delta;
   if (has_pending_delta_) {
     delta = std::move(pending_delta_);
     has_pending_delta_ = false;
-  } else if (!source_->NextDelta(&delta)) {
-    return false;
+  } else {
+    const size_t batch = tracker_->PreferredBatchSize();
+    if (batch <= 1) {
+      // Verbatim per-delta delivery — within-batch op order reaches the
+      // tracker untouched (canonicalization would reorder it).
+      if (!source_->NextDelta(&delta)) return false;
+    } else {
+      // Batched transaction: merge up to `batch` consecutive deltas
+      // into one canonical net-effect delta (last-op-wins, exactly the
+      // state the per-delta replay reaches at this boundary). The
+      // tracker pays its per-transition fixed costs once per batch.
+      EdgeDelta pulled;
+      while (batcher_.merged() < batch && source_->NextDelta(&pulled)) {
+        batcher_.Add(pulled);
+      }
+      if (batcher_.Empty()) return false;
+      batcher_.Flush(&delta);
+    }
   }
 
   // Source boundary: every endpoint must fit the tracker's universe.

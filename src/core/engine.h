@@ -59,10 +59,15 @@ class AvtEngine {
             EngineOptions options = EngineOptions{});
 
   /// Processes the next snapshot: G_0 on the first call, then one
-  /// pulled delta per call. Returns false when the stream is exhausted,
-  /// or an error Status when a delta fails validation — the rejected
-  /// delta is retained and re-delivered by the next Step, so resolving
-  /// the problem and retrying never skips a transition.
+  /// TRANSACTION per call — one pulled delta verbatim when the tracker's
+  /// PreferredBatchSize() is 1, else up to that many consecutive deltas
+  /// merged into one canonical net-effect delta (DeltaBatcher), so the
+  /// tracker observes every N-th snapshot of the stream with state
+  /// bit-identical to the per-delta replay at those boundaries. Returns
+  /// false when the stream is exhausted, or an error Status when a
+  /// delta fails validation — the rejected (already merged) delta is
+  /// retained and re-delivered by the next Step, so resolving the
+  /// problem and retrying never skips a transition.
   StatusOr<bool> Step();
 
   /// Steps until the stream is exhausted or a step fails.
@@ -109,7 +114,11 @@ class AvtEngine {
   bool started_ = false;
   size_t processed_ = 0;
   VertexId num_vertices_ = 0;
-  /// A delta rejected by validation, re-delivered on the next Step.
+  /// Merges consecutive source deltas into one net-effect transaction
+  /// when the tracker requests batches (PreferredBatchSize() > 1).
+  DeltaBatcher batcher_;
+  /// A delta rejected by validation (already batch-merged when batching
+  /// is on), re-delivered on the next Step.
   EdgeDelta pending_delta_;
   bool has_pending_delta_ = false;
   AvtRunResult result_;

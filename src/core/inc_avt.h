@@ -97,6 +97,17 @@ struct IncAvtOptions {
   /// order, so anchors are bit-identical across modes (pinned by the
   /// differential fuzz and the PR-4 perf gate).
   IncAvtCsrMode csr = IncAvtCsrMode::kMaintained;
+  /// Delta-transaction width the tracker requests from the driving
+  /// engine (AvtEngine honors it via AvtTracker::PreferredBatchSize).
+  /// With N > 1 the engine merges N consecutive source deltas into one
+  /// canonical net-effect transaction, so the tracker pays ONE
+  /// invalidation walk, ONE impacted-region candidate-pool build, and
+  /// ONE local search per N deltas — and observes exactly every N-th
+  /// snapshot of the stream, with state bit-identical to what the
+  /// per-delta replay reaches at those boundaries (DeltaBatcher's
+  /// last-op-wins guarantee; tests/differential_fuzz_test.cc pins it).
+  /// 1 (default) is verbatim per-delta delivery.
+  size_t batch_size = 1;
 };
 
 /// Incremental tracker (the paper's primary contribution).
@@ -115,6 +126,9 @@ class IncAvtTracker : public AvtTracker {
   /// cross-snapshot memo — an isolated vertex intersects no recorded
   /// dependency region and cannot change any query's result.
   void EnsureVertices(VertexId count) override;
+  size_t PreferredBatchSize() const override {
+    return options_.batch_size < 1 ? 1 : options_.batch_size;
+  }
   std::string name() const override {
     switch (mode_) {
       case IncAvtMode::kRestricted: return "IncAVT";

@@ -4,13 +4,18 @@
 // deletion batch. EdgeDelta carries both; SnapshotSequence (snapshots.h)
 // stores the initial graph plus one delta per transition so an evolving
 // network with T snapshots costs O(m + T * churn) memory instead of
-// O(T * m).
+// O(T * m). DeltaBatcher folds a run of consecutive deltas into one
+// canonical net-effect transaction — the primitive behind both batching
+// layers (CoalescingSource's source-side windows and AvtEngine's
+// tracker-requested batch transactions), shared so the two cannot drift.
 
 #ifndef AVT_GRAPH_DELTA_H_
 #define AVT_GRAPH_DELTA_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <iterator>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -82,6 +87,68 @@ struct EdgeDelta {
       insertions = std::move(kept);
     }
   }
+};
+
+/// Packs a vertex pair into one 64-bit map key, normalized so (u, v)
+/// and (v, u) collide — the canonical undirected-edge key used by every
+/// pair-keyed map in the delta layer.
+inline uint64_t PackEdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+inline Edge UnpackEdgeKey(uint64_t key) {
+  return Edge(static_cast<VertexId>(key >> 32),
+              static_cast<VertexId>(key & 0xffffffffu));
+}
+
+/// Folds consecutive EdgeDeltas into one canonical net-effect delta.
+///
+/// Last-op-wins: replaying the accumulated deltas op by op (insertions
+/// before deletions within each delta, matching EdgeDelta::Apply and
+/// CoreMaintainer::ApplyDelta), every edge's final membership is decided
+/// by its last operation alone, and a redundant operation (inserting a
+/// present edge, deleting an absent one) is a no-op on application — so
+/// applying the flushed batch reaches exactly the state the op-by-op
+/// replay reaches, at one maintenance transaction instead of one per
+/// delta. The flushed delta is canonical (sorted disjoint batches), so
+/// it is deterministic regardless of upstream batch order.
+///
+/// The internal map is retained across Flush calls at its high-water
+/// capacity, so a steady-state batching loop allocates nothing.
+class DeltaBatcher {
+ public:
+  /// Accumulates one delta (ops applied after everything added before).
+  void Add(const EdgeDelta& delta) {
+    for (const Edge& e : delta.insertions) {
+      last_insert_[PackEdgeKey(e.u, e.v)] = true;
+    }
+    for (const Edge& e : delta.deletions) {
+      last_insert_[PackEdgeKey(e.u, e.v)] = false;
+    }
+    ++merged_;
+  }
+
+  /// Deltas accumulated since the last Flush.
+  size_t merged() const { return merged_; }
+  bool Empty() const { return merged_ == 0; }
+
+  /// Overwrites `*delta` with the canonical net effect and resets.
+  void Flush(EdgeDelta* delta) {
+    delta->insertions.clear();
+    delta->deletions.clear();
+    for (const auto& [key, is_insert] : last_insert_) {
+      (is_insert ? delta->insertions : delta->deletions)
+          .push_back(UnpackEdgeKey(key));
+    }
+    delta->Canonicalize();  // hash order -> sorted deterministic batches
+    last_insert_.clear();
+    merged_ = 0;
+  }
+
+ private:
+  std::unordered_map<uint64_t, bool> last_insert_;
+  size_t merged_ = 0;
 };
 
 /// Computes the delta that transforms `from` into `to` (same vertex set).

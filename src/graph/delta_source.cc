@@ -6,20 +6,6 @@
 #include <utility>
 
 namespace avt {
-namespace {
-
-/// Packs a normalized pair into one map key.
-uint64_t PackPair(VertexId u, VertexId v) {
-  if (u > v) std::swap(u, v);
-  return (static_cast<uint64_t>(u) << 32) | v;
-}
-
-Edge UnpackPair(uint64_t key) {
-  return Edge(static_cast<VertexId>(key >> 32),
-              static_cast<VertexId>(key & 0xffffffffu));
-}
-
-}  // namespace
 
 // --- CoalescingSource --------------------------------------------------
 
@@ -33,33 +19,15 @@ CoalescingSource::CoalescingSource(std::unique_ptr<DeltaSource> inner,
 bool CoalescingSource::NextDelta(EdgeDelta* delta) {
   if (window_ == 1) return inner_->NextDelta(delta);  // exact passthrough
 
-  // Last-op-wins merge. Replaying ops in stream order, every edge's
-  // final membership is decided by its last operation alone, and
-  // Apply/ApplyDelta treat a redundant operation (inserting a present
-  // edge, deleting an absent one) as a no-op — so the merged batch
-  // reaches exactly the state the op-by-op window replay reaches.
-  std::unordered_map<uint64_t, bool> last_insert;
+  // Last-op-wins merge via the shared DeltaBatcher (graph/delta.h): the
+  // merged batch reaches exactly the state the op-by-op window replay
+  // reaches, as one canonical net-effect transaction.
   EdgeDelta pulled;
-  size_t merged = 0;
-  for (; merged < window_ && inner_->NextDelta(&pulled); ++merged) {
-    // A transition applies insertions before deletions (EdgeDelta::
-    // Apply); respect that order so "last op" means what replay means.
-    for (const Edge& e : pulled.insertions) {
-      last_insert[PackPair(e.u, e.v)] = true;
-    }
-    for (const Edge& e : pulled.deletions) {
-      last_insert[PackPair(e.u, e.v)] = false;
-    }
+  while (batcher_.merged() < window_ && inner_->NextDelta(&pulled)) {
+    batcher_.Add(pulled);
   }
-  if (merged == 0) return false;
-
-  delta->insertions.clear();
-  delta->deletions.clear();
-  for (const auto& [key, is_insert] : last_insert) {
-    (is_insert ? delta->insertions : delta->deletions)
-        .push_back(UnpackPair(key));
-  }
-  delta->Canonicalize();  // hash order -> sorted deterministic batches
+  if (batcher_.Empty()) return false;
+  batcher_.Flush(delta);
   return true;
 }
 
@@ -67,7 +35,7 @@ bool CoalescingSource::NextDelta(EdgeDelta* delta) {
 
 void WindowDiffer::Observe(VertexId u, VertexId v, int64_t timestamp) {
   auto [it, inserted] =
-      pairs_.try_emplace(PackPair(u, v), PairState{timestamp, false});
+      pairs_.try_emplace(PackEdgeKey(u, v), PairState{timestamp, false});
   if (!inserted) it->second.last_seen = timestamp;
 }
 
@@ -79,7 +47,7 @@ void WindowDiffer::EmitWindow(int64_t horizon, EdgeDelta* delta) {
     const bool in_window = state.last_seen > horizon;
     if (in_window != state.present) {
       (in_window ? delta->insertions : delta->deletions)
-          .push_back(UnpackPair(it->first));
+          .push_back(UnpackEdgeKey(it->first));
     }
     if (!in_window) {
       // Aged out (or observed already stale): only a future event can

@@ -116,6 +116,7 @@ class CoalescingSource : public DeltaSource {
  private:
   std::unique_ptr<DeltaSource> inner_;
   size_t window_;
+  DeltaBatcher batcher_;  // shared last-op-wins merge (graph/delta.h)
 };
 
 /// Incremental sliding-window differ over a time-ordered event stream:

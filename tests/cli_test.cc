@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 namespace avt {
 namespace cli {
@@ -162,6 +163,40 @@ TEST_F(CliTest, TrackRejectsNonPositiveThreads) {
             2);
   EXPECT_NE(err.find("--threads must be a positive integer"),
             std::string::npos);
+}
+
+TEST_F(CliTest, ThreadsAboveHardwareClampedWithWarning) {
+  // Oversubscribing a small box only adds fork-join wakeups; the CLI
+  // clamps to the hardware concurrency and says so on stderr. Outputs
+  // are bit-identical at every thread count, so the run still succeeds.
+  if (std::thread::hardware_concurrency() == 0) {
+    GTEST_SKIP() << "hardware concurrency unknown; clamp disabled";
+  }
+  std::string graph_path = TempPath("clamp.txt");
+  std::string out, err;
+  ASSERT_EQ(Run({"gen", "--model=er", "--n=80", "--avg-degree=4",
+                 "--out=" + graph_path},
+                &out),
+            0);
+  EXPECT_EQ(Run({"anchors", graph_path, "--k=3", "--l=2",
+                 "--threads=4096"},
+                &out, &err),
+            0);
+  EXPECT_NE(err.find("exceeds the"), std::string::npos) << err;
+  EXPECT_NE(err.find("clamping to"), std::string::npos) << err;
+}
+
+TEST_F(CliTest, ThreadsAtOrBelowHardwareNotClamped) {
+  std::string graph_path = TempPath("noclamp.txt");
+  std::string out, err;
+  ASSERT_EQ(Run({"gen", "--model=er", "--n=80", "--avg-degree=4",
+                 "--out=" + graph_path},
+                &out),
+            0);
+  EXPECT_EQ(Run({"anchors", graph_path, "--k=3", "--l=2", "--threads=1"},
+                &out, &err),
+            0);
+  EXPECT_EQ(err.find("clamping"), std::string::npos) << err;
 }
 
 TEST_F(CliTest, HelpMentionsCsrKnob) {
@@ -322,6 +357,39 @@ TEST_F(CliTest, StreamGeneratedChurnWorkload) {
             0);
   EXPECT_NE(out.find("source churn-gen: 5 snapshots"), std::string::npos);
   EXPECT_NE(out.find("anchor stability"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamRejectsBadBatch) {
+  std::string out, err;
+  for (const char* bad : {"--batch=0", "--batch=-2", "--batch=huge"}) {
+    EXPECT_EQ(Run({"stream", "--source=gen", "--n=100", "--t=3", "--k=3",
+                   "--l=2", bad},
+                  &out, &err),
+              2)
+        << bad;
+    EXPECT_NE(err.find("--batch must be a positive integer"),
+              std::string::npos)
+        << bad;
+  }
+}
+
+TEST_F(CliTest, StreamBatchMergesTransactions) {
+  // T=5 snapshots = G_0 + 4 deltas; --batch=2 merges them into 2
+  // transactions, so the engine reports 3 snapshots (batch boundaries).
+  std::string out;
+  ASSERT_EQ(Run({"stream", "--source=gen", "--n=300", "--t=5", "--k=3",
+                 "--l=3", "--churn-min=20", "--churn-max=40",
+                 "--algo=incavt", "--batch=2"},
+                &out),
+            0);
+  EXPECT_NE(out.find("source churn-gen: 3 snapshots"), std::string::npos)
+      << out;
+}
+
+TEST_F(CliTest, HelpMentionsBatchKnob) {
+  std::string out;
+  ASSERT_EQ(Run({"help"}, &out), 0);
+  EXPECT_NE(out.find("--batch"), std::string::npos);
 }
 
 TEST_F(CliTest, StreamTemporalFileMatchesMaterializedTrack) {

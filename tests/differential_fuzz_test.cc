@@ -373,6 +373,158 @@ TEST(DifferentialFuzz, StreamedFileReplayMatchesMaterializedMatrix) {
   std::remove(path.c_str());
 }
 
+// Feeds a fixed schedule of deltas to the engine (no snapshot sequence
+// needed — batching is an engine/tracker affair).
+class ScheduleSource : public DeltaSource {
+ public:
+  ScheduleSource(const Graph* g0, const std::vector<EdgeDelta>* schedule)
+      : g0_(g0), schedule_(schedule) {}
+  const Graph& InitialGraph() const override { return *g0_; }
+  bool NextDelta(EdgeDelta* delta) override {
+    if (next_ >= schedule_->size()) return false;
+    *delta = (*schedule_)[next_++];
+    return true;
+  }
+  std::string name() const override { return "schedule"; }
+
+ private:
+  const Graph* g0_;
+  const std::vector<EdgeDelta>* schedule_;
+  size_t next_ = 0;
+};
+
+// Batched delta transactions (IncAvtOptions::batch_size, honored by
+// AvtEngine::Step): the merged transaction must be indistinguishable
+// from the minimal net delta between the materialized boundary
+// snapshots. Concretely, driving the engine with batch B must be
+// BIT-IDENTICAL — anchors, followers, maintained coreness — to a
+// mirror tracker fed DiffGraphs(G_boundary_prev, G_boundary) one
+// transaction at a time (the DeltaBatcher last-op-wins guarantee:
+// redundant merged ops are maintenance no-ops), across {lazy, eager} x
+// csr {none, maintained}; the maintained coreness at every boundary
+// must also equal a fresh from-scratch decomposition of the
+// materialized boundary graph. batch_size 1 must be VERBATIM per-delta
+// delivery: bit-identical to a direct ProcessDelta loop with no engine
+// in between. (Anchors at a boundary are NOT required to match the
+// per-delta replay's anchors there — the heuristic's seed path differs
+// by construction; the invariant is equivalence to the net-delta
+// transaction, exactly as CoalescingSource pins it source-side.)
+TEST(DifferentialFuzz, BatchedReplayMatchesPerDeltaBoundaries) {
+  Rng rng(606);
+  Graph g0 = ChungLuPowerLaw(180, 6.0, 2.2, 45, rng);
+  const size_t transitions = 24;
+  Graph working = g0;
+  std::vector<EdgeDelta> schedule;
+  std::vector<Graph> states;  // states[t]: graph after transition t
+  schedule.reserve(transitions);
+  for (size_t t = 0; t < transitions; ++t) {
+    schedule.push_back(RandomDelta(working, 20, rng));
+    states.push_back(working);
+  }
+
+  const uint32_t k = 3;
+  const uint32_t l = 4;
+  struct BatchTrace {
+    std::vector<std::vector<VertexId>> anchors;
+    std::vector<uint32_t> followers;
+    std::vector<std::vector<uint32_t>> coreness;
+  };
+  auto run = [&](bool lazy, IncAvtCsrMode mode, size_t batch) {
+    IncAvtOptions options;
+    options.lazy = lazy;
+    options.csr = mode;
+    options.batch_size = batch;
+    auto tracker = std::make_unique<IncAvtTracker>(
+        k, l, IncAvtMode::kRestricted, options);
+    IncAvtTracker* raw = tracker.get();
+    AvtEngine engine(std::move(tracker),
+                     std::make_unique<ScheduleSource>(&g0, &schedule));
+    BatchTrace trace;
+    engine.SetObserver([&](const AvtSnapshotResult& snap) {
+      trace.anchors.push_back(snap.anchors);
+      trace.followers.push_back(snap.num_followers);
+      std::vector<uint32_t> cores(g0.NumVertices());
+      for (VertexId v = 0; v < g0.NumVertices(); ++v) {
+        cores[v] = raw->maintainer().order().CoreOf(v);
+      }
+      trace.coreness.push_back(std::move(cores));
+    });
+    EXPECT_TRUE(engine.Drain().ok());
+    return trace;
+  };
+
+  for (bool lazy : {true, false}) {
+    for (IncAvtCsrMode mode :
+         {IncAvtCsrMode::kNone, IncAvtCsrMode::kMaintained}) {
+      // Per-delta reference (engine, batch 1) vs a direct ProcessDelta
+      // loop: batch 1 must be verbatim passthrough, not a merge of one.
+      BatchTrace reference = run(lazy, mode, 1);
+      ASSERT_EQ(reference.anchors.size(), transitions + 1);
+      {
+        IncAvtOptions options;
+        options.lazy = lazy;
+        options.csr = mode;
+        IncAvtTracker direct(k, l, IncAvtMode::kRestricted, options);
+        AvtSnapshotResult snap = direct.ProcessFirst(g0);
+        for (size_t t = 0;; ++t) {
+          EXPECT_EQ(snap.anchors, reference.anchors[t])
+              << "lazy=" << lazy << " csr=" << static_cast<int>(mode)
+              << " t=" << t;
+          EXPECT_EQ(snap.num_followers, reference.followers[t]);
+          if (t == transitions) break;
+          snap = direct.ProcessDelta(schedule[t]);
+        }
+      }
+
+      for (size_t batch : {3u, 16u}) {
+        BatchTrace batched = run(lazy, mode, batch);
+        const size_t expected =
+            1 + (transitions + batch - 1) / batch;  // G_0 + ceil(T/B)
+        ASSERT_EQ(batched.anchors.size(), expected)
+            << "lazy=" << lazy << " csr=" << static_cast<int>(mode)
+            << " batch=" << batch;
+
+        // Net-delta mirror: one DiffGraphs transaction per boundary.
+        IncAvtOptions mirror_options;
+        mirror_options.lazy = lazy;
+        mirror_options.csr = mode;
+        IncAvtTracker mirror(k, l, IncAvtMode::kRestricted,
+                             mirror_options);
+        const Graph* prev = &g0;
+        AvtSnapshotResult msnap = mirror.ProcessFirst(g0);
+        for (size_t i = 0; i < batched.anchors.size(); ++i) {
+          const size_t boundary = std::min(i * batch, transitions);
+          if (i > 0) {
+            const Graph& cur = states[boundary - 1];
+            msnap = mirror.ProcessDelta(DiffGraphs(*prev, cur));
+            prev = &cur;
+          }
+          EXPECT_EQ(batched.anchors[i], msnap.anchors)
+              << "lazy=" << lazy << " csr=" << static_cast<int>(mode)
+              << " batch=" << batch << " boundary=" << boundary;
+          EXPECT_EQ(batched.followers[i], msnap.num_followers)
+              << "lazy=" << lazy << " csr=" << static_cast<int>(mode)
+              << " batch=" << batch << " boundary=" << boundary;
+          std::vector<uint32_t> mirror_cores(g0.NumVertices());
+          for (VertexId v = 0; v < g0.NumVertices(); ++v) {
+            mirror_cores[v] = mirror.maintainer().order().CoreOf(v);
+          }
+          EXPECT_EQ(batched.coreness[i], mirror_cores)
+              << "lazy=" << lazy << " csr=" << static_cast<int>(mode)
+              << " batch=" << batch << " boundary=" << boundary;
+          // Maintained coreness at the boundary vs a fresh
+          // decomposition of the materialized boundary snapshot.
+          if (boundary > 0) {
+            CoreDecomposition fresh = DecomposeCores(states[boundary - 1]);
+            EXPECT_EQ(batched.coreness[i], fresh.core)
+                << "batch=" << batch << " boundary=" << boundary;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(DifferentialFuzz, SurvivesEmptyAndDegenerateDeltas) {
   // Edge cases the random loop rarely hits: empty deltas, a delta whose
   // removals disconnect the k-core, and re-inserting what was removed.

@@ -9,6 +9,12 @@
 // {1, 2, 3, 8}. Thread counts above the live-candidate count exercise
 // empty shards; 3 exercises uneven block splits. CI additionally injects
 // a matrix thread count via AVT_TEST_THREADS.
+//
+// Since PR 6 the contract also covers the WORK COUNTERS: full queries
+// and bound probes are pure functions of the candidate pool, never of
+// the thread count (the old per-shard engine resolved one winner per
+// shard, so oracle_queries scaled with threads — BENCH_PR3's recorded
+// regression). These tests pin counter invariance too.
 
 #include <gtest/gtest.h>
 
@@ -71,6 +77,15 @@ TEST(ParallelGreedy, BitIdenticalAcrossThreadCounts) {
           EXPECT_EQ(parallel.followers, serial.followers)
               << "seed " << seed << " k=" << config.k << " l=" << config.l
               << " lazy=" << lazy << " threads=" << threads;
+          // Work counters are thread-count-INVARIANT (the PR-3 engine
+          // resolved one winner per shard, multiplying full queries by
+          // the thread count — the exact BENCH_PR3 regression).
+          EXPECT_EQ(parallel.candidates_visited, serial.candidates_visited)
+              << "seed " << seed << " k=" << config.k << " l=" << config.l
+              << " lazy=" << lazy << " threads=" << threads;
+          EXPECT_EQ(parallel.bound_probes, serial.bound_probes)
+              << "seed " << seed << " k=" << config.k << " l=" << config.l
+              << " lazy=" << lazy << " threads=" << threads;
         }
       }
       // Cross-strategy: lazy and eager must agree at any thread count
@@ -105,6 +120,8 @@ TEST(ParallelGreedy, ThreadCountExceedingPoolIsExact) {
 struct TrackTrace {
   std::vector<std::vector<VertexId>> anchors;
   std::vector<uint32_t> followers;
+  std::vector<uint64_t> candidates;
+  std::vector<uint64_t> probes;
 };
 
 TrackTrace RunIncAvt(const SnapshotSequence& sequence, uint32_t k,
@@ -120,6 +137,8 @@ TrackTrace RunIncAvt(const SnapshotSequence& sequence, uint32_t k,
                                     : tracker.ProcessDelta(delta);
     trace.anchors.push_back(snap.anchors);
     trace.followers.push_back(snap.num_followers);
+    trace.candidates.push_back(snap.candidates_visited);
+    trace.probes.push_back(snap.bound_probes);
   });
   return trace;
 }
@@ -145,6 +164,15 @@ TEST(ParallelIncAvt, BitIdenticalAcrossThreadCountsAndChurn) {
               << "seed " << seed << " lazy=" << lazy << " threads="
               << threads << " t=" << t;
           EXPECT_EQ(parallel.followers[t], serial.followers[t])
+              << "seed " << seed << " lazy=" << lazy << " threads="
+              << threads << " t=" << t;
+          // kRestricted never memoizes slots, so both dispatches run
+          // the same gated bound/resolve sequence: the counters match
+          // the serial loop exactly at every thread count.
+          EXPECT_EQ(parallel.candidates[t], serial.candidates[t])
+              << "seed " << seed << " lazy=" << lazy << " threads="
+              << threads << " t=" << t;
+          EXPECT_EQ(parallel.probes[t], serial.probes[t])
               << "seed " << seed << " lazy=" << lazy << " threads="
               << threads << " t=" << t;
         }
@@ -182,10 +210,14 @@ TEST(ParallelIncAvt, WiderPoolModeStaysDeterministic) {
                                       : tracker.ProcessDelta(delta);
       trace.anchors.push_back(snap.anchors);
       trace.followers.push_back(snap.num_followers);
+      trace.candidates.push_back(snap.candidates_visited);
+      trace.probes.push_back(snap.bound_probes);
     });
     return trace;
   };
   TrackTrace serial = run(1);
+  TrackTrace first_parallel;
+  bool have_first = false;
   for (uint32_t threads : {2u, 8u}) {
     TrackTrace parallel = run(threads);
     for (size_t t = 0; t < serial.anchors.size(); ++t) {
@@ -193,6 +225,19 @@ TEST(ParallelIncAvt, WiderPoolModeStaysDeterministic) {
           << "threads=" << threads << " t=" << t;
       EXPECT_EQ(parallel.followers[t], serial.followers[t])
           << "threads=" << threads << " t=" << t;
+    }
+    // kMaintainedFull's SERIAL loop memoizes slot results across the
+    // snapshot (cross-call state worker oracles cannot hold), so its
+    // counters legitimately differ from any parallel dispatch — but
+    // across parallel thread counts the counters must be invariant.
+    if (!have_first) {
+      first_parallel = parallel;
+      have_first = true;
+    } else {
+      EXPECT_EQ(parallel.candidates, first_parallel.candidates)
+          << "threads=" << threads;
+      EXPECT_EQ(parallel.probes, first_parallel.probes)
+          << "threads=" << threads;
     }
   }
 }

@@ -42,7 +42,8 @@ int RunAnchorsCommand(const Flags& flags, FILE* out, FILE* err);
 int RunTrackCommand(const Flags& flags, FILE* out, FILE* err);
 
 /// Streams deltas through AvtEngine: --source {file, gen, sequence},
-/// optional window coalescing (--coalesce-window N).
+/// optional window coalescing (--coalesce-window N) and batched delta
+/// transactions for the incremental tracker (--batch N).
 int RunStreamCommand(const Flags& flags, FILE* out, FILE* err);
 
 /// Converts a temporal edge list into windowed snapshot edge lists.
