@@ -55,6 +55,16 @@
 // speedup_max_threads_vs_1 > 1.0 on both workloads. Emitted to
 // --scaling-out.
 //
+// PR-7 gate — crash-safe streaming: the streamed IncAVT workload
+// measured end-to-end (wall time around Drain, because the WAL append
+// is exactly what the arms differ in) with durability off / WAL
+// fsync=never / WAL fsync=every-record / WAL + cadenced checkpoints,
+// all four tracks asserted bit-identical; then a --recovery-deltas-long
+// churn log is written durably and AvtEngine::Recover is timed replaying
+// the whole WAL, with the recovered final anchors and work counters
+// asserted identical to the uninterrupted writer's. Emitted to
+// --durability-out.
+//
 // Outputs are asserted identical between all strategies, thread counts,
 // and scan backings before any number is written: the gate measures a
 // speedup, never a quality trade. The JSON is intentionally flat so
@@ -66,6 +76,8 @@
 //                     [--csr-out=BENCH_PR4.json]
 //                     [--stream-out=BENCH_PR5.json] [--coalesce-window=3]
 //                     [--scaling-out=BENCH_PR6.json] [--batch=3]
+//                     [--durability-out=BENCH_PR7.json]
+//                     [--recovery-deltas=50000]
 //
 // --repeats re-runs each timed section and keeps the fastest wall time
 // (work counters are deterministic and identical across repeats).
@@ -83,6 +95,8 @@
 #include "anchor/greedy.h"
 #include "core/engine.h"
 #include "core/inc_avt.h"
+#include "core/run_summary.h"
+#include "durability/wal.h"
 #include "gen/churn.h"
 #include "gen/models.h"
 #include "gen/temporal.h"
@@ -181,6 +195,41 @@ void PrintMetrics(FILE* f, const char* key, const GateMetrics& m,
 
 double Ratio(double before, double after) {
   return after > 0 ? before / after : 0.0;
+}
+
+// End-to-end wall time of one streamed engine run (Drain), optionally
+// durable. Unlike MeasureIncAvt this times OUTSIDE the tracker: the WAL
+// append + fsync + checkpoint cost is precisely what the PR-7 arms
+// differ in, and it lives in the engine, not the tracker.
+struct WallRun {
+  double millis = 1e300;
+  std::vector<std::vector<VertexId>> track;
+};
+
+WallRun MeasureDurableDrain(const SnapshotSequence& sequence, uint32_t k,
+                            uint32_t l, int repeats,
+                            const DurabilityOptions* durability) {
+  WallRun run;
+  for (int r = 0; r < repeats; ++r) {
+    AvtEngine engine(std::make_unique<IncAvtTracker>(k, l),
+                     std::make_unique<SequenceSource>(&sequence));
+    if (durability != nullptr) {
+      std::filesystem::remove_all(durability->dir);
+      Status armed = engine.EnableDurability(*durability);
+      AVT_CHECK_MSG(armed.ok(), armed.ToString().c_str());
+    }
+    std::vector<std::vector<VertexId>> track;
+    engine.SetObserver([&](const AvtSnapshotResult& snap) {
+      track.push_back(snap.anchors);
+    });
+    Timer timer;
+    Status status = engine.Drain();
+    const double millis = timer.ElapsedMillis();
+    AVT_CHECK_MSG(status.ok(), status.ToString().c_str());
+    run.millis = std::min(run.millis, millis);
+    run.track = std::move(track);
+  }
+  return run;
 }
 
 std::vector<uint32_t> ParseThreadList(const std::string& spec) {
@@ -697,6 +746,136 @@ int main(int argc, char** argv) {
                 host_cpus);
   }
 
+  // --- Gate 7 (PR 7): crash-safe streaming ---------------------------
+  // (a) WAL overhead on the streamed workload: the same engine run with
+  // durability off, WAL fsync=never, WAL fsync=every-record, and WAL +
+  // cadenced checkpoints. All four anchor tracks must be bit-identical
+  // (the WAL is a pure observer of committed transactions); only the
+  // wall clock may move.
+  const std::string durability_out =
+      flags.GetString("durability-out", "BENCH_PR7.json");
+  const std::filesystem::path wal_dir =
+      std::filesystem::temp_directory_path() / "avt_perf_gate_pr7_wal";
+  const size_t gate7_checkpoint_every = 4;
+
+  WallRun wal_off =
+      MeasureDurableDrain(sequence, k, l, repeats, nullptr);
+  AVT_CHECK_MSG(wal_off.track == lazy_track,
+                "perf gate violated: durability-off streamed replay "
+                "diverged");
+  DurabilityOptions wal_never;
+  wal_never.dir = wal_dir.string();
+  wal_never.fsync = FsyncPolicy::kNever;
+  WallRun wal_fsync_never =
+      MeasureDurableDrain(sequence, k, l, repeats, &wal_never);
+  DurabilityOptions wal_record = wal_never;
+  wal_record.fsync = FsyncPolicy::kEveryRecord;
+  WallRun wal_fsync_record =
+      MeasureDurableDrain(sequence, k, l, repeats, &wal_record);
+  DurabilityOptions wal_ckpt = wal_never;
+  wal_ckpt.checkpoint_every = gate7_checkpoint_every;
+  WallRun wal_checkpointed =
+      MeasureDurableDrain(sequence, k, l, repeats, &wal_ckpt);
+  AVT_CHECK_MSG(wal_fsync_never.track == wal_off.track &&
+                    wal_fsync_record.track == wal_off.track &&
+                    wal_checkpointed.track == wal_off.track,
+                "perf gate violated: a durable arm's anchors diverged "
+                "from the durability-off run (the WAL must be a pure "
+                "observer)");
+  std::printf("durability off:          %8.2f ms/delta\n",
+              wal_off.millis / deltas);
+  std::printf("wal fsync=never:         %8.2f ms/delta  (%.2fx overhead)\n",
+              wal_fsync_never.millis / deltas,
+              wal_off.millis > 0 ? wal_fsync_never.millis / wal_off.millis
+                                 : 0.0);
+  std::printf("wal fsync=every-record:  %8.2f ms/delta  (%.2fx overhead)\n",
+              wal_fsync_record.millis / deltas,
+              wal_off.millis > 0 ? wal_fsync_record.millis / wal_off.millis
+                                 : 0.0);
+  std::printf("wal + checkpoint/%zu:     %8.2f ms/delta\n",
+              gate7_checkpoint_every, wal_checkpointed.millis / deltas);
+  std::filesystem::remove_all(wal_dir);
+
+  // (b) Recovery wall time: write a --recovery-deltas-long churn log
+  // durably (fsync=never, initial checkpoint only — the worst case for
+  // recovery: the whole WAL replays), then time AvtEngine::Recover and
+  // assert the recovered run is bit-identical to the writer.
+  const size_t recovery_deltas =
+      static_cast<size_t>(flags.GetInt("recovery-deltas", 50000));
+  AVT_CHECK_MSG(recovery_deltas >= 1, "--recovery-deltas must be >= 1");
+  Rng recovery_rng(seed + 11);
+  Graph recovery_g =
+      ChungLuPowerLaw(4000, 6.0, 2.1, 200, recovery_rng);
+  ChurnOptions recovery_churn;
+  recovery_churn.num_snapshots = recovery_deltas + 1;
+  recovery_churn.min_churn = 3;
+  recovery_churn.max_churn = 8;
+  SnapshotSequence recovery_sequence =
+      MakeChurnSnapshots(recovery_g, recovery_churn, recovery_rng);
+  const std::filesystem::path recovery_dir =
+      std::filesystem::temp_directory_path() / "avt_perf_gate_pr7_recovery";
+  std::filesystem::remove_all(recovery_dir);
+  DurabilityOptions recovery_durability;
+  recovery_durability.dir = recovery_dir.string();
+  recovery_durability.fsync = FsyncPolicy::kNever;
+  EngineOptions recovery_engine_options;
+  recovery_engine_options.keep_snapshots = false;
+
+  double recovery_write_millis = 0;
+  std::vector<VertexId> recovery_expected_anchors;
+  RunSummary recovery_expected_summary;
+  {
+    AvtEngine writer(
+        std::make_unique<IncAvtTracker>(k, l),
+        std::make_unique<SequenceSource>(&recovery_sequence),
+        recovery_engine_options);
+    Status armed = writer.EnableDurability(recovery_durability);
+    AVT_CHECK_MSG(armed.ok(), armed.ToString().c_str());
+    Timer timer;
+    Status status = writer.Drain();
+    recovery_write_millis = timer.ElapsedMillis();
+    AVT_CHECK_MSG(status.ok(), status.ToString().c_str());
+    AVT_CHECK(writer.SnapshotsProcessed() == recovery_deltas + 1);
+    recovery_expected_anchors = writer.last().anchors;
+    recovery_expected_summary = writer.Summary();
+  }
+  const uint64_t recovery_wal_bytes = static_cast<uint64_t>(
+      std::filesystem::file_size(recovery_dir /
+                                 DeltaWal::kFileName));
+  double recovery_millis = 0;
+  {
+    Timer timer;
+    auto recovered = AvtEngine::Recover(
+        std::make_unique<IncAvtTracker>(k, l),
+        std::make_unique<SequenceSource>(&recovery_sequence),
+        recovery_engine_options, recovery_durability);
+    recovery_millis = timer.ElapsedMillis();
+    AVT_CHECK_MSG(recovered.ok(), recovered.status().ToString().c_str());
+    AVT_CHECK_MSG(
+        recovered.value()->SnapshotsProcessed() == recovery_deltas + 1 &&
+            recovered.value()->last().anchors == recovery_expected_anchors,
+        "perf gate violated: recovered run's anchors diverged from the "
+        "uninterrupted writer");
+    RunSummary recovered_summary = recovered.value()->Summary();
+    AVT_CHECK_MSG(
+        recovered_summary.total_candidates ==
+                recovery_expected_summary.total_candidates &&
+            recovered_summary.total_followers ==
+                recovery_expected_summary.total_followers &&
+            recovered_summary.anchor_changes ==
+                recovery_expected_summary.anchor_changes,
+        "perf gate violated: recovered run's work counters diverged "
+        "from the uninterrupted writer");
+  }
+  std::filesystem::remove_all(recovery_dir);
+  const double recovery_per_delta =
+      recovery_millis / static_cast<double>(recovery_deltas);
+  std::printf("recovery: %zu-delta WAL (%.1f MiB) replayed in %.1f ms "
+              "(%.3f ms/delta; durable write took %.1f ms)\n",
+              recovery_deltas,
+              static_cast<double>(recovery_wal_bytes) / (1024.0 * 1024.0),
+              recovery_millis, recovery_per_delta, recovery_write_millis);
+
   // --- Emit JSON -----------------------------------------------------
   FILE* f = std::fopen(out.c_str(), "w");
   AVT_CHECK_MSG(f != nullptr, "cannot open bench output file");
@@ -893,5 +1072,51 @@ int main(int argc, char** argv) {
   std::fprintf(gf, "}\n");
   std::fclose(gf);
   std::printf("wrote %s\n", scaling_out.c_str());
+
+  // --- Emit BENCH_PR7.json (crash-safe streaming) --------------------
+  FILE* df = std::fopen(durability_out.c_str(), "w");
+  AVT_CHECK_MSG(df != nullptr, "cannot open durability output file");
+  std::fprintf(df, "{\n");
+  std::fprintf(df, "  \"bench\": \"perf_gate_durability\",\n");
+  std::fprintf(df, "  \"pr\": 7,\n");
+  std::fprintf(
+      df,
+      "  \"config\": {\"n\": %u, \"avg_degree\": 8.0, \"alpha\": 2.1, "
+      "\"k\": %u, \"l\": %u, \"snapshots\": %zu, \"churn_min\": %u, "
+      "\"churn_max\": %u, \"seed\": %" PRIu64 ", \"repeats\": %d, "
+      "\"strategy\": \"lazy\", \"csr\": \"maintained\", "
+      "\"checkpoint_every\": %zu},\n",
+      n, k, l, T, churn, churn + 100, seed, repeats,
+      gate7_checkpoint_every);
+  std::fprintf(df, "  \"incavt_streamed_wall\": {\n");
+  std::fprintf(df, "    \"durability_off\": {\"millis_per_delta\": %.3f},\n",
+               wal_off.millis / deltas);
+  std::fprintf(df,
+               "    \"wal_fsync_never\": {\"millis_per_delta\": %.3f},\n",
+               wal_fsync_never.millis / deltas);
+  std::fprintf(
+      df, "    \"wal_fsync_every_record\": {\"millis_per_delta\": %.3f},\n",
+      wal_fsync_record.millis / deltas);
+  std::fprintf(df,
+               "    \"wal_checkpointed\": {\"millis_per_delta\": %.3f},\n",
+               wal_checkpointed.millis / deltas);
+  std::fprintf(df, "    \"wal_fsync_never_overhead_ratio\": %.3f,\n",
+               wal_off.millis > 0 ? wal_fsync_never.millis / wal_off.millis
+                                  : 0.0);
+  std::fprintf(df, "    \"wal_fsync_every_record_overhead_ratio\": %.3f\n",
+               wal_off.millis > 0 ? wal_fsync_record.millis / wal_off.millis
+                                  : 0.0);
+  std::fprintf(df, "  },\n");
+  std::fprintf(df,
+               "  \"recovery\": {\"deltas\": %zu, \"wal_bytes\": %" PRIu64
+               ", \"durable_write_wall_millis\": %.1f, "
+               "\"recover_wall_millis\": %.1f, "
+               "\"recover_millis_per_delta\": %.4f},\n",
+               recovery_deltas, recovery_wal_bytes, recovery_write_millis,
+               recovery_millis, recovery_per_delta);
+  std::fprintf(df, "  \"identical_outputs\": true\n");
+  std::fprintf(df, "}\n");
+  std::fclose(df);
+  std::printf("wrote %s\n", durability_out.c_str());
   return 0;
 }

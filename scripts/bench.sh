@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Reproduces BENCH_PR2.json + BENCH_PR3.json + BENCH_PR4.json +
-# BENCH_PR5.json + BENCH_PR6.json: Release build, then the perf gate.
+# BENCH_PR5.json + BENCH_PR6.json + BENCH_PR7.json: Release build, then
+# the perf gate.
 #
 #   scripts/bench.sh                 # full gates (n=50k): BENCH_PR2.json
 #                                    # + BENCH_PR3.json (thread scaling)
@@ -9,11 +10,14 @@
 #                                    # + BENCH_PR6.json (parallel scaling
 #                                    #   after the batching fix; enforces
 #                                    #   speedup > 1 at >= 4 CPUs)
+#                                    # + BENCH_PR7.json (WAL overhead +
+#                                    #   50k-delta recovery wall time)
 #   scripts/bench.sh --smoke         # small run for CI (bench_smoke.json
 #                                    # + bench_smoke_pr3.json
 #                                    # + bench_smoke_pr4.json
 #                                    # + bench_smoke_pr5.json
-#                                    # + bench_smoke_pr6.json)
+#                                    # + bench_smoke_pr6.json
+#                                    # + bench_smoke_pr7.json)
 #   scripts/bench.sh --stream-out=X.json   # redirect the PR-5 JSON
 #   scripts/bench.sh -- --n=100000   # extra args forwarded to bench_perf_gate
 #
@@ -36,6 +40,7 @@ threads_out="BENCH_PR3.json"
 csr_out="BENCH_PR4.json"
 stream_out="BENCH_PR5.json"
 scaling_out="BENCH_PR6.json"
+durability_out="BENCH_PR7.json"
 extra=()
 if [[ "${1:-}" == "--smoke" ]]; then
   shift
@@ -44,7 +49,8 @@ if [[ "${1:-}" == "--smoke" ]]; then
   csr_out="bench_smoke_pr4.json"
   stream_out="bench_smoke_pr5.json"
   scaling_out="bench_smoke_pr6.json"
-  extra+=(--n=8000 --t=6 --repeats=1)
+  durability_out="bench_smoke_pr7.json"
+  extra+=(--n=8000 --t=6 --repeats=1 --recovery-deltas=2000)
 fi
 if [[ "${1:-}" == --stream-out=* ]]; then
   stream_out="${1#--stream-out=}"
@@ -60,5 +66,6 @@ cmake --build build -j "$jobs" --target bench_perf_gate
 
 ./build/bench_perf_gate --out="$out" --threads-out="$threads_out" \
   --csr-out="$csr_out" --stream-out="$stream_out" \
-  --scaling-out="$scaling_out" "${extra[@]}" "$@"
-echo "bench output: $out + $threads_out + $csr_out + $stream_out + $scaling_out"
+  --scaling-out="$scaling_out" --durability-out="$durability_out" \
+  "${extra[@]}" "$@"
+echo "bench output: $out + $threads_out + $csr_out + $stream_out + $scaling_out + $durability_out"

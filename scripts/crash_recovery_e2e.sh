@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Crash-recovery end-to-end drill: SIGKILL the streaming CLI at
+# randomized points, resume it with --resume, and diff the final state
+# against an uninterrupted reference run. This is the process-level
+# proof of the recovery invariant that tests/durability_test.cc pins at
+# the library level — real torn files from a real dead process, via the
+# public CLI surface only (docs/DURABILITY.md).
+#
+#   scripts/crash_recovery_e2e.sh                  # defaults (3 kills)
+#   scripts/crash_recovery_e2e.sh --kills=5        # more kill rounds
+#   scripts/crash_recovery_e2e.sh --seed=123       # workload + kill seed
+#   scripts/crash_recovery_e2e.sh --artifacts=DIR  # where failures dump
+#
+# On mismatch, the checkpoint dir (wal.log + checkpoint-*.avtc) and all
+# run transcripts are copied into the artifacts dir and the script exits
+# 1 — CI uploads that directory so the torn state is inspectable.
+#
+# Exit-code contract consumed here (tools/cli_commands.h): 0 ok,
+# 2 invalid argument, 4 corruption, 5 io error; a SIGKILLed child
+# reports 137.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+kills=3
+seed=97
+artifacts="crash_recovery_artifacts"
+for arg in "$@"; do
+  case "$arg" in
+    --kills=*) kills="${arg#--kills=}" ;;
+    --seed=*) seed="${arg#--seed=}" ;;
+    --artifacts=*) artifacts="${arg#--artifacts=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+# A workload long enough (~seconds) that randomized kills land at
+# genuinely different stages: during generation, mid-stream between
+# checkpoints, inside a WAL append, after the last delta.
+stream_flags=(stream --source=gen --n=60000 --t=60 --k=3 --l=5
+              "--seed=$seed")
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$jobs" --target avt_cli >/dev/null
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/avt_crash_e2e.XXXXXX")"
+ckpt="$work/checkpoints"
+trap 'rm -rf "$work"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  rm -rf "$artifacts"
+  mkdir -p "$artifacts"
+  [[ -d "$ckpt" ]] && cp -r "$ckpt" "$artifacts/checkpoints"
+  cp "$work"/*.out "$work"/*.err "$artifacts/" 2>/dev/null || true
+  echo "torn state + transcripts copied to $artifacts/" >&2
+  exit 1
+}
+
+# --- Reference: one uninterrupted, durability-free run ----------------
+./build/avt_cli "${stream_flags[@]}" >"$work/reference.out" \
+  2>"$work/reference.err" || fail "reference run exited $?"
+reference_final="$(grep '^final ' "$work/reference.out")" \
+  || fail "reference run printed no final line"
+echo "reference: $reference_final"
+
+# --- Kill/resume loop -------------------------------------------------
+# Round 0 starts fresh; every later round resumes. The first $kills
+# rounds get SIGKILLed after a randomized delay drawn under an adaptive
+# cap; a round that outruns every kill and completes with NO kill
+# landed wipes the dir, halves the cap, and starts over — the drill is
+# meaningless unless at least one process actually died mid-run.
+RANDOM=$seed
+durable_flags=("${stream_flags[@]}" "--checkpoint-dir=$ckpt"
+               --checkpoint-every=2 --fsync=never)
+cap_ms=2000
+attempt=0
+killed=0
+rounds=0
+while :; do
+  flags=("${durable_flags[@]}")
+  if [[ $attempt -gt 0 ]]; then
+    flags+=(--resume)
+  fi
+  ./build/avt_cli "${flags[@]}" >"$work/run_$attempt.out" \
+    2>"$work/run_$attempt.err" &
+  pid=$!
+  delay_ms=0
+  if [[ $killed -lt $kills ]]; then
+    delay_ms=$((100 + RANDOM % cap_ms))
+    sleep "$(awk -v ms="$delay_ms" 'BEGIN { printf "%.3f", ms / 1000 }')"
+    kill -KILL "$pid" 2>/dev/null || true
+  fi
+  rc=0
+  wait "$pid" || rc=$?
+  rounds=$((rounds + 1))
+  [[ $rounds -gt $((kills * 4 + 4)) ]] \
+    && fail "kill/resume loop did not converge"
+  if [[ $rc -eq 0 ]]; then
+    if [[ $killed -eq 0 ]]; then
+      # The run outpaced the kill: no crash happened, so nothing was
+      # drilled. Tighten the window and start the whole drill over.
+      cap_ms=$((cap_ms / 2))
+      [[ $cap_ms -lt 100 ]] && fail "workload finishes faster than kills land"
+      echo "round $attempt: completed before any kill; retrying with cap ${cap_ms}ms"
+      rm -rf "$ckpt"
+      attempt=0
+      continue
+    fi
+    break
+  elif [[ $rc -eq 137 ]]; then
+    killed=$((killed + 1))
+    echo "round $attempt: SIGKILLed after ${delay_ms}ms (kill $killed/$kills)"
+  else
+    fail "round $attempt exited $rc (expected 0 or 137): $(cat "$work/run_$attempt.err")"
+  fi
+  attempt=$((attempt + 1))
+done
+echo "round $attempt: completed after $killed kill(s)"
+
+[[ -f "$ckpt/wal.log" ]] || fail "no wal.log in the checkpoint dir"
+
+# --- Diff the survivor against the reference --------------------------
+survivor_final="$(grep '^final ' "$work/run_$attempt.out")" \
+  || fail "surviving run printed no final line"
+if [[ "$survivor_final" != "$reference_final" ]]; then
+  fail "final state diverged
+  reference: $reference_final
+  recovered: $survivor_final"
+fi
+
+# A resume of the COMPLETED run must also converge to the same state
+# (recovery is idempotent: nothing left to replay changes nothing).
+./build/avt_cli "${durable_flags[@]}" --resume >"$work/idempotent.out" \
+  2>"$work/idempotent.err" || fail "idempotent resume exited $?"
+idempotent_final="$(grep '^final ' "$work/idempotent.out")" \
+  || fail "idempotent resume printed no final line"
+[[ "$idempotent_final" == "$reference_final" ]] \
+  || fail "idempotent resume diverged: $idempotent_final"
+
+echo "PASS: recovered final state bit-identical to the uninterrupted"
+echo "      reference after $killed SIGKILL(s) + resume (and idempotent)"

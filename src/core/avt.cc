@@ -7,6 +7,7 @@
 #include "core/engine.h"
 #include "core/inc_avt.h"
 #include "corelib/decomposition.h"
+#include "durability/serde.h"
 #include "graph/delta_source.h"
 #include "util/timer.h"
 
@@ -75,6 +76,50 @@ AvtSnapshotResult StaticAvtTracker::ProcessDelta(const EdgeDelta& delta) {
   ++t_;
   delta.Apply(graph_);  // from-scratch families maintain their own copy
   return SolveSnapshot();
+}
+
+bool StaticAvtTracker::SaveCheckpointState(std::string* out) const {
+  out->clear();
+  serde::PutU64(out, t_);
+  serde::PutU32(out, graph_.NumVertices());
+  for (VertexId u = 0; u < graph_.NumVertices(); ++u) {
+    const std::span<const VertexId> neighbors = graph_.Neighbors(u);
+    serde::PutU32(out, static_cast<uint32_t>(neighbors.size()));
+    for (VertexId v : neighbors) serde::PutU32(out, v);
+  }
+  return true;
+}
+
+Status StaticAvtTracker::RestoreCheckpointState(const std::string& blob) {
+  serde::Reader reader(blob);
+  uint64_t t = 0;
+  uint32_t n = 0;
+  if (!reader.GetU64(&t) || !reader.GetU32(&n)) {
+    return Status::Corruption("truncated tracker state blob");
+  }
+  std::vector<std::vector<VertexId>> adjacency(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    uint32_t degree = 0;
+    if (!reader.GetU32(&degree) || reader.Remaining() < 4ull * degree) {
+      return Status::Corruption("truncated tracker state blob");
+    }
+    adjacency[u].reserve(degree);
+    for (uint32_t i = 0; i < degree; ++i) {
+      uint32_t v = 0;
+      if (!reader.GetU32(&v)) {
+        return Status::Corruption("truncated tracker state blob");
+      }
+      adjacency[u].push_back(v);
+    }
+  }
+  if (!reader.Exhausted()) {
+    return Status::Corruption("trailing bytes in tracker state blob");
+  }
+  StatusOr<Graph> graph = Graph::FromAdjacency(std::move(adjacency));
+  if (!graph.ok()) return graph.status();
+  graph_ = std::move(graph).value();
+  t_ = static_cast<size_t>(t);
+  return Status::Ok();
 }
 
 std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,

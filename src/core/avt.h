@@ -110,6 +110,28 @@ class AvtTracker {
   /// between transitions only, never mid-ProcessDelta.
   virtual void EnsureVertices(VertexId count) = 0;
 
+  /// Serializes the tracker's EXACT resumable state into `*out`
+  /// (replacing its contents), for durability checkpoints. Returns
+  /// false when the tracker does not support state snapshots — the
+  /// default, and the right answer whenever any retained state is
+  /// history-dependent in ways a blob cannot capture faithfully (the
+  /// incremental tracker's cross-snapshot memo shapes its work
+  /// counters, so it declines and recovery replays the full WAL
+  /// instead, which is bit-identical by construction).
+  virtual bool SaveCheckpointState(std::string* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Restores state produced by SaveCheckpointState on a freshly
+  /// constructed tracker with the same configuration. kUnimplemented
+  /// when unsupported, kCorruption when the blob does not decode.
+  virtual Status RestoreCheckpointState(const std::string& blob) {
+    (void)blob;
+    return Status::Unimplemented(name() +
+                                 " does not support checkpoint state");
+  }
+
   /// How many consecutive source deltas the driver should merge into
   /// one net-effect transaction before each ProcessDelta call. 1 (the
   /// default) means verbatim per-delta delivery; trackers whose
@@ -139,6 +161,14 @@ class StaticAvtTracker : public AvtTracker {
     if (count > 0) graph_.EnsureVertex(count - 1);
   }
   std::string name() const override { return solver_->name(); }
+
+  /// The re-solve family's whole state is the snapshot counter plus the
+  /// retained graph — and the graph's neighbor ORDER feeds solver
+  /// tie-breaks, so the blob stores the adjacency lists verbatim.
+  /// Restoring it and replaying the WAL suffix is therefore exactly
+  /// the uninterrupted run.
+  bool SaveCheckpointState(std::string* out) const override;
+  Status RestoreCheckpointState(const std::string& blob) override;
 
  private:
   AvtSnapshotResult SolveSnapshot();

@@ -1,7 +1,12 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <string>
+#include <utility>
+
+#include "durability/checkpoint.h"
+#include "durability/serde.h"
 
 namespace avt {
 
@@ -32,12 +37,51 @@ void AvtEngine::Record(AvtSnapshotResult snap) {
   last_ = std::move(snap);
 }
 
+Status AvtEngine::ValidateAndGrow(const EdgeDelta& delta) {
+  // Source boundary: every endpoint must fit the tracker's universe.
+  VertexId max_id = 0;
+  bool any_endpoint = false;
+  for (const std::vector<Edge>* batch : {&delta.insertions,
+                                         &delta.deletions}) {
+    for (const Edge& e : *batch) {
+      max_id = std::max({max_id, e.u, e.v});
+      any_endpoint = true;
+    }
+  }
+  if (any_endpoint && max_id >= num_vertices_) {
+    if (!options_.grow_universe) {
+      return Status::OutOfRange(
+          "delta (transition " + std::to_string(processed_) +
+          " from source '" + source_->name() + "') references vertex " +
+          std::to_string(max_id) + " but the universe holds " +
+          std::to_string(num_vertices_) +
+          " vertices; enable EngineOptions::grow_universe for streaming "
+          "sources or fix the source");
+    }
+    tracker_->EnsureVertices(max_id + 1);
+    num_vertices_ = max_id + 1;
+  }
+  return Status::Ok();
+}
+
 StatusOr<bool> AvtEngine::Step() {
+  if (durable_ && !durability_broken_.ok()) return durability_broken_;
+
   if (!started_) {
     started_ = true;
     const Graph& g0 = source_->InitialGraph();
     num_vertices_ = g0.NumVertices();
     Record(tracker_->ProcessFirst(g0));
+    if (durable_) {
+      // The initial checkpoint anchors the fingerprint and gives
+      // Recover something to validate even before the first cadenced
+      // checkpoint lands.
+      Status status = WriteCheckpointNow();
+      if (!status.ok()) {
+        durability_broken_ = status;
+        return status;
+      }
+    }
     return true;
   }
 
@@ -56,49 +100,287 @@ StatusOr<bool> AvtEngine::Step() {
     if (batch <= 1) {
       // Verbatim per-delta delivery — within-batch op order reaches the
       // tracker untouched (canonicalization would reorder it).
-      if (!source_->NextDelta(&delta)) return false;
+      StatusOr<bool> pulled = source_->NextDelta(&delta);
+      if (!pulled.ok()) return pulled.status();
+      if (!pulled.value()) return false;
+      ++uncommitted_pulls_;
     } else {
       // Batched transaction: merge up to `batch` consecutive deltas
       // into one canonical net-effect delta (last-op-wins, exactly the
       // state the per-delta replay reaches at this boundary). The
-      // tracker pays its per-transition fixed costs once per batch.
+      // tracker pays its per-transition fixed costs once per batch. A
+      // transient source error propagates with the partial batch
+      // retained in the batcher — the next Step resumes the merge.
       EdgeDelta pulled;
-      while (batcher_.merged() < batch && source_->NextDelta(&pulled)) {
+      while (batcher_.merged() < batch) {
+        StatusOr<bool> more = source_->NextDelta(&pulled);
+        if (!more.ok()) return more.status();
+        if (!more.value()) break;
         batcher_.Add(pulled);
+        ++uncommitted_pulls_;
       }
       if (batcher_.Empty()) return false;
       batcher_.Flush(&delta);
     }
   }
 
-  // Source boundary: every endpoint must fit the tracker's universe.
-  VertexId max_id = 0;
-  bool any_endpoint = false;
-  for (const std::vector<Edge>* batch : {&delta.insertions,
-                                         &delta.deletions}) {
-    for (const Edge& e : *batch) {
-      max_id = std::max({max_id, e.u, e.v});
-      any_endpoint = true;
-    }
-  }
-  if (any_endpoint && max_id >= num_vertices_) {
-    if (!options_.grow_universe) {
-      pending_delta_ = std::move(delta);
-      has_pending_delta_ = true;
-      return Status::OutOfRange(
-          "delta (transition " + std::to_string(processed_) +
-          " from source '" + source_->name() + "') references vertex " +
-          std::to_string(max_id) + " but the universe holds " +
-          std::to_string(num_vertices_) +
-          " vertices; enable EngineOptions::grow_universe for streaming "
-          "sources or fix the source");
-    }
-    tracker_->EnsureVertices(max_id + 1);
-    num_vertices_ = max_id + 1;
+  Status valid = ValidateAndGrow(delta);
+  if (!valid.ok()) {
+    pending_delta_ = std::move(delta);
+    has_pending_delta_ = true;
+    return valid;
   }
 
   Record(tracker_->ProcessDelta(delta));
+
+  if (durable_) {
+    Status status = CommitDurable(delta);
+    if (!status.ok()) {
+      durability_broken_ = status;
+      return status;
+    }
+  }
   return true;
+}
+
+Status AvtEngine::CommitDurable(const EdgeDelta& delta) {
+  WalRecord record;
+  record.seq = wal_seq_ + 1;
+  record.source_pulls = uncommitted_pulls_;
+  record.delta = delta;
+  AVT_RETURN_IF_ERROR(wal_->Append(record));
+  ++wal_seq_;
+  source_pulls_committed_ += uncommitted_pulls_;
+  uncommitted_pulls_ = 0;
+
+  const size_t transactions = processed_ - 1;  // G_0 is not a WAL record
+  if (durability_.checkpoint_every > 0 &&
+      transactions % durability_.checkpoint_every == 0) {
+    // The WAL prefix this checkpoint summarizes must be in the file
+    // before the checkpoint claims it happened (fflush suffices for
+    // SIGKILL-survival; kEveryRecord already fsynced).
+    if (durability_.fsync == FsyncPolicy::kNever) {
+      AVT_RETURN_IF_ERROR(wal_->Flush());
+    }
+    AVT_RETURN_IF_ERROR(WriteCheckpointNow());
+  }
+  return Status::Ok();
+}
+
+Status AvtEngine::WriteCheckpointNow() {
+  CheckpointData data;
+  data.fingerprint = ConfigFingerprint();
+  data.step = processed_;
+  data.wal_records = wal_seq_;
+  data.source_pulls = source_pulls_committed_;
+  data.num_vertices = num_vertices_;
+  data.total_millis = total_millis_;
+  data.max_millis = max_millis_;
+  data.total_candidates = total_candidates_;
+  data.total_followers = total_followers_;
+  data.stability_sum = stability_sum_;
+  data.anchor_changes = anchor_changes_;
+  data.previous_anchors = previous_anchors_;
+  std::string blob;
+  if (tracker_->SaveCheckpointState(&blob)) {
+    data.has_tracker_state = true;
+    data.tracker_state = std::move(blob);
+  }
+  return WriteCheckpoint(durability_.dir, data,
+                         durability_.fsync != FsyncPolicy::kNever);
+}
+
+uint64_t AvtEngine::ConfigFingerprint() const {
+  std::string config;
+  config += tracker_->name();
+  config += '\x1f';
+  config += std::to_string(tracker_->PreferredBatchSize());
+  config += '\x1f';
+  config += source_->name();
+  config += '\x1f';
+  config += options_.grow_universe ? '1' : '0';
+  config += '\x1f';
+  config += durability_.config_extra;
+  return serde::Fnv1a64(config);
+}
+
+Status AvtEngine::EnableDurability(const DurabilityOptions& options) {
+  if (started_) {
+    return Status::InvalidArgument(
+        "EnableDurability must precede the first Step");
+  }
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("durability needs a directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create durability dir " + options.dir +
+                           ": " + ec.message());
+  }
+  durability_ = options;
+  auto checkpoints = ListCheckpoints(options.dir);
+  if (!checkpoints.ok()) return checkpoints.status();
+  if (!checkpoints.value().empty() ||
+      std::filesystem::exists(
+          options.dir + "/" + DeltaWal::kFileName, ec)) {
+    return Status::InvalidArgument(
+        "durability dir " + options.dir +
+        " already contains a run; Recover from it or use a fresh dir");
+  }
+  auto wal = DeltaWal::Create(options.dir + "/" + DeltaWal::kFileName,
+                              options.fsync);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(wal).value();
+  durable_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<AvtEngine>> AvtEngine::Recover(
+    std::unique_ptr<AvtTracker> tracker, std::unique_ptr<DeltaSource> source,
+    const EngineOptions& options, const DurabilityOptions& durability) {
+  auto checkpoint_or = LoadLatestValidCheckpoint(durability.dir);
+  if (!checkpoint_or.ok()) return checkpoint_or.status();
+  CheckpointData checkpoint = std::move(checkpoint_or).value();
+
+  const std::string wal_path = durability.dir + "/" + DeltaWal::kFileName;
+  DeltaWal::ReadResult wal_contents;
+  {
+    StatusOr<DeltaWal::ReadResult> read = DeltaWal::ReadAll(wal_path);
+    if (read.ok()) {
+      wal_contents = std::move(read).value();
+    } else if (read.status().code() == StatusCode::kNotFound) {
+      // Crash before the WAL was created: recoverable iff the
+      // checkpoint never claimed any records (checked below).
+    } else {
+      return read.status();
+    }
+  }
+
+  auto engine = std::unique_ptr<AvtEngine>(
+      new AvtEngine(std::move(tracker), std::move(source), options));
+  engine->durability_ = durability;
+
+  if (engine->ConfigFingerprint() != checkpoint.fingerprint) {
+    return Status::InvalidArgument(
+        "durability dir " + durability.dir +
+        " was written under a different configuration (fingerprint "
+        "mismatch); resume with the original tracker/source/options");
+  }
+  if (checkpoint.wal_records > wal_contents.records.size()) {
+    return Status::Corruption(
+        "WAL holds " + std::to_string(wal_contents.records.size()) +
+        " records but checkpoint step " + std::to_string(checkpoint.step) +
+        " claims " + std::to_string(checkpoint.wal_records) +
+        "; the log was truncated after the checkpoint was written");
+  }
+  if (checkpoint.step != checkpoint.wal_records + 1) {
+    return Status::Corruption(
+        "inconsistent checkpoint: step " + std::to_string(checkpoint.step) +
+        " does not match " + std::to_string(checkpoint.wal_records) +
+        " WAL records");
+  }
+
+  // Restore the tracker from its state blob when it can do so exactly;
+  // otherwise replay the whole WAL from G_0 (bit-identical by the
+  // engine's determinism, pinned in tests/engine_test.cc).
+  bool restored = false;
+  if (checkpoint.has_tracker_state) {
+    Status status =
+        engine->tracker_->RestoreCheckpointState(checkpoint.tracker_state);
+    if (status.ok()) {
+      restored = true;
+    } else if (status.code() != StatusCode::kUnimplemented) {
+      return status;  // corrupt blob
+    }
+    // kUnimplemented: a tracker family that cannot restore state falls
+    // back to full replay — legal when the caller swapped algorithm
+    // families, but the fingerprint already rejected that.
+  }
+
+  engine->started_ = true;
+  if (restored) {
+    engine->processed_ = checkpoint.step;
+    engine->num_vertices_ = checkpoint.num_vertices;
+    engine->total_millis_ = checkpoint.total_millis;
+    engine->max_millis_ = checkpoint.max_millis;
+    engine->total_candidates_ = checkpoint.total_candidates;
+    engine->total_followers_ = checkpoint.total_followers;
+    engine->stability_sum_ = checkpoint.stability_sum;
+    engine->anchor_changes_ = static_cast<size_t>(checkpoint.anchor_changes);
+    engine->previous_anchors_ = checkpoint.previous_anchors;
+    engine->wal_seq_ = checkpoint.wal_records;
+    engine->source_pulls_committed_ = checkpoint.source_pulls;
+    engine->last_.anchors = checkpoint.previous_anchors;
+    engine->last_.t = checkpoint.step - 1;
+  } else {
+    const Graph& g0 = engine->source_->InitialGraph();
+    engine->num_vertices_ = g0.NumVertices();
+    engine->Record(engine->tracker_->ProcessFirst(g0));
+  }
+
+  // Replay the committed transactions past the restore point. Each WAL
+  // record is exactly one engine transaction — same merge boundaries,
+  // same within-batch order as the interrupted run.
+  for (const WalRecord& record : wal_contents.records) {
+    if (record.seq <= engine->wal_seq_) continue;
+    AVT_RETURN_IF_ERROR(engine->ValidateAndGrow(record.delta));
+    engine->Record(engine->tracker_->ProcessDelta(record.delta));
+    engine->wal_seq_ = record.seq;
+    engine->source_pulls_committed_ += record.source_pulls;
+
+    // Integrity anchor: when full replay passes the checkpoint's step,
+    // its deterministic accumulators must match bit-exactly. A
+    // mismatch means the WAL and checkpoint describe different runs.
+    if (!restored && engine->wal_seq_ == checkpoint.wal_records) {
+      const bool consistent =
+          engine->processed_ == checkpoint.step &&
+          engine->num_vertices_ == checkpoint.num_vertices &&
+          engine->total_candidates_ == checkpoint.total_candidates &&
+          engine->total_followers_ == checkpoint.total_followers &&
+          engine->stability_sum_ == checkpoint.stability_sum &&
+          engine->anchor_changes_ == checkpoint.anchor_changes &&
+          engine->previous_anchors_ == checkpoint.previous_anchors;
+      if (!consistent) {
+        return Status::Corruption(
+            "WAL replay diverged from checkpoint step " +
+            std::to_string(checkpoint.step) +
+            "; the durability dir mixes incompatible runs");
+      }
+    }
+  }
+
+  // Fast-forward the source past every committed delta: the stream
+  // position after recovery is exactly where the interrupted run's
+  // next pull would have started (deltas consumed but never committed
+  // are re-supplied by the source — nothing is lost or double-applied).
+  EdgeDelta discard;
+  for (uint64_t i = 0; i < engine->source_pulls_committed_; ++i) {
+    StatusOr<bool> more = engine->source_->NextDelta(&discard);
+    if (!more.ok()) return more.status();
+    if (!more.value()) {
+      return Status::Corruption(
+          "source exhausted after " + std::to_string(i) + " of " +
+          std::to_string(engine->source_pulls_committed_) +
+          " committed pulls; it is not the stream the log was written "
+          "from");
+    }
+  }
+
+  // Resume appending after the intact prefix (truncating a torn tail).
+  if (wal_contents.valid_bytes == 0 && wal_contents.records.empty() &&
+      !std::filesystem::exists(wal_path)) {
+    auto wal = DeltaWal::Create(wal_path, durability.fsync);
+    if (!wal.ok()) return wal.status();
+    engine->wal_ = std::move(wal).value();
+  } else {
+    auto wal = DeltaWal::OpenForAppend(wal_path, durability.fsync,
+                                       wal_contents.valid_bytes);
+    if (!wal.ok()) return wal.status();
+    engine->wal_ = std::move(wal).value();
+  }
+  engine->durable_ = true;
+  return engine;
 }
 
 Status AvtEngine::Drain() {
@@ -112,6 +394,9 @@ Status AvtEngine::Drain() {
 RunSummary AvtEngine::Summary() const {
   RunSummary summary;
   summary.snapshots = processed_;
+  const DeltaSource::Stats source_stats = source_->SourceStats();
+  summary.source_retries = source_stats.retries;
+  summary.source_transient_errors = source_stats.transient_errors;
   if (processed_ == 0) return summary;
   summary.total_millis = total_millis_;
   summary.max_millis = max_millis_;

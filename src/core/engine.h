@@ -32,10 +32,12 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "core/avt.h"
 #include "core/run_summary.h"
+#include "durability/wal.h"
 #include "graph/delta_source.h"
 #include "util/status.h"
 
@@ -49,6 +51,26 @@ struct EngineOptions {
   /// Retain every per-snapshot result in result(). Disable for
   /// unbounded streams: aggregates and last() stay available.
   bool keep_snapshots = true;
+};
+
+/// Crash-safety knobs (EnableDurability / Recover). The invariant the
+/// whole layer exists for: a recovered run's anchors, followers, work
+/// counters, and RunSummary are BIT-IDENTICAL to the uninterrupted
+/// run's, at any kill point, for every tracker configuration — because
+/// recovery replays the exact committed transactions from the WAL and
+/// the engine's replay is deterministic (docs/DURABILITY.md).
+struct DurabilityOptions {
+  /// Directory for wal.log + checkpoint-*.avtc. Must be empty (or not
+  /// exist) for a fresh run; Recover reads an existing one.
+  std::string dir;
+  /// Write a checkpoint every N committed delta transactions; 0 keeps
+  /// only the initial checkpoint (recovery then replays the whole WAL).
+  size_t checkpoint_every = 0;
+  FsyncPolicy fsync = FsyncPolicy::kNever;
+  /// Caller configuration folded into the checkpoint fingerprint (the
+  /// CLI passes k/l/algorithm flags here), so a resume under a
+  /// different configuration is rejected instead of diverging.
+  std::string config_extra;
 };
 
 /// Facade driving one tracker off one delta stream.
@@ -72,6 +94,30 @@ class AvtEngine {
 
   /// Steps until the stream is exhausted or a step fails.
   Status Drain();
+
+  /// Arms crash safety for a FRESH run: every committed transaction is
+  /// appended to `<dir>/wal.log` and checkpoints are written at the
+  /// configured cadence (plus one right after G_0). Must be called
+  /// before the first Step; the directory must not already contain a
+  /// run (use Recover for that).
+  Status EnableDurability(const DurabilityOptions& options);
+
+  /// Rebuilds an engine from a durability directory: loads the latest
+  /// valid checkpoint, replays the WAL (the suffix past the checkpoint
+  /// when the tracker restored a state blob, the whole log otherwise),
+  /// cross-checks the replayed accumulators against the checkpoint,
+  /// fast-forwards `source` past every committed delta, and resumes
+  /// appending. `tracker` and `source` must be freshly constructed
+  /// with the same configuration as the interrupted run — the stored
+  /// fingerprint rejects mismatches. Corrupt files surface as
+  /// kCorruption/kIoError Status, never a crash.
+  static StatusOr<std::unique_ptr<AvtEngine>> Recover(
+      std::unique_ptr<AvtTracker> tracker,
+      std::unique_ptr<DeltaSource> source, const EngineOptions& options,
+      const DurabilityOptions& durability);
+
+  /// The config fingerprint durability stamps into checkpoints.
+  uint64_t ConfigFingerprint() const;
 
   /// Observer invoked after every processed snapshot (pause/inspect
   /// hook for tools and benches; called before Step returns).
@@ -106,6 +152,16 @@ class AvtEngine {
  private:
   void Record(AvtSnapshotResult snap);
 
+  /// Source boundary: grows the universe for (or rejects) out-of-range
+  /// endpoints. Shared by Step and WAL replay.
+  Status ValidateAndGrow(const EdgeDelta& delta);
+
+  /// Appends the just-committed transaction to the WAL and writes a
+  /// cadenced checkpoint when due. No-op when durability is off.
+  Status CommitDurable(const EdgeDelta& delta);
+
+  Status WriteCheckpointNow();
+
   std::unique_ptr<AvtTracker> tracker_;
   std::unique_ptr<DeltaSource> source_;
   EngineOptions options_;
@@ -132,6 +188,21 @@ class AvtEngine {
   double stability_sum_ = 0;
   size_t anchor_changes_ = 0;
   std::vector<VertexId> previous_anchors_;
+
+  // Durability state (inert until EnableDurability/Recover).
+  bool durable_ = false;
+  DurabilityOptions durability_;
+  std::unique_ptr<DeltaWal> wal_;
+  uint64_t wal_seq_ = 0;               // last committed WAL record
+  uint64_t source_pulls_committed_ = 0;
+  /// Source deltas pulled for the in-flight (not yet committed)
+  /// transaction: survives validation failures and transient source
+  /// errors so the eventual commit logs the right cursor advance.
+  uint64_t uncommitted_pulls_ = 0;
+  /// A durability write failed; the log can no longer be trusted to be
+  /// contiguous, so every later Step refuses with this status instead
+  /// of silently streaming without crash safety.
+  Status durability_broken_ = Status::Ok();
 };
 
 }  // namespace avt

@@ -70,7 +70,16 @@ std::string FormatRunSummary(const RunSummary& summary) {
                 static_cast<unsigned long long>(summary.total_candidates),
                 summary.mean_followers, summary.anchor_stability,
                 summary.anchor_changes);
-  return buf;
+  std::string line = buf;
+  if (summary.source_retries > 0 || summary.source_transient_errors > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ", %llu transient source errors absorbed (%llu retries)",
+                  static_cast<unsigned long long>(
+                      summary.source_transient_errors),
+                  static_cast<unsigned long long>(summary.source_retries));
+    line += buf;
+  }
+  return line;
 }
 
 }  // namespace avt

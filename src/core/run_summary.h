@@ -31,6 +31,14 @@ struct RunSummary {
   double anchor_stability = 1.0;
   /// Number of transitions where the anchor set changed at all.
   size_t anchor_changes = 0;
+  /// Ingestion-side fault counters (RetryingSource, graph/
+  /// resilient_source.h): pulls that were re-attempted and transient
+  /// errors absorbed. Zero for undecorated sources, and excluded from
+  /// recovery bit-identity comparisons (they describe the transport,
+  /// not the tracked result). Only AvtEngine::Summary fills them;
+  /// SummarizeRun has no source to ask.
+  uint64_t source_retries = 0;
+  uint64_t source_transient_errors = 0;
 };
 
 /// Computes the summary.

@@ -1,0 +1,85 @@
+// Byte-level serialization primitives shared by the durability file
+// formats (durability/wal.h, durability/checkpoint.h).
+//
+// Fixed-width little-endian fields appended to a std::string, and a
+// bounds-checked cursor for reading them back. The reader never
+// aborts: every Get returns false on underrun, so a truncated or
+// corrupted buffer surfaces as a recoverable decode failure — the
+// whole point of the durability layer is that damaged bytes become
+// Status, not crashes.
+
+#ifndef AVT_DURABILITY_SERDE_H_
+#define AVT_DURABILITY_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace avt {
+namespace serde {
+
+inline void PutU32(std::string* out, uint32_t value) {
+  char bytes[4];
+  std::memcpy(bytes, &value, 4);
+  out->append(bytes, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t value) {
+  char bytes[8];
+  std::memcpy(bytes, &value, 8);
+  out->append(bytes, 8);
+}
+
+inline void PutDouble(std::string* out, double value) {
+  char bytes[8];
+  std::memcpy(bytes, &value, 8);
+  out->append(bytes, 8);
+}
+
+/// Bounds-checked forward cursor over an immutable byte buffer.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU32(uint32_t* value) { return GetRaw(value, 4); }
+  bool GetU64(uint64_t* value) { return GetRaw(value, 8); }
+  bool GetDouble(double* value) { return GetRaw(value, 8); }
+
+  /// Reads `size` raw bytes into `*out` (replacing its contents).
+  bool GetBytes(std::string* out, size_t size) {
+    if (size > Remaining()) return false;
+    out->assign(data_.substr(pos_, size));
+    pos_ += size;
+    return true;
+  }
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool Exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  bool GetRaw(void* out, size_t size) {
+    if (size > Remaining()) return false;
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit hash, used for config fingerprints.
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t hash = seed;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace serde
+}  // namespace avt
+
+#endif  // AVT_DURABILITY_SERDE_H_

@@ -1,0 +1,250 @@
+#include "durability/wal.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "durability/serde.h"
+#include "util/crc32.h"
+
+namespace avt {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'V', 'T', 'W', 'A', 'L', '1', '\n'};
+
+// A single frame cannot plausibly exceed this: it bounds allocation
+// when a corrupt length field asks for gigabytes.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+std::string EncodePayload(const WalRecord& record) {
+  std::string payload;
+  payload.reserve(24 + 8 * (record.delta.insertions.size() +
+                            record.delta.deletions.size()));
+  serde::PutU64(&payload, record.seq);
+  serde::PutU64(&payload, record.source_pulls);
+  serde::PutU32(&payload,
+                static_cast<uint32_t>(record.delta.insertions.size()));
+  serde::PutU32(&payload,
+                static_cast<uint32_t>(record.delta.deletions.size()));
+  for (const Edge& e : record.delta.insertions) {
+    serde::PutU32(&payload, e.u);
+    serde::PutU32(&payload, e.v);
+  }
+  for (const Edge& e : record.delta.deletions) {
+    serde::PutU32(&payload, e.u);
+    serde::PutU32(&payload, e.v);
+  }
+  return payload;
+}
+
+bool DecodePayload(std::string_view payload, WalRecord* record) {
+  serde::Reader reader(payload);
+  uint32_t n_ins = 0;
+  uint32_t n_del = 0;
+  if (!reader.GetU64(&record->seq) || !reader.GetU64(&record->source_pulls) ||
+      !reader.GetU32(&n_ins) || !reader.GetU32(&n_del)) {
+    return false;
+  }
+  if (reader.Remaining() !=
+      8 * (static_cast<size_t>(n_ins) + static_cast<size_t>(n_del))) {
+    return false;
+  }
+  record->delta.insertions.clear();
+  record->delta.deletions.clear();
+  record->delta.insertions.reserve(n_ins);
+  record->delta.deletions.reserve(n_del);
+  for (uint32_t i = 0; i < n_ins + n_del; ++i) {
+    uint32_t u = 0;
+    uint32_t v = 0;
+    if (!reader.GetU32(&u) || !reader.GetU32(&v)) return false;
+    Edge e;
+    e.u = u;  // verbatim, NOT normalized: within-batch op order and
+    e.v = v;  // endpoint order must replay exactly as committed
+    (i < n_ins ? record->delta.insertions : record->delta.deletions)
+        .push_back(e);
+  }
+  return reader.Exhausted();
+}
+
+Status SyncFile(std::FILE* file) {
+  if (std::fflush(file) != 0) {
+    return Status::IoError(std::string("wal flush failed: ") +
+                           std::strerror(errno));
+  }
+  if (::fsync(::fileno(file)) != 0) {
+    return Status::IoError(std::string("wal fsync failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DeltaWal>> DeltaWal::Create(const std::string& path,
+                                                     FsyncPolicy policy) {
+  // "x": exclusive — refuse to clobber an existing log.
+  std::FILE* file = std::fopen(path.c_str(), "wbx");
+  if (file == nullptr) {
+    if (errno == EEXIST) {
+      return Status::InvalidArgument(
+          "WAL already exists at " + path +
+          "; recover from it or choose a fresh durability dir");
+    }
+    return Status::IoError("cannot create WAL at " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), file) != sizeof(kMagic)) {
+    std::fclose(file);
+    return Status::IoError("cannot write WAL header at " + path);
+  }
+  auto wal = std::unique_ptr<DeltaWal>(new DeltaWal(file, policy));
+  if (policy == FsyncPolicy::kEveryRecord) {
+    AVT_RETURN_IF_ERROR(SyncFile(file));
+  }
+  return wal;
+}
+
+StatusOr<std::unique_ptr<DeltaWal>> DeltaWal::OpenForAppend(
+    const std::string& path, FsyncPolicy policy, uint64_t valid_bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return Status::IoError("cannot reopen WAL at " + path + ": " +
+                           std::strerror(errno));
+  }
+  // Drop the torn tail so the next append starts at a record boundary.
+  // A tail torn inside the magic itself (valid_bytes == 0) truncates to
+  // empty, and the header is rewritten below.
+  if (::ftruncate(::fileno(file), static_cast<off_t>(valid_bytes)) != 0) {
+    std::fclose(file);
+    return Status::IoError("cannot truncate WAL tail at " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IoError("cannot seek WAL at " + path);
+  }
+  if (valid_bytes < sizeof(kMagic)) {
+    if (std::fwrite(kMagic, 1, sizeof(kMagic), file) != sizeof(kMagic)) {
+      std::fclose(file);
+      return Status::IoError("cannot rewrite WAL header at " + path);
+    }
+  }
+  return std::unique_ptr<DeltaWal>(new DeltaWal(file, policy));
+}
+
+DeltaWal::~DeltaWal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status DeltaWal::Append(const WalRecord& record) {
+  const std::string payload = EncodePayload(record);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  char header[8];
+  std::memcpy(header, &len, 4);
+  std::memcpy(header + 4, &crc, 4);
+  if (std::fwrite(header, 1, 8, file_) != 8 ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::IoError(std::string("wal append failed: ") +
+                           std::strerror(errno));
+  }
+  if (policy_ == FsyncPolicy::kEveryRecord) {
+    return SyncFile(file_);
+  }
+  return Status::Ok();
+}
+
+Status DeltaWal::Flush() {
+  if (std::fflush(file_) != 0) {
+    return Status::IoError(std::string("wal flush failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status DeltaWal::Sync() { return SyncFile(file_); }
+
+StatusOr<DeltaWal::ReadResult> DeltaWal::ReadAll(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("no WAL at " + path);
+  }
+  // Read the whole file; WALs the engine writes are bounded by the
+  // stream they log, and recovery reads them once.
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.append(buffer, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::IoError("read failed for WAL " + path);
+  }
+
+  if (bytes.size() < sizeof(kMagic)) {
+    // Even the magic is torn; an empty-but-valid log has 8 bytes. A
+    // crash can tear the very first write, so this is a torn tail with
+    // zero records, not corruption — unless the partial bytes already
+    // disagree with the magic.
+    if (std::memcmp(bytes.data(), kMagic, bytes.size()) != 0) {
+      return Status::Corruption("bad WAL magic in " + path);
+    }
+    ReadResult result;
+    result.valid_bytes = 0;
+    result.torn_tail = !bytes.empty();
+    return result;
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad WAL magic in " + path);
+  }
+
+  ReadResult result;
+  size_t pos = sizeof(kMagic);
+  result.valid_bytes = pos;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      result.torn_tail = true;  // partial frame header
+      break;
+    }
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    std::memcpy(&len, bytes.data() + pos, 4);
+    std::memcpy(&crc, bytes.data() + pos + 4, 4);
+    if (len > kMaxPayloadBytes) {
+      return Status::Corruption("absurd WAL record length at offset " +
+                                std::to_string(pos) + " in " + path);
+    }
+    if (bytes.size() - pos - 8 < len) {
+      result.torn_tail = true;  // partial payload: crash mid-append
+      break;
+    }
+    const std::string_view payload(bytes.data() + pos + 8, len);
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      return Status::Corruption("WAL record checksum mismatch at offset " +
+                                std::to_string(pos) + " in " + path);
+    }
+    WalRecord record;
+    if (!DecodePayload(payload, &record)) {
+      return Status::Corruption("undecodable WAL record at offset " +
+                                std::to_string(pos) + " in " + path);
+    }
+    if (record.seq != result.records.size() + 1) {
+      return Status::Corruption(
+          "non-sequential WAL record (seq " + std::to_string(record.seq) +
+          " at position " + std::to_string(result.records.size() + 1) +
+          ") in " + path);
+    }
+    result.records.push_back(std::move(record));
+    pos += 8 + len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+}  // namespace avt

@@ -28,7 +28,7 @@ void TemporalWindowSource::ConsumeUpTo(int64_t boundary) {
   }
 }
 
-bool TemporalWindowSource::NextDelta(EdgeDelta* delta) {
+StatusOr<bool> TemporalWindowSource::NextDelta(EdgeDelta* delta) {
   if (next_t_ > T_) return false;
   const int64_t boundary = WindowBoundary(t_min_, t_max_, next_t_, T_);
   ++next_t_;

@@ -44,7 +44,7 @@ class ChurnSource : public DeltaSource {
 
   const Graph& InitialGraph() const override { return initial_; }
 
-  bool NextDelta(EdgeDelta* delta) override {
+  StatusOr<bool> NextDelta(EdgeDelta* delta) override {
     if (emitted_ + 1 >= options_.num_snapshots) return false;
     ++emitted_;
     *delta = NextChurnDelta(current_, options_, rng_);
@@ -71,7 +71,7 @@ class TemporalWindowSource : public DeltaSource {
                        uint32_t window_days);
 
   const Graph& InitialGraph() const override { return initial_; }
-  bool NextDelta(EdgeDelta* delta) override;
+  StatusOr<bool> NextDelta(EdgeDelta* delta) override;
   std::string name() const override { return "temporal-gen"; }
 
  private:

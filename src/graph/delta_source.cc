@@ -16,14 +16,19 @@ CoalescingSource::CoalescingSource(std::unique_ptr<DeltaSource> inner,
   AVT_CHECK_MSG(window_ >= 1, "coalescing window must be >= 1");
 }
 
-bool CoalescingSource::NextDelta(EdgeDelta* delta) {
+StatusOr<bool> CoalescingSource::NextDelta(EdgeDelta* delta) {
   if (window_ == 1) return inner_->NextDelta(delta);  // exact passthrough
 
   // Last-op-wins merge via the shared DeltaBatcher (graph/delta.h): the
   // merged batch reaches exactly the state the op-by-op window replay
-  // reaches, as one canonical net-effect transaction.
+  // reaches, as one canonical net-effect transaction. An inner error
+  // propagates with the partial window retained in the batcher, so the
+  // next call continues the same window.
   EdgeDelta pulled;
-  while (batcher_.merged() < window_ && inner_->NextDelta(&pulled)) {
+  while (batcher_.merged() < window_) {
+    StatusOr<bool> more = inner_->NextDelta(&pulled);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
     batcher_.Add(pulled);
   }
   if (batcher_.Empty()) return false;
@@ -89,13 +94,9 @@ StreamingEdgeFileSource::Open(const std::string& path, size_t T,
   while (std::getline(scan, line)) {
     ++line_number;
     if (IsCommentOrBlankLine(line)) continue;
-    std::istringstream ls(line);
     uint64_t a = 0, b = 0;
     int64_t ts = 0;
-    if (!(ls >> a >> b >> ts)) {
-      return Status::Corruption("bad temporal edge at line " +
-                                std::to_string(line_number));
-    }
+    AVT_RETURN_IF_ERROR(ParseTemporalEdgeLine(line, line_number, &a, &b, &ts));
     // Self-loop lines are not events: the batch loader drops them
     // before they can influence ids, ordering, or the timestamp range,
     // and the boundary rule must see the identical range or the two
@@ -160,13 +161,10 @@ Status StreamingEdgeFileSource::ConsumeUpTo(int64_t boundary) {
   while (std::getline(file_, line)) {
     ++line_number_;
     if (IsCommentOrBlankLine(line)) continue;
-    std::istringstream ls(line);
     uint64_t a = 0, b = 0;
     int64_t ts = 0;
-    if (!(ls >> a >> b >> ts)) {
-      return Status::Corruption("bad temporal edge at line " +
-                                std::to_string(line_number_));
-    }
+    AVT_RETURN_IF_ERROR(
+        ParseTemporalEdgeLine(line, line_number_, &a, &b, &ts));
     if (a == b) continue;  // the loader drops self-loops before mapping
     // First-appearance id compaction, exactly like LoadTemporalEdgeList
     // (sequenced Map calls; see graph/io.cc).
@@ -190,14 +188,17 @@ Status StreamingEdgeFileSource::ConsumeUpTo(int64_t boundary) {
   return Status::Ok();
 }
 
-bool StreamingEdgeFileSource::NextDelta(EdgeDelta* delta) {
+StatusOr<bool> StreamingEdgeFileSource::NextDelta(EdgeDelta* delta) {
   if (next_t_ > T_) return false;
   const int64_t boundary = WindowBoundary(t_min_, t_max_, next_t_, T_);
-  ++next_t_;
   // Ordering/grammar were validated by Open's metadata pass, so a parse
-  // failure here means the file changed under us — fail loudly.
-  Status status = ConsumeUpTo(boundary);
-  AVT_CHECK_MSG(status.ok(), status.ToString().c_str());
+  // failure here means the file changed under us. That is external
+  // input misbehaving at runtime — a Status the caller can surface as
+  // an exit code, not a process abort. The window counter advances only
+  // on success so the stream position stays well-defined for callers
+  // that treat the failure as transient.
+  AVT_RETURN_IF_ERROR(ConsumeUpTo(boundary));
+  ++next_t_;
   differ_.EmitWindow(boundary - static_cast<int64_t>(window_days_), delta);
   return true;
 }

@@ -57,8 +57,22 @@ class DeltaSource {
   virtual const Graph& InitialGraph() const = 0;
 
   /// Pulls the next transition into `*delta` (overwriting it). Returns
-  /// false when the stream is exhausted (`*delta` is then unspecified).
-  virtual bool NextDelta(EdgeDelta* delta) = 0;
+  /// false when the stream is exhausted (`*delta` is then unspecified),
+  /// true when a delta was produced, or a non-OK Status when the pull
+  /// failed. A transient failure (kIoError) leaves the stream position
+  /// unchanged: calling NextDelta again re-attempts the same pull, which
+  /// is what RetryingSource builds on. kCorruption is terminal.
+  virtual StatusOr<bool> NextDelta(EdgeDelta* delta) = 0;
+
+  /// Ingestion-side fault counters, aggregated over the source's
+  /// lifetime. Decorators that absorb faults (RetryingSource) report
+  /// them here; plain sources report zeros. The engine folds these
+  /// into RunSummary so retry activity is visible in run output.
+  struct Stats {
+    uint64_t retries = 0;           ///< re-attempted pulls
+    uint64_t transient_errors = 0;  ///< transient errors absorbed
+  };
+  virtual Stats SourceStats() const { return {}; }
 
   virtual std::string name() const = 0;
 };
@@ -74,7 +88,7 @@ class SequenceSource : public DeltaSource {
 
   const Graph& InitialGraph() const override { return sequence_->initial(); }
 
-  bool NextDelta(EdgeDelta* delta) override {
+  StatusOr<bool> NextDelta(EdgeDelta* delta) override {
     if (next_ >= sequence_->deltas().size()) return false;
     *delta = sequence_->deltas()[next_++];
     return true;
@@ -107,7 +121,13 @@ class CoalescingSource : public DeltaSource {
     return inner_->InitialGraph();
   }
 
-  bool NextDelta(EdgeDelta* delta) override;
+  /// A transient inner error propagates with the partially merged
+  /// window retained, so a later call resumes the same window where it
+  /// left off — coalescing composes with retry without re-pulling
+  /// already-merged deltas.
+  StatusOr<bool> NextDelta(EdgeDelta* delta) override;
+
+  Stats SourceStats() const override { return inner_->SourceStats(); }
 
   std::string name() const override {
     return inner_->name() + "+coalesce" + std::to_string(window_);
@@ -192,7 +212,7 @@ class StreamingEdgeFileSource : public DeltaSource {
       const std::string& path, size_t T, uint32_t window_days);
 
   const Graph& InitialGraph() const override { return initial_; }
-  bool NextDelta(EdgeDelta* delta) override;
+  StatusOr<bool> NextDelta(EdgeDelta* delta) override;
   std::string name() const override { return "file-stream"; }
 
   /// Vertex ids mapped by the delta stream so far (<= the declared

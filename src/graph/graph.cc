@@ -1,6 +1,8 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
 
 namespace avt {
 
@@ -23,6 +25,48 @@ Graph Graph::FromEdges(VertexId num_vertices, const std::vector<Edge>& edges) {
   for (const Edge& e : edges) {
     g.AddEdge(e.u, e.v);
   }
+  return g;
+}
+
+StatusOr<Graph> Graph::FromAdjacency(
+    std::vector<std::vector<VertexId>> adjacency) {
+  const size_t n = adjacency.size();
+  // Every undirected edge must appear exactly once in each endpoint's
+  // list. Count (min,max) keys from both sides: balanced counts plus
+  // no per-list duplicates imply exact symmetry.
+  std::unordered_map<uint64_t, int32_t> balance;
+  uint64_t entries = 0;
+  for (size_t u = 0; u < n; ++u) {
+    for (VertexId v : adjacency[u]) {
+      if (v >= n) {
+        return Status::Corruption("adjacency references vertex " +
+                                  std::to_string(v) + " outside universe " +
+                                  std::to_string(n));
+      }
+      if (v == static_cast<VertexId>(u)) {
+        return Status::Corruption("adjacency contains self-loop at vertex " +
+                                  std::to_string(u));
+      }
+      const uint64_t lo = std::min<uint64_t>(u, v);
+      const uint64_t hi = std::max<uint64_t>(u, v);
+      balance[(lo << 32) | hi] += (u < v) ? 1 : -1;
+      ++entries;
+    }
+  }
+  for (const auto& [key, count] : balance) {
+    if (count != 0) {
+      return Status::Corruption(
+          "asymmetric adjacency: edge (" + std::to_string(key >> 32) + ", " +
+          std::to_string(key & 0xFFFFFFFFull) +
+          ") present on one side only");
+    }
+  }
+  if (entries != 2 * balance.size()) {
+    return Status::Corruption("duplicate entries in adjacency lists");
+  }
+  Graph g;
+  g.adjacency_ = std::move(adjacency);
+  g.num_edges_ = balance.size();
   return g;
 }
 

@@ -50,6 +50,18 @@ class Graph {
   static Graph FromEdges(VertexId num_vertices,
                          const std::vector<Edge>& edges);
 
+  /// Reconstructs a graph from verbatim per-vertex neighbor lists —
+  /// ORDER INCLUDED. Neighbor order is history-dependent (AddEdge
+  /// appends, RemoveEdge swaps with the back) and algorithms scan it,
+  /// so a checkpoint restore that merely re-added the edge set could
+  /// legally produce different tie-breaks; this keeps the restored
+  /// graph bit-identical to the saved one. The lists arrive from disk,
+  /// so every structural invariant (endpoints in range, no self-loops,
+  /// no duplicates, symmetric membership) is validated and a violation
+  /// is a kCorruption Status, never a crash.
+  static StatusOr<Graph> FromAdjacency(
+      std::vector<std::vector<VertexId>> adjacency);
+
   VertexId NumVertices() const {
     return static_cast<VertexId>(adjacency_.size());
   }

@@ -34,6 +34,16 @@ bool IsCommentOrBlankLine(const std::string& line) {
   return true;
 }
 
+Status ParseTemporalEdgeLine(const std::string& line, size_t line_number,
+                             uint64_t* u, uint64_t* v, int64_t* timestamp) {
+  std::istringstream ls(line);
+  if (!(ls >> *u >> *v >> *timestamp)) {
+    return Status::Corruption("bad temporal edge at line " +
+                              std::to_string(line_number));
+  }
+  return Status::Ok();
+}
+
 StatusOr<Graph> ParseEdgeList(const std::string& body) {
   std::istringstream in(body);
   std::string line;
@@ -78,13 +88,9 @@ StatusOr<TemporalEventLog> LoadTemporalEdgeList(const std::string& path) {
   while (std::getline(file, line)) {
     ++line_number;
     if (IsCommentOrBlankLine(line)) continue;
-    std::istringstream ls(line);
     uint64_t a = 0, b = 0;
     int64_t t = 0;
-    if (!(ls >> a >> b >> t)) {
-      return Status::Corruption("bad temporal edge at line " +
-                                std::to_string(line_number));
-    }
+    AVT_RETURN_IF_ERROR(ParseTemporalEdgeLine(line, line_number, &a, &b, &t));
     if (a == b) continue;
     log.events.push_back({compact.Map(a), compact.Map(b), t});
   }

@@ -68,6 +68,13 @@ StatusOr<Graph> ParseEdgeList(const std::string& body);
 /// LoadTemporalEdgeList — one definition, no drift.
 bool IsCommentOrBlankLine(const std::string& line);
 
+/// Parses one non-comment temporal edge-list line ("u v timestamp")
+/// into its raw fields. kCorruption with line context on malformed
+/// input. Shared by the batch loader and the streaming source — one
+/// grammar, one error message, no drift.
+Status ParseTemporalEdgeLine(const std::string& line, size_t line_number,
+                             uint64_t* u, uint64_t* v, int64_t* timestamp);
+
 }  // namespace avt
 
 #endif  // AVT_GRAPH_IO_H_

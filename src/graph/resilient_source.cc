@@ -1,0 +1,43 @@
+#include "graph/resilient_source.h"
+
+#include <chrono>
+#include <thread>
+
+namespace avt {
+
+StatusOr<bool> RetryingSource::NextDelta(EdgeDelta* delta) {
+  for (int attempt = 0;; ++attempt) {
+    StatusOr<bool> result = inner_->NextDelta(delta);
+    if (result.ok()) return result;
+    const bool transient = result.status().code() == StatusCode::kIoError;
+    if (!transient || attempt >= options_.max_retries) {
+      // Non-retryable (corruption, bad input) or retry budget spent:
+      // the caller decides; retrying a corrupt stream cannot help.
+      return result;
+    }
+    ++transient_errors_;
+    ++retries_;
+    Backoff(attempt);
+  }
+}
+
+void RetryingSource::Backoff(int attempt) {
+  double backoff = options_.initial_backoff_millis;
+  for (int k = 0; k < attempt && backoff < options_.max_backoff_millis;
+       ++k) {
+    backoff *= options_.backoff_multiplier;
+  }
+  if (backoff > options_.max_backoff_millis) {
+    backoff = options_.max_backoff_millis;
+  }
+  // Symmetric seeded jitter decorrelates concurrent retriers without
+  // breaking reproducibility: same seed, same sleep schedule.
+  const double jitter =
+      1.0 + options_.jitter_fraction * (2.0 * jitter_rng_.NextDouble() - 1.0);
+  const double millis = backoff * jitter;
+  if (millis > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(millis));
+  }
+}
+
+}  // namespace avt

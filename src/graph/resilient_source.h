@@ -1,0 +1,156 @@
+// Fault injection + retry decorators for delta ingestion.
+//
+// A long-lived streaming service cannot treat every transient read
+// failure as fatal: the literature's evolving-graph systems assume the
+// delta stream is durable and re-readable, so a flaky pull should be
+// retried, not crash the tracker. Two composable DeltaSource
+// decorators provide that discipline and its test double:
+//
+//   FaultInjectingSource — wraps any source and injects a seeded,
+//       deterministic schedule of faults: transient kIoError pulls
+//       (the upstream delta is NOT consumed, so a retry observes the
+//       identical stream) and, optionally, a sticky kCorruption after
+//       a fixed number of successful pulls (modeling a corrupt frame
+//       at a known stream position). Same seed → same fault schedule,
+//       which is what lets durability_test assert zero output
+//       divergence under ≤ 20% transient fault rates.
+//
+//   RetryingSource — wraps any source and absorbs transient kIoError
+//       failures with bounded retries, exponential backoff, and
+//       seeded jitter. Retry counters surface through
+//       DeltaSource::SourceStats into RunSummary. kCorruption and
+//       every other non-transient code propagate immediately: a
+//       corrupt stream is not something retries can fix.
+//
+// Stacking order matters: Retrying(FaultInjecting(inner)) absorbs the
+// injected transient faults; Coalescing(Retrying(...)) then merges the
+// repaired stream. durability_test pins that the full stack is
+// bit-identical to the undecorated run.
+
+#ifndef AVT_GRAPH_RESILIENT_SOURCE_H_
+#define AVT_GRAPH_RESILIENT_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/delta_source.h"
+#include "util/random.h"
+
+namespace avt {
+
+/// Deterministic fault schedule for FaultInjectingSource.
+struct FaultInjectionOptions {
+  uint64_t seed = 1;
+  /// Probability in [0, 1) that any given pull fails transiently with
+  /// kIoError before touching the upstream source.
+  double transient_rate = 0.0;
+  /// If >= 0, every pull after this many successful upstream pulls
+  /// fails with a sticky kCorruption (a corrupt frame at that stream
+  /// position). -1 disables.
+  int64_t corrupt_after = -1;
+};
+
+/// Injects seeded faults in front of `inner`. Transient faults do not
+/// consume upstream deltas; corruption is sticky.
+class FaultInjectingSource : public DeltaSource {
+ public:
+  FaultInjectingSource(std::unique_ptr<DeltaSource> inner,
+                       const FaultInjectionOptions& options)
+      : inner_(std::move(inner)),
+        options_(options),
+        rng_(options.seed) {
+    AVT_CHECK_MSG(inner_ != nullptr, "FaultInjectingSource needs a source");
+    AVT_CHECK_MSG(options_.transient_rate >= 0.0 &&
+                      options_.transient_rate < 1.0,
+                  "transient_rate must be in [0, 1)");
+  }
+
+  const Graph& InitialGraph() const override {
+    return inner_->InitialGraph();
+  }
+
+  StatusOr<bool> NextDelta(EdgeDelta* delta) override {
+    if (options_.corrupt_after >= 0 &&
+        successes_ >= static_cast<uint64_t>(options_.corrupt_after)) {
+      return Status::Corruption("injected: corrupt frame after " +
+                                std::to_string(successes_) + " deltas");
+    }
+    if (options_.transient_rate > 0.0 &&
+        rng_.Bernoulli(options_.transient_rate)) {
+      ++faults_injected_;
+      return Status::IoError("injected: transient read failure at pull " +
+                             std::to_string(successes_));
+    }
+    StatusOr<bool> result = inner_->NextDelta(delta);
+    if (result.ok() && result.value()) ++successes_;
+    return result;
+  }
+
+  Stats SourceStats() const override { return inner_->SourceStats(); }
+
+  std::string name() const override { return inner_->name() + "+faults"; }
+
+  uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  std::unique_ptr<DeltaSource> inner_;
+  FaultInjectionOptions options_;
+  Rng rng_;
+  uint64_t successes_ = 0;
+  uint64_t faults_injected_ = 0;
+};
+
+/// Retry policy for RetryingSource.
+struct RetryOptions {
+  int max_retries = 8;  ///< per pull, not per stream
+  /// Backoff before retry k is
+  /// min(initial * multiplier^k, max) * (1 ± jitter * U[0,1)) millis.
+  double initial_backoff_millis = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_millis = 20.0;
+  double jitter_fraction = 0.25;
+  uint64_t jitter_seed = 42;
+};
+
+/// Absorbs transient kIoError pulls from `inner` with bounded
+/// exponential-backoff retries. Everything else propagates unchanged.
+class RetryingSource : public DeltaSource {
+ public:
+  RetryingSource(std::unique_ptr<DeltaSource> inner,
+                 const RetryOptions& options = RetryOptions())
+      : inner_(std::move(inner)),
+        options_(options),
+        jitter_rng_(options.jitter_seed) {
+    AVT_CHECK_MSG(inner_ != nullptr, "RetryingSource needs a source");
+    AVT_CHECK_MSG(options_.max_retries >= 0, "max_retries must be >= 0");
+  }
+
+  const Graph& InitialGraph() const override {
+    return inner_->InitialGraph();
+  }
+
+  StatusOr<bool> NextDelta(EdgeDelta* delta) override;
+
+  Stats SourceStats() const override {
+    Stats stats = inner_->SourceStats();
+    stats.retries += retries_;
+    stats.transient_errors += transient_errors_;
+    return stats;
+  }
+
+  std::string name() const override { return inner_->name() + "+retry"; }
+
+ private:
+  void Backoff(int attempt);
+
+  std::unique_ptr<DeltaSource> inner_;
+  RetryOptions options_;
+  Rng jitter_rng_;
+  uint64_t retries_ = 0;
+  uint64_t transient_errors_ = 0;
+};
+
+}  // namespace avt
+
+#endif  // AVT_GRAPH_RESILIENT_SOURCE_H_

@@ -124,6 +124,17 @@ class StatusOr {
 
 }  // namespace avt
 
+/// Propagates a non-OK Status to the caller. For use in functions that
+/// return Status: evaluates `expr` once; if the result is an error it
+/// becomes the function's return value, otherwise execution continues.
+#define AVT_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::avt::Status avt_rie_status_ = (expr);       \
+    if (!avt_rie_status_.ok()) {                  \
+      return avt_rie_status_;                     \
+    }                                             \
+  } while (0)
+
 /// Fatal invariant check, active in all build types. Algorithm invariants
 /// in this library are cheap relative to the graph work around them.
 #define AVT_CHECK(cond)                                                    \

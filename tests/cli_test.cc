@@ -24,7 +24,20 @@ class CliTest : public ::testing::Test {
     return path.string();
   }
 
+  // A scratch directory (checkpoint dirs), removed recursively. Starts
+  // absent so `stream --checkpoint-dir` sees a fresh run.
+  std::string TempDir(const std::string& name) {
+    std::string path = TempPath(name);
+    std::filesystem::remove_all(path);
+    dirs_.push_back(path);
+    return path;
+  }
+
   void TearDown() override {
+    for (const std::string& path : dirs_) {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
     for (const std::string& path : created_) std::remove(path.c_str());
   }
 
@@ -56,7 +69,20 @@ class CliTest : public ::testing::Test {
   }
 
   std::vector<std::string> created_;
+  std::vector<std::string> dirs_;
 };
+
+// The machine-diffable last line of `stream` output ("final t=... "
+// followed by vertices and the sorted anchor set) — the quantity the
+// crash-recovery invariant promises is identical after a resume.
+std::string FinalLine(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line, final_line;
+  while (std::getline(stream, line)) {
+    if (line.rfind("final ", 0) == 0) final_line = line;
+  }
+  return final_line;
+}
 
 TEST_F(CliTest, NoArgsPrintsUsage) {
   std::string out, err;
@@ -298,8 +324,10 @@ TEST_F(CliTest, AnchorsRejectsBadAlgo) {
 }
 
 TEST_F(CliTest, StatsMissingFileFails) {
+  // A missing input file is an IoError; the Status-code exit mapping
+  // (2 invalid, 3 not-found, 4 corruption, 5 io) surfaces it as 5.
   std::string out, err;
-  EXPECT_EQ(Run({"stats", "/nonexistent/graph.txt"}, &out, &err), 2);
+  EXPECT_EQ(Run({"stats", "/nonexistent/graph.txt"}, &out, &err), 5);
   EXPECT_NE(err.find("error"), std::string::npos);
 }
 
@@ -530,6 +558,8 @@ TEST_F(CliTest, StreamRejectsBadFlags) {
 }
 
 TEST_F(CliTest, StreamRejectsUnsortedTemporalFile) {
+  // An unsorted file is an InvalidArgument: exit 2 under the Status
+  // exit-code mapping.
   std::string log_path = TempPath("unsorted_log.txt");
   {
     std::ofstream file(log_path);
@@ -539,8 +569,177 @@ TEST_F(CliTest, StreamRejectsUnsortedTemporalFile) {
   EXPECT_EQ(Run({"stream", "--source=file", "--temporal=" + log_path,
                  "--t=3", "--window=30"},
                 &out, &err),
-            1);
+            2);
   EXPECT_NE(err.find("not sorted by timestamp"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamMissingTemporalFileExitsIoCode) {
+  std::string out, err;
+  EXPECT_EQ(Run({"stream", "--source=file",
+                 "--temporal=/nonexistent/stream.txt", "--t=3"},
+                &out, &err),
+            5);
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+// --- stream crash safety -----------------------------------------------
+
+TEST_F(CliTest, HelpMentionsCrashSafetyKnobs) {
+  std::string out;
+  ASSERT_EQ(Run({"help"}, &out), 0);
+  EXPECT_NE(out.find("--checkpoint-dir"), std::string::npos);
+  EXPECT_NE(out.find("--resume"), std::string::npos);
+  EXPECT_NE(out.find("--fault-rate"), std::string::npos);
+  EXPECT_NE(out.find("exit codes"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamDurabilityFlagsNeedCheckpointDir) {
+  std::string out, err;
+  for (const char* orphan :
+       {"--resume", "--checkpoint-every=4", "--fsync=record"}) {
+    EXPECT_EQ(Run({"stream", "--source=gen", "--n=100", "--t=3", orphan},
+                  &out, &err),
+              2)
+        << orphan;
+    EXPECT_NE(err.find("--checkpoint-dir"), std::string::npos) << orphan;
+  }
+}
+
+TEST_F(CliTest, StreamRejectsBadDurabilityValues) {
+  std::string dir = TempDir("bad_durability");
+  std::string out, err;
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=100", "--t=3",
+                 "--checkpoint-dir=" + dir, "--fsync=sometimes"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("unknown --fsync"), std::string::npos);
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=100", "--t=3",
+                 "--checkpoint-dir=" + dir, "--checkpoint-every=-1"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("--checkpoint-every"), std::string::npos);
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=100", "--t=3",
+                 "--fault-rate=1.5"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("--fault-rate"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamCheckpointedRunMatchesPlainRunAndResumes) {
+  // One deterministic generated stream, three ways: plain, with
+  // durability armed, and resumed from the completed run's directory.
+  // All three must report the identical final anchor set — and the
+  // durability directory must hold a WAL plus checkpoints.
+  std::vector<std::string> base = {"stream",      "--source=gen",
+                                   "--n=250",     "--t=5",
+                                   "--k=3",       "--l=3",
+                                   "--seed=11",   "--churn-min=20",
+                                   "--churn-max=40"};
+  std::string plain;
+  ASSERT_EQ(Run(base, &plain), 0);
+  ASSERT_NE(FinalLine(plain), "");
+
+  std::string dir = TempDir("ckpt_run");
+  std::vector<std::string> durable = base;
+  durable.push_back("--checkpoint-dir=" + dir);
+  durable.push_back("--checkpoint-every=2");
+  std::string checkpointed;
+  ASSERT_EQ(Run(durable, &checkpointed), 0);
+  EXPECT_EQ(FinalLine(checkpointed), FinalLine(plain));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/wal.log"));
+
+  // Re-running WITHOUT --resume into the used directory must refuse
+  // rather than clobber the log.
+  std::string out, err;
+  EXPECT_EQ(Run(durable, &out, &err), 2);
+  EXPECT_NE(err.find("error"), std::string::npos);
+
+  std::vector<std::string> resumed_args = durable;
+  resumed_args.push_back("--resume");
+  std::string resumed;
+  ASSERT_EQ(Run(resumed_args, &resumed), 0);
+  EXPECT_EQ(FinalLine(resumed), FinalLine(plain));
+}
+
+TEST_F(CliTest, StreamResumeRejectsMismatchedConfig) {
+  std::string dir = TempDir("ckpt_mismatch");
+  std::string out, err;
+  ASSERT_EQ(Run({"stream", "--source=gen", "--n=200", "--t=4", "--k=3",
+                 "--l=3", "--seed=5", "--checkpoint-dir=" + dir},
+                &out),
+            0);
+  // Same directory, different k: the checkpoint fingerprint rejects it.
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=200", "--t=4", "--k=4",
+                 "--l=3", "--seed=5", "--checkpoint-dir=" + dir,
+                 "--resume"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamResumeDetectsCorruptWal) {
+  std::string dir = TempDir("ckpt_corrupt");
+  std::string out, err;
+  ASSERT_EQ(Run({"stream", "--source=gen", "--n=200", "--t=4", "--k=3",
+                 "--l=3", "--seed=5", "--checkpoint-dir=" + dir},
+                &out),
+            0);
+  // Flip one byte inside the first WAL frame (past the 8-byte magic):
+  // the record CRC catches it and resume exits with the corruption
+  // code, never a crash.
+  std::string wal_path = dir + "/wal.log";
+  {
+    std::fstream wal(wal_path,
+                     std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(wal.good());
+    wal.seekg(0, std::ios::end);
+    ASSERT_GT(static_cast<long>(wal.tellg()), 16L);
+    wal.seekp(12);
+    char byte = 0;
+    wal.seekg(12);
+    wal.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    wal.seekp(12);
+    wal.write(&byte, 1);
+  }
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=200", "--t=4", "--k=3",
+                 "--l=3", "--seed=5", "--checkpoint-dir=" + dir,
+                 "--resume"},
+                &out, &err),
+            4);
+  EXPECT_NE(err.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamFaultInjectionAbsorbedByRetries) {
+  // A 40% transient fault rate (high enough to fire on a 4-pull
+  // stream), absorbed by the retry decorator: the run succeeds,
+  // reports the absorbed faults in its summary, and its final anchors
+  // match the fault-free run exactly (transient faults never consume
+  // upstream deltas).
+  std::vector<std::string> base = {"stream",    "--source=gen", "--n=250",
+                                   "--t=5",     "--k=3",        "--l=3",
+                                   "--seed=11", "--churn-min=20",
+                                   "--churn-max=40"};
+  std::string clean;
+  ASSERT_EQ(Run(base, &clean), 0);
+  std::vector<std::string> faulty = base;
+  faulty.push_back("--fault-rate=0.4");
+  faulty.push_back("--fault-seed=7");
+  std::string absorbed;
+  ASSERT_EQ(Run(faulty, &absorbed), 0);
+  EXPECT_EQ(FinalLine(absorbed), FinalLine(clean));
+  EXPECT_NE(absorbed.find("transient source errors absorbed"),
+            std::string::npos)
+      << absorbed;
+}
+
+TEST_F(CliTest, StreamInjectedCorruptionExitsCorruptionCode) {
+  std::string out, err;
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=200", "--t=5", "--k=3",
+                 "--l=3", "--fault-corrupt-after=2"},
+                &out, &err),
+            4);
+  EXPECT_NE(err.find("injected"), std::string::npos);
 }
 
 }  // namespace

@@ -32,7 +32,7 @@ class VectorSource : public DeltaSource {
       : initial_(std::move(initial)), deltas_(std::move(deltas)) {}
 
   const Graph& InitialGraph() const override { return initial_; }
-  bool NextDelta(EdgeDelta* delta) override {
+  StatusOr<bool> NextDelta(EdgeDelta* delta) override {
     if (next_ >= deltas_.size()) return false;
     *delta = deltas_[next_++];
     return true;
@@ -45,10 +45,18 @@ class VectorSource : public DeltaSource {
   size_t next_ = 0;
 };
 
+// Pulls one delta, asserting the pull itself succeeded (these tests
+// exercise ordering/merging, not fault paths).
+bool MustNext(DeltaSource& source, EdgeDelta* delta) {
+  StatusOr<bool> more = source.NextDelta(delta);
+  EXPECT_TRUE(more.ok()) << more.status().ToString();
+  return more.ok() && more.value();
+}
+
 std::vector<EdgeDelta> DrainSource(DeltaSource& source) {
   std::vector<EdgeDelta> deltas;
   EdgeDelta delta;
-  while (source.NextDelta(&delta)) deltas.push_back(delta);
+  while (MustNext(source, &delta)) deltas.push_back(delta);
   return deltas;
 }
 
@@ -314,12 +322,12 @@ TEST(CoalescingSource, InsertThenDeleteCollapsesInsideTheWindow) {
           initial, std::vector<EdgeDelta>{first, second}),
       2);
   EdgeDelta merged;
-  ASSERT_TRUE(source.NextDelta(&merged));
+  ASSERT_TRUE(MustNext(source, &merged));
   // (2,3)'s last op is its deletion — a no-op on the pre-window graph,
   // so the blip costs zero cascades; (0,1)'s deletion is real.
   EXPECT_TRUE(merged.insertions.empty());
   EXPECT_EQ(merged.deletions, (std::vector<Edge>{Edge(0, 1), Edge(2, 3)}));
-  EXPECT_FALSE(source.NextDelta(&merged));
+  EXPECT_FALSE(MustNext(source, &merged));
 }
 
 TEST(CoalescingSource, DeleteThenReinsertCollapsesToANoOpInsertion) {
@@ -334,7 +342,7 @@ TEST(CoalescingSource, DeleteThenReinsertCollapsesToANoOpInsertion) {
           initial, std::vector<EdgeDelta>{first, second}),
       2);
   EdgeDelta merged;
-  ASSERT_TRUE(source.NextDelta(&merged));
+  ASSERT_TRUE(MustNext(source, &merged));
   EXPECT_EQ(merged.insertions, (std::vector<Edge>{Edge(0, 1)}));
   EXPECT_TRUE(merged.deletions.empty());
   Graph replay = initial;
@@ -357,7 +365,7 @@ TEST(CoalescingSource, ReplayVisitsEveryWindowBoundarySnapshot) {
     Graph replay = source.InitialGraph();
     EdgeDelta merged;
     size_t boundary = 0;
-    while (source.NextDelta(&merged)) {
+    while (MustNext(source, &merged)) {
       merged.Apply(replay);
       boundary = std::min(boundary + window, sequence.deltas().size());
       EXPECT_TRUE(replay == sequence.Materialize(boundary))
@@ -402,7 +410,7 @@ TEST(CoalescingSource, FuzzCoalescedReplayMatchesNetDeltaReplay) {
           std::make_unique<SequenceSource>(&sequence), window);
       EdgeDelta merged;
       size_t step = 0;
-      while (source.NextDelta(&merged)) {
+      while (MustNext(source, &merged)) {
         ASSERT_LT(step, net.size());
         AvtSnapshotResult a = coalesced_tracker.ProcessDelta(merged);
         AvtSnapshotResult b = net_tracker.ProcessDelta(net[step]);

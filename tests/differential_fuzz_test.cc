@@ -41,6 +41,8 @@
 #include "anchor/follower_oracle.h"
 #include "core/engine.h"
 #include "core/inc_avt.h"
+#include "core/run_summary.h"
+#include "durability/wal.h"
 #include "corelib/decomposition.h"
 #include "corelib/korder.h"
 #include "gen/models.h"
@@ -380,7 +382,7 @@ class ScheduleSource : public DeltaSource {
   ScheduleSource(const Graph* g0, const std::vector<EdgeDelta>* schedule)
       : g0_(g0), schedule_(schedule) {}
   const Graph& InitialGraph() const override { return *g0_; }
-  bool NextDelta(EdgeDelta* delta) override {
+  StatusOr<bool> NextDelta(EdgeDelta* delta) override {
     if (next_ >= schedule_->size()) return false;
     *delta = (*schedule_)[next_++];
     return true;
@@ -542,6 +544,113 @@ TEST(DifferentialFuzz, SurvivesEmptyAndDegenerateDeltas) {
   schedule.push_back(wipe);
   schedule.push_back(wipe.Inverse());  // restore
   EXPECT_EQ(CheckSchedule(g0, schedule, 3, 3), "");
+}
+
+// Randomized crash drill over the durability layer: random workload,
+// random tracker config, random checkpoint cadence, random kill point —
+// and, when only the initial checkpoint exists, a random torn tail cut
+// from the WAL. The recovered + drained run must be bit-identical to
+// the uninterrupted reference every time (docs/DURABILITY.md). This is
+// the fuzz-shaped companion to tests/durability_test.cc's exhaustive
+// kill-point matrix: that suite enumerates, this one explores.
+TEST(DifferentialFuzz, KillPointRecoveryIsBitIdentical) {
+  struct Final {
+    size_t processed;
+    std::vector<VertexId> anchors;
+    uint64_t candidates;
+    uint64_t followers;
+    double stability;
+    size_t changes;
+    bool operator==(const Final&) const = default;
+  };
+  auto capture = [](const AvtEngine& engine) {
+    RunSummary summary = engine.Summary();
+    return Final{engine.SnapshotsProcessed(),
+                 engine.SnapshotsProcessed() ? engine.last().anchors
+                                             : std::vector<VertexId>{},
+                 summary.total_candidates,
+                 summary.total_followers,
+                 summary.anchor_stability,
+                 summary.anchor_changes};
+  };
+
+  Rng rng(7070);
+  const size_t kBatches[] = {1, 3, 16};
+  const size_t rounds = 12;
+  for (size_t round = 0; round < rounds; ++round) {
+    Rng gen_rng(2000 + round);
+    Graph g0 = ChungLuPowerLaw(
+        80 + static_cast<VertexId>(rng.Uniform(80)), 6.0, 2.2, 30,
+        gen_rng);
+    const size_t transitions = 5 + rng.Uniform(6);
+    Graph working = g0;
+    std::vector<EdgeDelta> schedule;
+    for (size_t t = 0; t < transitions; ++t) {
+      schedule.push_back(RandomDelta(working, 15, gen_rng));
+    }
+
+    IncAvtOptions options;
+    options.lazy = rng.Uniform(2) == 0;
+    options.csr = rng.Uniform(2) == 0 ? IncAvtCsrMode::kNone
+                                      : IncAvtCsrMode::kMaintained;
+    options.batch_size = kBatches[rng.Uniform(3)];
+    const uint32_t k = 3, l = 3;
+    auto make_tracker = [&options, k, l]() {
+      return std::make_unique<IncAvtTracker>(k, l, IncAvtMode::kRestricted,
+                                             options);
+    };
+    auto describe = [&](size_t kill) {
+      std::ostringstream out;
+      out << "round=" << round << " lazy=" << options.lazy
+          << " csr=" << static_cast<int>(options.csr)
+          << " batch=" << options.batch_size << " kill=" << kill;
+      return out.str();
+    };
+
+    AvtEngine reference(make_tracker(),
+                        std::make_unique<ScheduleSource>(&g0, &schedule));
+    ASSERT_TRUE(reference.Drain().ok()) << describe(0);
+    const Final expected = capture(reference);
+    const size_t total_steps = reference.SnapshotsProcessed();
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("avt_fuzz_recover_" + std::to_string(round)))
+            .string();
+    std::filesystem::remove_all(dir);
+    DurabilityOptions durability;
+    durability.dir = dir;
+    durability.checkpoint_every = rng.Uniform(3);  // 0 = initial only
+    const size_t kill = 1 + rng.Uniform(total_steps);
+    {
+      AvtEngine victim(make_tracker(),
+                       std::make_unique<ScheduleSource>(&g0, &schedule));
+      ASSERT_TRUE(victim.EnableDurability(durability).ok())
+          << describe(kill);
+      for (size_t step = 0; step < kill; ++step) {
+        ASSERT_TRUE(victim.Step().value()) << describe(kill);
+      }
+    }
+    // With no cadenced checkpoints claiming records, a torn WAL tail is
+    // crash-normal — cut a few bytes to simulate an in-flight write.
+    if (durability.checkpoint_every == 0 && rng.Uniform(2) == 0) {
+      const std::string wal_path = dir + "/" + DeltaWal::kFileName;
+      const auto size = std::filesystem::file_size(wal_path);
+      std::filesystem::resize_file(wal_path,
+                                   size - std::min<uintmax_t>(size, 1 + rng.Uniform(16)));
+    }
+
+    auto recovered = AvtEngine::Recover(
+        make_tracker(), std::make_unique<ScheduleSource>(&g0, &schedule),
+        EngineOptions{}, durability);
+    ASSERT_TRUE(recovered.ok())
+        << describe(kill) << ": " << recovered.status().ToString();
+    ASSERT_TRUE(recovered.value()->Drain().ok()) << describe(kill);
+    EXPECT_EQ(capture(*recovered.value()).processed, expected.processed)
+        << describe(kill);
+    EXPECT_TRUE(capture(*recovered.value()) == expected) << describe(kill);
+    std::filesystem::remove_all(dir);
+  }
 }
 
 }  // namespace

@@ -38,7 +38,7 @@ class VectorSource : public DeltaSource {
       : initial_(std::move(initial)), deltas_(std::move(deltas)) {}
 
   const Graph& InitialGraph() const override { return initial_; }
-  bool NextDelta(EdgeDelta* delta) override {
+  StatusOr<bool> NextDelta(EdgeDelta* delta) override {
     if (next_ >= deltas_.size()) return false;
     *delta = deltas_[next_++];
     return true;

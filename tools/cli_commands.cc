@@ -22,25 +22,43 @@
 #include "gen/temporal.h"
 #include "graph/delta_source.h"
 #include "graph/io.h"
+#include "graph/resilient_source.h"
 #include "util/table.h"
 
 namespace avt {
 namespace cli {
 namespace {
 
-// Loads the graph named by the first positional argument.
-bool LoadPositionalGraph(const Flags& flags, FILE* err, Graph* graph) {
+// Maps a Status onto the CLI's exit-code contract (pinned by cli_test
+// and consumed by the crash-recovery e2e script): usage and invalid
+// input are 2, a missing file or dataset is 3, corrupt on-disk state
+// (WAL/checkpoint damage, malformed frames) is 4, and IO failures are
+// 5. Everything else collapses to the generic failure 1.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 2;
+    case StatusCode::kNotFound: return 3;
+    case StatusCode::kCorruption: return 4;
+    case StatusCode::kIoError: return 5;
+    default: return 1;
+  }
+}
+
+// Loads the graph named by the first positional argument. Returns 0 on
+// success, else the exit code the command should return.
+int LoadPositionalGraph(const Flags& flags, FILE* err, Graph* graph) {
   if (flags.positional().empty()) {
     std::fprintf(err, "error: missing <edge-list> argument\n");
-    return false;
+    return 2;
   }
   auto loaded = LoadEdgeList(flags.positional()[0]);
   if (!loaded.ok()) {
     std::fprintf(err, "error: %s\n", loaded.status().ToString().c_str());
-    return false;
+    return ExitCodeFor(loaded.status());
   }
   *graph = std::move(loaded).value();
-  return true;
+  return 0;
 }
 
 std::unique_ptr<AnchorSolver> MakeSolver(const std::string& name,
@@ -183,7 +201,7 @@ int RunGenCommand(const Flags& flags, FILE* out, FILE* err) {
   Status status = SaveEdgeList(g, path);
   if (!status.ok()) {
     std::fprintf(err, "error: %s\n", status.ToString().c_str());
-    return 1;
+    return ExitCodeFor(status);
   }
   std::fprintf(out, "wrote %s: %u vertices, %llu edges (model %s)\n",
                path.c_str(), g.NumVertices(),
@@ -194,7 +212,7 @@ int RunGenCommand(const Flags& flags, FILE* out, FILE* err) {
 
 int RunStatsCommand(const Flags& flags, FILE* out, FILE* err) {
   Graph g;
-  if (!LoadPositionalGraph(flags, err, &g)) return 2;
+  if (int rc = LoadPositionalGraph(flags, err, &g)) return rc;
   GraphStats stats = ComputeGraphStats(g);
   std::fprintf(out, "vertices            %u\n", stats.num_vertices);
   std::fprintf(out, "edges               %llu\n",
@@ -220,7 +238,7 @@ int RunStatsCommand(const Flags& flags, FILE* out, FILE* err) {
 
 int RunCoreCommand(const Flags& flags, FILE* out, FILE* err) {
   Graph g;
-  if (!LoadPositionalGraph(flags, err, &g)) return 2;
+  if (int rc = LoadPositionalGraph(flags, err, &g)) return rc;
   CoreDecomposition cores = DecomposeCores(g);
   const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 0));
   std::fprintf(out, "degeneracy %u\n", cores.max_core);
@@ -244,7 +262,7 @@ int RunAnchorsCommand(const Flags& flags, FILE* out, FILE* err) {
   uint32_t num_threads;
   if (!ParseThreads(flags, err, &num_threads)) return 2;
   Graph g;
-  if (!LoadPositionalGraph(flags, err, &g)) return 2;
+  if (int rc = LoadPositionalGraph(flags, err, &g)) return rc;
   const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 3));
   const uint32_t l = static_cast<uint32_t>(flags.GetInt("l", 5));
   const std::string algo = flags.GetString("algo", "greedy");
@@ -300,7 +318,7 @@ int RunTrackCommand(const Flags& flags, FILE* out, FILE* err) {
     auto log = LoadTemporalEdgeList(temporal);
     if (!log.ok()) {
       std::fprintf(err, "error: %s\n", log.status().ToString().c_str());
-      return 1;
+      return ExitCodeFor(log.status());
     }
     sequence = WindowSnapshots(
         log.value(), T,
@@ -367,6 +385,58 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
     return 2;
   }
 
+  // Crash-safety flags (docs/DURABILITY.md).
+  const std::string checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  const int64_t checkpoint_every =
+      flags.Has("checkpoint-every") ? flags.GetInt("checkpoint-every", -1)
+                                    : 0;
+  if (checkpoint_every < 0) {
+    std::fprintf(err,
+                 "error: --checkpoint-every must be a non-negative integer "
+                 "(got '%s')\n",
+                 flags.GetString("checkpoint-every", "").c_str());
+    return 2;
+  }
+  const bool resume = flags.GetBool("resume", false);
+  if (checkpoint_dir.empty() &&
+      (resume || flags.Has("checkpoint-every") || flags.Has("fsync"))) {
+    std::fprintf(err,
+                 "error: --resume/--checkpoint-every/--fsync need "
+                 "--checkpoint-dir=<dir>\n");
+    return 2;
+  }
+  FsyncPolicy fsync = FsyncPolicy::kNever;
+  const std::string fsync_name = flags.GetString("fsync", "never");
+  if (fsync_name == "never") {
+    fsync = FsyncPolicy::kNever;
+  } else if (fsync_name == "record") {
+    fsync = FsyncPolicy::kEveryRecord;
+  } else {
+    std::fprintf(err, "error: unknown --fsync '%s' (never, record)\n",
+                 fsync_name.c_str());
+    return 2;
+  }
+
+  // Fault-injection / retry flags (graph/resilient_source.h). A
+  // nonzero --fault-rate (or an explicit --fault-corrupt-after) wraps
+  // the source in FaultInjectingSource + RetryingSource: transient
+  // faults are absorbed with bounded backoff, corruption surfaces as
+  // exit 4.
+  const double fault_rate = flags.GetDouble("fault-rate", 0.0);
+  if (fault_rate < 0.0 || fault_rate >= 1.0) {
+    std::fprintf(err, "error: --fault-rate must be in [0, 1) (got '%s')\n",
+                 flags.GetString("fault-rate", "").c_str());
+    return 2;
+  }
+  const int64_t max_retries = flags.GetInt("max-retries", 8);
+  if (max_retries < 0) {
+    std::fprintf(err,
+                 "error: --max-retries must be a non-negative integer "
+                 "(got '%s')\n",
+                 flags.GetString("max-retries", "").c_str());
+    return 2;
+  }
+
   // Build the source. A sequence source needs its backing sequence
   // alive for the whole run; it lives here.
   SnapshotSequence sequence;
@@ -384,7 +454,7 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
     if (!opened.ok()) {
       std::fprintf(err, "error: %s\n",
                    opened.status().ToString().c_str());
-      return 1;
+      return ExitCodeFor(opened.status());
     }
     source = std::move(opened).value();
   } else if (kind == "gen") {
@@ -422,36 +492,101 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
                  kind.c_str());
     return 2;
   }
+  if (fault_rate > 0.0 || flags.Has("fault-corrupt-after")) {
+    FaultInjectionOptions fault;
+    fault.seed = static_cast<uint64_t>(flags.GetInt("fault-seed", 1));
+    fault.transient_rate = fault_rate;
+    fault.corrupt_after = flags.GetInt("fault-corrupt-after", -1);
+    source = std::make_unique<FaultInjectingSource>(std::move(source), fault);
+    RetryOptions retry;
+    retry.max_retries = static_cast<int>(max_retries);
+    source = std::make_unique<RetryingSource>(std::move(source), retry);
+  }
   if (coalesce > 1) {
     source = std::make_unique<CoalescingSource>(
         std::move(source), static_cast<size_t>(coalesce));
   }
 
-  AvtEngine engine(MakeTracker(algorithm, k, l, num_threads, csr_mode,
-                               static_cast<size_t>(batch)),
-                   std::move(source));
+  std::unique_ptr<AvtTracker> tracker = MakeTracker(
+      algorithm, k, l, num_threads, csr_mode, static_cast<size_t>(batch));
+  std::unique_ptr<AvtEngine> engine;
+  if (checkpoint_dir.empty()) {
+    engine = std::make_unique<AvtEngine>(std::move(tracker),
+                                         std::move(source));
+  } else {
+    // The fingerprint already covers the tracker/source names and the
+    // batch width; fold in every flag that shapes the STREAM itself so
+    // a resume under different parameters is rejected, not diverging.
+    // Thread count and csr backing stay out on purpose: outputs are
+    // bit-identical across them, so resuming under either is sound.
+    DurabilityOptions durability;
+    durability.dir = checkpoint_dir;
+    durability.checkpoint_every = static_cast<size_t>(checkpoint_every);
+    durability.fsync = fsync;
+    durability.config_extra =
+        "k=" + std::to_string(k) + ";l=" + std::to_string(l) +
+        ";algo=" + algo + ";coalesce=" + std::to_string(coalesce) +
+        ";source=" + kind + ";t=" + std::to_string(T) +
+        ";window=" + std::to_string(flags.GetInt("window", 45)) +
+        ";seed=" + std::to_string(flags.GetInt("seed", 42)) +
+        ";temporal=" + flags.GetString("temporal", "") +
+        ";dataset=" + flags.GetString("dataset", "") +
+        ";scale=" + std::to_string(flags.GetDouble("scale", 0.25)) +
+        ";n=" + std::to_string(flags.GetInt("n", 1000)) +
+        ";churn=" + std::to_string(flags.GetInt("churn-min", 100)) + "-" +
+        std::to_string(flags.GetInt("churn-max", 250));
+    if (resume) {
+      auto recovered = AvtEngine::Recover(std::move(tracker),
+                                          std::move(source), EngineOptions{},
+                                          durability);
+      if (!recovered.ok()) {
+        std::fprintf(err, "error: %s\n",
+                     recovered.status().ToString().c_str());
+        return ExitCodeFor(recovered.status());
+      }
+      engine = std::move(recovered).value();
+    } else {
+      engine = std::make_unique<AvtEngine>(std::move(tracker),
+                                           std::move(source));
+      Status armed = engine->EnableDurability(durability);
+      if (!armed.ok()) {
+        std::fprintf(err, "error: %s\n", armed.ToString().c_str());
+        return ExitCodeFor(armed);
+      }
+    }
+  }
+
   TablePrinter table(
       {"t", "vertices", "followers", "anchored_core", "candidates",
        "millis"});
-  engine.SetObserver([&](const AvtSnapshotResult& snap) {
+  engine->SetObserver([&](const AvtSnapshotResult& snap) {
     table.Row()
         .UInt(snap.t)
-        .UInt(engine.NumVertices())
+        .UInt(engine->NumVertices())
         .UInt(snap.num_followers)
         .UInt(snap.anchored_core_size)
         .UInt(snap.candidates_visited)
         .Double(snap.millis, 2);
   });
-  Status status = engine.Drain();
+  Status status = engine->Drain();
   if (!status.ok()) {
     std::fprintf(err, "error: %s\n", status.ToString().c_str());
-    return 1;
+    return ExitCodeFor(status);
   }
   std::fprintf(out, "%s", table.ToText().c_str());
   std::fprintf(out, "source %s: %zu snapshots, %u vertices discovered\n",
-               engine.source().name().c_str(), engine.SnapshotsProcessed(),
-               engine.NumVertices());
-  std::fprintf(out, "%s\n", FormatRunSummary(engine.Summary()).c_str());
+               engine->source().name().c_str(),
+               engine->SnapshotsProcessed(), engine->NumVertices());
+  std::fprintf(out, "%s\n", FormatRunSummary(engine->Summary()).c_str());
+  // Machine-diffable final state for the crash-recovery e2e: identical
+  // between an uninterrupted run and a killed+resumed one (the
+  // durability layer's whole invariant).
+  if (engine->SnapshotsProcessed() > 0) {
+    std::fprintf(out, "final t=%zu vertices=%u anchors:",
+                 engine->last().t, engine->NumVertices());
+    for (VertexId a : engine->last().anchors) std::fprintf(out, " %u", a);
+    std::fprintf(out, "\n");
+  }
   return 0;
 }
 
@@ -463,7 +598,7 @@ int RunConvertCommand(const Flags& flags, FILE* out, FILE* err) {
   auto log = LoadTemporalEdgeList(flags.positional()[0]);
   if (!log.ok()) {
     std::fprintf(err, "error: %s\n", log.status().ToString().c_str());
-    return 1;
+    return ExitCodeFor(log.status());
   }
   const size_t T = static_cast<size_t>(flags.GetInt("t", 10));
   const uint32_t window =
@@ -476,7 +611,7 @@ int RunConvertCommand(const Flags& flags, FILE* out, FILE* err) {
     Status status = SaveEdgeList(sequence.Materialize(t), path);
     if (!status.ok()) {
       std::fprintf(err, "error: %s\n", status.ToString().c_str());
-      return 1;
+      return ExitCodeFor(status);
     }
     std::fprintf(out, "wrote %s\n", path.c_str());
   }
@@ -500,7 +635,11 @@ std::string UsageText() {
       "  stream   AVT over a delta stream      (--source=file|gen|sequence "
       "--k --l [--coalesce-window N] [--batch N]\n"
       "           file: --temporal --t --window; gen: --n --churn-min/max "
-      "--seed; sequence: --dataset)\n"
+      "--seed; sequence: --dataset\n"
+      "           crash safety: [--checkpoint-dir D] [--checkpoint-every N] "
+      "[--fsync=never|record] [--resume]\n"
+      "           fault drill: [--fault-rate p] [--fault-seed S] "
+      "[--fault-corrupt-after N] [--max-retries R])\n"
       "  convert  temporal log -> snapshots    (<temporal> --t --window "
       "--out-prefix)\n"
       "\n"
@@ -520,7 +659,19 @@ std::string UsageText() {
       "algorithms run serial regardless.\n"
       "--csr maintained|rebuild|none picks incavt's cascade-scan backing\n"
       "(default maintained: a delta-maintained CSR patched per edge).\n"
-      "Results are bit-identical across backings; only speed changes.\n";
+      "Results are bit-identical across backings; only speed changes.\n"
+      "--checkpoint-dir D arms crash safety: every committed transaction\n"
+      "is appended to D/wal.log and checkpoints are written every\n"
+      "--checkpoint-every N transactions (0 = initial checkpoint only).\n"
+      "--fsync=never|record picks the WAL durability/speed trade;\n"
+      "--resume recovers an interrupted run from D and continues it —\n"
+      "final anchors and summary are bit-identical to the uninterrupted\n"
+      "run at any kill point (docs/DURABILITY.md). --fault-rate p\n"
+      "injects seeded transient read faults (absorbed by bounded\n"
+      "retries with backoff; --max-retries R); --fault-corrupt-after N\n"
+      "injects a sticky corrupt frame, surfacing as exit code 4.\n"
+      "exit codes: 0 ok, 2 invalid argument, 3 not found, 4 corruption,\n"
+      "5 io error, 1 other failure.\n";
 }
 
 int RunCli(int argc, char** argv, FILE* out, FILE* err) {

@@ -12,7 +12,11 @@
 //   avt_cli convert temporal.txt --t=10 --window=45 --out-prefix=snap
 //
 // All commands return 0 on success and print diagnostics to `err` on
-// failure (no exceptions cross the boundary).
+// failure (no exceptions cross the boundary). Failure exit codes follow
+// the Status code of the underlying error: 2 invalid argument (also
+// usage errors), 3 not found, 4 corruption, 5 io error, 1 anything
+// else — pinned by tests/cli_test.cc and consumed by
+// scripts/crash_recovery_e2e.sh.
 
 #ifndef AVT_TOOLS_CLI_COMMANDS_H_
 #define AVT_TOOLS_CLI_COMMANDS_H_
@@ -43,7 +47,10 @@ int RunTrackCommand(const Flags& flags, FILE* out, FILE* err);
 
 /// Streams deltas through AvtEngine: --source {file, gen, sequence},
 /// optional window coalescing (--coalesce-window N) and batched delta
-/// transactions for the incremental tracker (--batch N).
+/// transactions for the incremental tracker (--batch N). Crash safety
+/// via --checkpoint-dir/--checkpoint-every/--fsync/--resume (WAL +
+/// checkpoints; docs/DURABILITY.md) and fault drills via
+/// --fault-rate/--fault-seed/--fault-corrupt-after/--max-retries.
 int RunStreamCommand(const Flags& flags, FILE* out, FILE* err);
 
 /// Converts a temporal edge list into windowed snapshot edge lists.
