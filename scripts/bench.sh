@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Reproduces BENCH_PR2.json + BENCH_PR3.json + BENCH_PR4.json +
-# BENCH_PR5.json + BENCH_PR6.json + BENCH_PR7.json: Release build, then
-# the perf gate.
+# BENCH_PR5.json + BENCH_PR6.json + BENCH_PR7.json + BENCH_PR8.json:
+# Release build, then the perf gate.
 #
 #   scripts/bench.sh                 # full gates (n=50k): BENCH_PR2.json
 #                                    # + BENCH_PR3.json (thread scaling)
@@ -12,12 +12,16 @@
 #                                    #   speedup > 1 at >= 4 CPUs)
 #                                    # + BENCH_PR7.json (WAL overhead +
 #                                    #   50k-delta recovery wall time)
+#                                    # + BENCH_PR8.json (memo retention
+#                                    #   policies; ~200k-delta erase-heavy
+#                                    #   stream, LRU budget enforcement)
 #   scripts/bench.sh --smoke         # small run for CI (bench_smoke.json
 #                                    # + bench_smoke_pr3.json
 #                                    # + bench_smoke_pr4.json
 #                                    # + bench_smoke_pr5.json
 #                                    # + bench_smoke_pr6.json
-#                                    # + bench_smoke_pr7.json)
+#                                    # + bench_smoke_pr7.json
+#                                    # + bench_smoke_pr8.json)
 #   scripts/bench.sh --stream-out=X.json   # redirect the PR-5 JSON
 #   scripts/bench.sh -- --n=100000   # extra args forwarded to bench_perf_gate
 #
@@ -25,9 +29,10 @@
 # lazy ("after", certified-bound) pick loops on identical inputs, the
 # lazy loops across the --threads-list worker counts, the IncAVT
 # per-delta workload across the three cascade-scan backings (no CSR /
-# rebuild-per-delta / delta-maintained), and the three ingestion
-# drivers (materialized snapshot-pull / streamed AvtEngine / coalesced
-# windows), checks all outputs are bit-identical, and emits the
+# rebuild-per-delta / delta-maintained), the three ingestion drivers
+# (materialized snapshot-pull / streamed AvtEngine / coalesced
+# windows), and the four memo retention policies (memoize-all / top /
+# lru / none), checks all outputs are bit-identical, and emits the
 # before/after JSON that docs/PERFORMANCE.md explains. Wall times move
 # with the host (the PR-3 JSON records host_cpus for that reason); the
 # work counters (oracle_queries, bound_probes) are deterministic.
@@ -41,6 +46,7 @@ csr_out="BENCH_PR4.json"
 stream_out="BENCH_PR5.json"
 scaling_out="BENCH_PR6.json"
 durability_out="BENCH_PR7.json"
+memo_out="BENCH_PR8.json"
 extra=()
 if [[ "${1:-}" == "--smoke" ]]; then
   shift
@@ -50,7 +56,8 @@ if [[ "${1:-}" == "--smoke" ]]; then
   stream_out="bench_smoke_pr5.json"
   scaling_out="bench_smoke_pr6.json"
   durability_out="bench_smoke_pr7.json"
-  extra+=(--n=8000 --t=6 --repeats=1 --recovery-deltas=2000)
+  memo_out="bench_smoke_pr8.json"
+  extra+=(--n=8000 --t=6 --repeats=1 --recovery-deltas=2000 --memo-transitions=60)
 fi
 if [[ "${1:-}" == --stream-out=* ]]; then
   stream_out="${1#--stream-out=}"
@@ -67,5 +74,6 @@ cmake --build build -j "$jobs" --target bench_perf_gate
 ./build/bench_perf_gate --out="$out" --threads-out="$threads_out" \
   --csr-out="$csr_out" --stream-out="$stream_out" \
   --scaling-out="$scaling_out" --durability-out="$durability_out" \
+  --memo-out="$memo_out" \
   "${extra[@]}" "$@"
-echo "bench output: $out + $threads_out + $csr_out + $stream_out + $scaling_out + $durability_out"
+echo "bench output: $out + $threads_out + $csr_out + $stream_out + $scaling_out + $durability_out + $memo_out"

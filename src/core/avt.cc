@@ -24,6 +24,16 @@ const char* AvtAlgorithmName(AvtAlgorithm algorithm) {
   return "unknown";
 }
 
+const char* MemoPolicyName(MemoPolicy policy) {
+  switch (policy) {
+    case MemoPolicy::kMemoizeAll: return "all";
+    case MemoPolicy::kTopValueOnly: return "top";
+    case MemoPolicy::kLru: return "lru";
+    case MemoPolicy::kNone: return "none";
+  }
+  return "unknown";
+}
+
 double AvtRunResult::TotalMillis() const {
   double total = 0;
   for (const auto& s : snapshots) total += s.millis;
@@ -125,7 +135,9 @@ Status StaticAvtTracker::RestoreCheckpointState(const std::string& blob) {
 std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
                                         uint32_t l, uint32_t num_threads,
                                         IncAvtCsrMode csr_mode,
-                                        size_t batch_size) {
+                                        size_t batch_size,
+                                        MemoPolicy memo_policy,
+                                        size_t memo_budget_bytes) {
   switch (algorithm) {
     case AvtAlgorithm::kGreedy: {
       GreedyOptions options;
@@ -147,6 +159,8 @@ std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
       options.num_threads = num_threads;
       options.csr = csr_mode;
       options.batch_size = batch_size;
+      options.memo_policy = memo_policy;
+      options.memo_budget_bytes = memo_budget_bytes;
       return std::make_unique<IncAvtTracker>(k, l, IncAvtMode::kRestricted,
                                              options);
     }
@@ -156,9 +170,11 @@ std::unique_ptr<AvtTracker> MakeTracker(AvtAlgorithm algorithm, uint32_t k,
 
 AvtRunResult RunAvt(const SnapshotSequence& sequence, AvtAlgorithm algorithm,
                     uint32_t k, uint32_t l, uint32_t num_threads,
-                    IncAvtCsrMode csr_mode, size_t batch_size) {
+                    IncAvtCsrMode csr_mode, size_t batch_size,
+                    MemoPolicy memo_policy, size_t memo_budget_bytes) {
   std::unique_ptr<AvtTracker> tracker =
-      MakeTracker(algorithm, k, l, num_threads, csr_mode, batch_size);
+      MakeTracker(algorithm, k, l, num_threads, csr_mode, batch_size,
+                  memo_policy, memo_budget_bytes);
   AVT_CHECK(tracker != nullptr);
   // Every run — bench, CLI, test — rides the streaming engine; the
   // sequence adapter re-emits deltas verbatim, so this is bit-identical

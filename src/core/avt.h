@@ -60,6 +60,29 @@ enum class IncAvtCsrMode {
   kMaintained,
 };
 
+/// Retention policy for IncAVT's cross-snapshot trial memo (the knob
+/// lives here so the runner/CLI can set it without pulling in
+/// inc_avt.h; see IncAvtOptions and core/memo_store.h). The memo is a
+/// cache of exact evaluations, so eviction can only cost recomputation:
+/// anchors are bit-identical across all four policies (enforced by the
+/// differential-fuzz policy matrix).
+enum class MemoPolicy {
+  /// Memoize every evaluation, unbounded — the pre-PR-8 behavior, now
+  /// byte-accounted.
+  kMemoizeAll,
+  /// Keep only the best-valued (slot, candidate) entry per slot, plus
+  /// the incumbent and per-slot base cascades: O(l) live entries.
+  kTopValueOnly,
+  /// Memoize everything under a byte budget; least-recently-used
+  /// entries are evicted when the table would outgrow it.
+  kLru,
+  /// No cross-snapshot memo at all (certified-bound gating within a
+  /// transition still applies).
+  kNone,
+};
+
+const char* MemoPolicyName(MemoPolicy policy);
+
 /// Per-snapshot tracking output.
 struct AvtSnapshotResult {
   size_t t = 0;
@@ -72,6 +95,14 @@ struct AvtSnapshotResult {
   uint64_t candidates_visited = 0;
   /// Cheap phase-1 bound probes issued by lazy pick/swap loops.
   uint64_t bound_probes = 0;
+  /// Cross-snapshot memo counters for this transition (IncAVT lazy mode
+  /// only; zero elsewhere). memo_bytes is the memo table's footprint
+  /// AFTER the transition — table capacity never shrinks, so the
+  /// per-run maximum is the true peak.
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  uint64_t memo_evictions = 0;
+  uint64_t memo_bytes = 0;
 };
 
 /// Whole-run output plus aggregates.
@@ -190,18 +221,25 @@ class StaticAvtTracker : public AvtTracker {
 /// N > 1 the engine merges N consecutive deltas per transaction, so the
 /// run reports one result per BATCH BOUNDARY snapshot — each
 /// bit-identical to the per-delta replay's result at that snapshot
-/// (tests/differential_fuzz_test.cc pins this).
+/// (tests/differential_fuzz_test.cc pins this). `memo_policy` /
+/// `memo_budget_bytes` bound IncAVT's cross-snapshot memo (ignored by
+/// the re-solve families, which keep no cross-snapshot cache); anchors
+/// are bit-identical under every policy — only the work counters and
+/// memory footprint move.
 AvtRunResult RunAvt(const SnapshotSequence& sequence, AvtAlgorithm algorithm,
                     uint32_t k, uint32_t l, uint32_t num_threads = 1,
                     IncAvtCsrMode csr_mode = IncAvtCsrMode::kMaintained,
-                    size_t batch_size = 1);
+                    size_t batch_size = 1,
+                    MemoPolicy memo_policy = MemoPolicy::kMemoizeAll,
+                    size_t memo_budget_bytes = 0);
 
 /// Factory for trackers (IncAVT included). `num_threads` / `csr_mode` /
-/// `batch_size` as in RunAvt.
+/// `batch_size` / `memo_policy` / `memo_budget_bytes` as in RunAvt.
 std::unique_ptr<AvtTracker> MakeTracker(
     AvtAlgorithm algorithm, uint32_t k, uint32_t l, uint32_t num_threads = 1,
-    IncAvtCsrMode csr_mode = IncAvtCsrMode::kMaintained,
-    size_t batch_size = 1);
+    IncAvtCsrMode csr_mode = IncAvtCsrMode::kMaintained, size_t batch_size = 1,
+    MemoPolicy memo_policy = MemoPolicy::kMemoizeAll,
+    size_t memo_budget_bytes = 0);
 
 }  // namespace avt
 

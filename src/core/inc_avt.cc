@@ -23,8 +23,9 @@ struct LazyEntry {
   }
 };
 
-/// Dead-key references in the touch index are erased lazily; past this
-/// many recorded (vertex, key) pairs the whole cache restarts cold.
+/// Stale references are dropped lazily (generation stamps + per-list
+/// compaction); past this many HELD (vertex, key) references across all
+/// lists the whole cache restarts cold — the global backstop.
 constexpr size_t kTouchCompactionLimit = 4'000'000;
 
 }  // namespace
@@ -41,19 +42,44 @@ uint32_t IncAvtTracker::KCoreSize() const {
   return size;
 }
 
-void IncAvtTracker::RecordTouch(uint64_t key,
+void IncAvtTracker::RecordTouch(uint64_t key, uint32_t gen,
                                 std::span<const VertexId> region_a,
                                 std::span<const VertexId> region_b) {
-  for (VertexId r : region_a) touch_index_[r].push_back(key);
-  for (VertexId r : region_b) touch_index_[r].push_back(key);
-  touch_total_ += region_a.size() + region_b.size();
+  for (VertexId r : region_a) PushTouch(touch_index_[r], {key, gen});
+  for (VertexId r : region_b) PushTouch(touch_index_[r], {key, gen});
+}
+
+void IncAvtTracker::PushTouch(TouchList& list, TouchRef ref) {
+  list.refs.push_back(ref);
+  ++touch_total_;
+  if (list.refs.size() >= list.compact_at) CompactTouchList(list);
+}
+
+void IncAvtTracker::CompactTouchList(TouchList& list) {
+  size_t kept = 0;
+  for (const TouchRef& ref : list.refs) {
+    if (memo_.IsLive(ref.key, ref.gen)) list.refs[kept++] = ref;
+  }
+  touch_total_ -= list.refs.size() - kept;
+  list.refs.resize(kept);
+  // Next sweep only once the list doubles from here: amortized O(1).
+  list.compact_at = static_cast<uint32_t>(
+      std::max<size_t>(kTouchCompactMin, 2 * kept));
+}
+
+void IncAvtTracker::ClearTouchList(TouchList& list) {
+  touch_total_ -= list.refs.size();
+  list.refs.clear();
+  list.compact_at = kTouchCompactMin;
 }
 
 void IncAvtTracker::InvalidateTouched(VertexId v) {
-  std::vector<uint64_t>& keys = touch_index_[v];
-  if (keys.empty()) return;
-  for (uint64_t key : keys) memo_.Erase(key);
-  keys.clear();
+  TouchList& list = touch_index_[v];
+  if (list.refs.empty()) return;
+  // EraseRef skips references whose entry was meanwhile overwritten
+  // (its region was re-recorded under a newer generation) or evicted.
+  for (const TouchRef& ref : list.refs) memo_.EraseRef(ref.key, ref.gen);
+  ClearTouchList(list);
 }
 
 AvtSnapshotResult IncAvtTracker::ProcessFirst(const Graph& g0) {
@@ -90,15 +116,17 @@ AvtSnapshotResult IncAvtTracker::ProcessFirst(const Graph& g0) {
   SolverResult first = greedy.Solve(g0, k_, l_);
   anchors_ = first.anchors;
 
-  // Reset the cross-snapshot memo. The reserve sizes the flat map past
-  // the typical working set (incumbent + per-slot bases + slot-candidate
-  // entries) so the per-delta loop starts rehash-free; the map grows
-  // once and stays at its high-water capacity if a workload outruns it.
-  memo_.Clear();
-  memo_.Reserve(4096);
+  // Reset the cross-snapshot memo under the configured retention
+  // policy. Eager mode keeps no cross-snapshot memo at all, so it
+  // configures kNone regardless — the store then reports zero bytes
+  // and every memo path below self-gates on enabled().
+  const size_t num_slots = 2 * static_cast<size_t>(l_) + 2;
+  memo_.Configure(options_.lazy ? options_.memo_policy : MemoPolicy::kNone,
+                  options_.memo_budget_bytes, num_slots);
+  last_memo_stats_ = memo_.stats();
   touch_index_.assign(g0.NumVertices(), {});
   touch_total_ = 0;
-  slot_bound_keys_.assign(2 * static_cast<size_t>(l_) + 2, {});
+  slot_bound_keys_.assign(num_slots, {});
   pool_state_.assign(g0.NumVertices(), kUnseen);
   is_anchor_.assign(g0.NumVertices(), 0);
   pool_.clear();
@@ -114,6 +142,7 @@ AvtSnapshotResult IncAvtTracker::ProcessFirst(const Graph& g0) {
   }
   snap.anchored_core_size =
       snap.kcore_size + anchors_outside + snap.num_followers;
+  snap.memo_bytes = memo_.bytes();
   snap.millis = timer.ElapsedMillis();
   return snap;
 }
@@ -186,7 +215,9 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
   // contains its candidate) — so recording them would be pure overhead;
   // the mode's cross-snapshot reuse comes from the incumbent memo and
   // bound gating instead. Wider pools (kMaintainedFull) do get hits.
-  const bool memoize_slots = mode_ != IncAvtMode::kRestricted;
+  // MemoPolicy::kNone disables all of it (bound gating remains).
+  const bool memoize_slots =
+      mode_ != IncAvtMode::kRestricted && memo_.enabled();
 
   // (Re)establishes the oracle's resident cascade for the slot's trial
   // base. Each slot's base is memoized across snapshots under
@@ -202,13 +233,20 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
                          bool record) {
     if (base_ready) return;
     const uint64_t base_key = kBaseKeyBase | slot;
-    if (record && memo_.Find(base_key) == nullptr) {
-      for (uint64_t key : slot_bound_keys_[slot]) memo_.Erase(key);
-      slot_bound_keys_[slot].clear();
+    if (record && memo_.enabled() && !memo_.ContainsLive(base_key)) {
+      // The base died (churn or eviction): every bound probed against
+      // it dies too. Stale references — bounds since re-recorded under
+      // a newer generation, or upgraded to exact entries that carry
+      // their own full region — are skipped, not erased.
+      TouchList& bounds = slot_bound_keys_[slot];
+      for (const TouchRef& ref : bounds.refs) memo_.EraseRef(ref.key, ref.gen);
+      ClearTouchList(bounds);
       oracle_->BuildBase(trial_base, k_);
-      memo_.Put(base_key, TrialMemo{0, true});
-      RecordTouch(base_key, oracle_->BaseRegionAnchors(),
-                  oracle_->BaseRegionVisited());
+      const uint32_t gen = memo_.Record(base_key, {0, true});
+      if (gen != TrialMemoStore::kDroppedGen) {
+        RecordTouch(base_key, gen, oracle_->BaseRegionAnchors(),
+                    oracle_->BaseRegionVisited());
+      }
     } else {
       oracle_->BuildBase(trial_base, k_);
     }
@@ -225,9 +263,11 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
     uint32_t ub = oracle_->MarginalUpperBound(v);
     if (record && memoize_slots) {
       const uint64_t key = (slot << 32) | v;
-      memo_.Put(key, {ub, false});
-      RecordTouch(key, oracle_->LastMarginalVisited(), {});
-      slot_bound_keys_[slot].push_back(key);
+      const uint32_t gen = memo_.Record(key, {ub, false});
+      if (gen != TrialMemoStore::kDroppedGen) {
+        RecordTouch(key, gen, oracle_->LastMarginalVisited(), {});
+        PushTouch(slot_bound_keys_[slot], {key, gen});
+      }
     }
     return ub;
   };
@@ -248,9 +288,11 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
       uint32_t exact = oracle_->CountFollowers(trial_base, top.vertex, k_);
       if (record && memoize_slots) {
         const uint64_t key = (slot << 32) | top.vertex;
-        memo_.Put(key, {exact, true});
-        RecordTouch(key, oracle_->LastRegionAnchors(),
-                    oracle_->LastRegionVisited());
+        const uint32_t gen = memo_.Record(key, {exact, true});
+        if (gen != TrialMemoStore::kDroppedGen) {
+          RecordTouch(key, gen, oracle_->LastRegionAnchors(),
+                      oracle_->LastRegionVisited());
+        }
       }
       heap.push({exact, top.vertex, true});
     }
@@ -264,7 +306,7 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
   // one full query.
   auto commit = [&](const LazyEntry& winner) {
     memo_.Clear();
-    for (std::vector<uint64_t>& keys : slot_bound_keys_) keys.clear();
+    for (TouchList& bounds : slot_bound_keys_) ClearTouchList(bounds);
     current = winner.value;
   };
 
@@ -277,12 +319,13 @@ void IncAvtTracker::LazyLocalSearch(const std::vector<VertexId>& pool,
   // estimate and silently settle a slot the eager loop would improve.
   auto memo_hit = [&](uint64_t slot, VertexId v, LazyEntry* out) {
     if (!memoize_slots) return false;
-    const TrialMemo* entry = memo_.Find((slot << 32) | v);
-    if (entry == nullptr) return false;
-    if (!entry->exact && memo_.Find(kBaseKeyBase | slot) == nullptr) {
-      return false;
-    }
-    *out = {entry->value, static_cast<VertexId>(v), entry->exact};
+    TrialMemoStore::Entry entry;
+    const bool found = memo_.Lookup((slot << 32) | v, &entry);
+    const bool usable =
+        found && (entry.exact || memo_.ContainsLive(kBaseKeyBase | slot));
+    memo_.CountLookup(usable);
+    if (!usable) return false;
+    *out = {entry.value, static_cast<VertexId>(v), entry.exact};
     return true;
   };
 
@@ -362,7 +405,7 @@ void IncAvtTracker::ParallelLocalSearch(const std::vector<VertexId>& pool,
   };
   auto commit_invalidates_memo = [&] {
     memo_.Clear();
-    for (std::vector<uint64_t>& keys : slot_bound_keys_) keys.clear();
+    for (TouchList& bounds : slot_bound_keys_) ClearTouchList(bounds);
   };
 
   // Swap phase: per anchor slot, the best strict improvement wins.
@@ -455,11 +498,11 @@ AvtSnapshotResult IncAvtTracker::ProcessDelta(const EdgeDelta& delta) {
   // every cascade-touched vertex and both endpoints of every changed
   // edge, so impacted ∪ N(impacted) covers all state changes. The
   // periodic full reset bounds dead key references in the index.
-  if (options_.lazy) {
+  if (options_.lazy && memo_.enabled()) {
     if (touch_total_ > kTouchCompactionLimit) {
       memo_.Clear();
-      for (std::vector<uint64_t>& keys : touch_index_) keys.clear();
-      for (std::vector<uint64_t>& keys : slot_bound_keys_) keys.clear();
+      for (TouchList& list : touch_index_) ClearTouchList(list);
+      for (TouchList& list : slot_bound_keys_) ClearTouchList(list);
       touch_total_ = 0;
     }
     with_adjacency([&](const auto& adj) {
@@ -511,17 +554,22 @@ AvtSnapshotResult IncAvtTracker::ProcessDelta(const EdgeDelta& delta) {
   // Step 2: seed with S_{t-1}; re-establish the incumbent follower count
   // F(S) on the new snapshot. In lazy mode the previous snapshot's value
   // is reused when churn did not touch its dependency region.
-  uint32_t current;
-  const TrialMemo* incumbent =
-      options_.lazy ? memo_.Find(kIncumbentKey) : nullptr;
-  if (incumbent != nullptr) {
-    current = incumbent->value;
-  } else {
+  uint32_t current = 0;
+  bool have_incumbent = false;
+  if (options_.lazy && memo_.enabled()) {
+    TrialMemoStore::Entry incumbent;
+    have_incumbent = memo_.Lookup(kIncumbentKey, &incumbent);
+    memo_.CountLookup(have_incumbent);
+    if (have_incumbent) current = incumbent.value;
+  }
+  if (!have_incumbent) {
     current = oracle_->CountFollowers(anchors_, k_);
-    if (options_.lazy) {
-      memo_.Put(kIncumbentKey, TrialMemo{current, true});
-      RecordTouch(kIncumbentKey, oracle_->LastRegionAnchors(),
-                  oracle_->LastRegionVisited());
+    if (options_.lazy && memo_.enabled()) {
+      const uint32_t gen = memo_.Record(kIncumbentKey, {current, true});
+      if (gen != TrialMemoStore::kDroppedGen) {
+        RecordTouch(kIncumbentKey, gen, oracle_->LastRegionAnchors(),
+                    oracle_->LastRegionVisited());
+      }
     }
   }
 
@@ -545,6 +593,15 @@ AvtSnapshotResult IncAvtTracker::ProcessDelta(const EdgeDelta& delta) {
   }
   snap.anchored_core_size =
       snap.kcore_size + anchors_outside + snap.num_followers;
+  // Memo counters: per-transition deltas of the store's cumulative
+  // stats, plus the table footprint after the transition (capacity
+  // never shrinks, so the per-run max of memo_bytes is the peak).
+  const TrialMemoStore::Stats& memo_stats = memo_.stats();
+  snap.memo_hits = memo_stats.hits - last_memo_stats_.hits;
+  snap.memo_misses = memo_stats.misses - last_memo_stats_.misses;
+  snap.memo_evictions = memo_stats.evictions - last_memo_stats_.evictions;
+  snap.memo_bytes = memo_.bytes();
+  last_memo_stats_ = memo_stats;
   snap.millis = timer.ElapsedMillis();
   return snap;
 }

@@ -57,8 +57,8 @@
 #include "anchor/follower_oracle.h"
 #include "anchor/trial_engine.h"
 #include "core/avt.h"
+#include "core/memo_store.h"
 #include "maint/maintainer.h"
-#include "util/flat_map.h"
 
 namespace avt {
 
@@ -108,6 +108,16 @@ struct IncAvtOptions {
   /// last-op-wins guarantee; tests/differential_fuzz_test.cc pins it).
   /// 1 (default) is verbatim per-delta delivery.
   size_t batch_size = 1;
+  /// Retention policy for the cross-snapshot trial memo (enum in
+  /// core/avt.h, store in core/memo_store.h). Anchors are bit-identical
+  /// under every policy — eviction only costs recomputation (pinned by
+  /// the differential-fuzz policy matrix). Ignored in eager mode, which
+  /// keeps no cross-snapshot memo at all.
+  MemoPolicy memo_policy = MemoPolicy::kMemoizeAll;
+  /// Byte budget for MemoPolicy::kLru (0 = the store's default 1 MiB);
+  /// the memo table's slot array never outgrows it. Ignored by the
+  /// other policies.
+  size_t memo_budget_bytes = 0;
 };
 
 /// Incremental tracker (the paper's primary contribution).
@@ -142,24 +152,43 @@ class IncAvtTracker : public AvtTracker {
   const std::vector<VertexId>& current_anchors() const { return anchors_; }
 
  private:
-  /// One memoized trial evaluation: exact follower count (full query) or
-  /// a certified upper bound (phase 1 only). Entries in memo_ are always
-  /// valid for the *current* anchor base: commits clear the map, and
-  /// churn kills exactly the entries whose dependency region it touched
-  /// (via touch_index_), so presence in the map is the validity bit.
-  struct TrialMemo {
-    uint32_t value;
-    bool exact;
+  /// A (key, generation) reference into the memo store: the store
+  /// stamps every Record, so a reference whose entry was overwritten,
+  /// evicted, or cleared elsewhere is recognizably stale — skipped by
+  /// the invalidation walk and dropped by compaction instead of
+  /// accumulating forever (the PR-8 stale-key fix).
+  struct TouchRef {
+    uint64_t key;
+    uint32_t gen;
+  };
+
+  /// One touch/bound list plus its compaction trigger. A list compacts
+  /// (drops stale references) when it reaches `compact_at`, which then
+  /// moves to twice the survivor count — so every O(n) sweep is paid
+  /// for by at least n/2 preceding appends, amortized O(1).
+  struct TouchList {
+    std::vector<TouchRef> refs;
+    uint32_t compact_at = kTouchCompactMin;
   };
 
   /// |C_k| of the maintained graph (anchors excluded by construction:
   /// anchors are tracked outside the k-core).
   uint32_t KCoreSize() const;
 
-  /// Registers `key` as dependent on every vertex of the given region
-  /// spans (a query's anchors + forward-pass pops).
-  void RecordTouch(uint64_t key, std::span<const VertexId> region_a,
+  /// Registers (key, gen) as dependent on every vertex of the given
+  /// region spans (a query's anchors + forward-pass pops).
+  void RecordTouch(uint64_t key, uint32_t gen,
+                   std::span<const VertexId> region_a,
                    std::span<const VertexId> region_b);
+
+  /// Appends to a touch/bound list, compacting stale references when
+  /// the list hits its trigger.
+  void PushTouch(TouchList& list, TouchRef ref);
+  /// Drops references whose memo entries are gone or superseded.
+  void CompactTouchList(TouchList& list);
+  /// Empties a list (references only — entries stay) and resets its
+  /// trigger; keeps touch_total_ in step.
+  void ClearTouchList(TouchList& list);
 
   /// Kills every memo entry whose region contains v.
   void InvalidateTouched(VertexId v);
@@ -210,34 +239,33 @@ class IncAvtTracker : public AvtTracker {
   std::vector<VertexId> pool_;
 
   // --- lazy-mode state ---------------------------------------------
-  /// Memo key space:
-  ///   (slot << 32) | v      — F(trial) per swap/extend slot, exact
-  ///                           (full query) or certified bound (marginal
-  ///                           probe of the slot's base cascade);
-  ///   kBaseKeyBase | slot   — the slot's base cascade (S − u_slot, or S
-  ///                           for extend slots);
-  ///   kIncumbentKey         — F(S) itself.
+  /// Cross-snapshot trial memo behind the MemoPolicy abstraction (key
+  /// space and retention semantics documented in core/memo_store.h).
   /// Cleared whenever anchors_ changes (a new base invalidates every
   /// trial); churn kills individual entries via touch_index_, and a dead
-  /// base drags its dependent bounds along (slot_bound_keys_). Flat
-  /// open-addressing storage (util/flat_map.h): commits clear in O(1)
-  /// via an epoch bump and the find/insert/erase churn of the per-delta
-  /// loop runs rehash- and allocation-free at the reserved capacity.
-  FlatKeyMap<TrialMemo> memo_;
-  /// Inverted dependency index: touch_index_[v] lists the memo keys
+  /// base drags its dependent bounds along (slot_bound_keys_). Policies
+  /// may additionally evict entries (LRU budget, top-value-only) — the
+  /// generation stamps keep those evictions and this tracker's
+  /// invalidation bookkeeping consistent with each other.
+  TrialMemoStore memo_;
+  /// Per-transition deltas for AvtSnapshotResult's memo counters.
+  TrialMemoStore::Stats last_memo_stats_;
+  /// Inverted dependency index: touch_index_[v] lists the memo entries
   /// whose evaluation read v's state. ProcessDelta erases exactly those
-  /// keys for each impacted vertex and its one-hop neighborhood; keys of
-  /// already-dead entries are erased as no-ops. touch_total_ triggers a
-  /// periodic full reset so dead references cannot accumulate without
-  /// bound.
-  std::vector<std::vector<uint64_t>> touch_index_;
+  /// entries for each impacted vertex and its one-hop neighborhood;
+  /// stale references are skipped via their generation stamp and
+  /// dropped by per-list compaction. touch_total_ (references currently
+  /// held across ALL lists) still triggers a periodic full reset as the
+  /// global backstop.
+  std::vector<TouchList> touch_index_;
   size_t touch_total_ = 0;
-  /// slot_bound_keys_[slot] — memo keys of bounds probed against the
+  /// slot_bound_keys_[slot] — references to bounds probed against the
   /// slot's current base cascade; erased together with the base.
-  std::vector<std::vector<uint64_t>> slot_bound_keys_;
+  std::vector<TouchList> slot_bound_keys_;
 
-  static constexpr uint64_t kIncumbentKey = ~uint64_t{0};
-  static constexpr uint64_t kBaseKeyBase = uint64_t{1} << 62;
+  static constexpr uint64_t kIncumbentKey = TrialMemoStore::kIncumbentKey;
+  static constexpr uint64_t kBaseKeyBase = TrialMemoStore::kBaseKeyBase;
+  static constexpr uint32_t kTouchCompactMin = 64;
 };
 
 }  // namespace avt

@@ -1,0 +1,173 @@
+#include "core/memo_store.h"
+
+namespace avt {
+
+void TrialMemoStore::Configure(MemoPolicy policy, size_t budget_bytes,
+                               size_t num_slots) {
+  policy_ = policy;
+  map_ = FlatKeyMap<Stored>();
+  top_.assign(policy == MemoPolicy::kTopValueOnly ? num_slots : 0, SlotTop{});
+  lru_head_ = kNullKey;
+  lru_tail_ = kNullKey;
+  max_live_ = 0;
+  gen_ = 0;
+  stats_ = Stats{};
+  if (policy == MemoPolicy::kNone) return;
+  if (policy == MemoPolicy::kLru) {
+    const size_t budget =
+        budget_bytes != 0 ? budget_bytes : kDefaultLruBudgetBytes;
+    // Largest power-of-two slot capacity whose array fits the budget,
+    // floored at the map's minimum footprint (~64 slots): a budget
+    // below that floor is honored as closely as the structure allows.
+    size_t cap = FlatKeyMap<Stored>::min_capacity();
+    while (cap * 2 * FlatKeyMap<Stored>::slot_bytes() <= budget) cap *= 2;
+    map_.SetMaxCapacity(cap);
+    // Evict down to 5/8 of the cap before fresh inserts: live load then
+    // never reaches the 3/4 growth trigger, so the capped table always
+    // has tombstone slack to compact in place.
+    max_live_ = cap * 5 / 8;
+  }
+  // Size past the typical working set so the per-delta loop starts
+  // rehash-free (Reserve clamps to the LRU capacity cap).
+  map_.Reserve(4096);
+}
+
+bool TrialMemoStore::Lookup(uint64_t key, Entry* out) {
+  if (!enabled()) return false;
+  Stored* stored = map_.Find(key);
+  if (stored == nullptr) return false;
+  if (policy_ == MemoPolicy::kLru) LruTouch(key, stored);
+  out->value = stored->value;
+  out->exact = stored->exact != 0;
+  return true;
+}
+
+bool TrialMemoStore::ContainsLive(uint64_t key) {
+  if (!enabled()) return false;
+  Stored* stored = map_.Find(key);
+  if (stored == nullptr) return false;
+  if (policy_ == MemoPolicy::kLru) LruTouch(key, stored);
+  return true;
+}
+
+bool TrialMemoStore::IsLive(uint64_t key, uint32_t gen) const {
+  const Stored* stored = map_.Find(key);
+  return stored != nullptr && stored->gen == gen;
+}
+
+uint32_t TrialMemoStore::Record(uint64_t key, Entry entry) {
+  if (!enabled()) return kDroppedGen;
+  AVT_DCHECK(key != kNullKey);
+  const uint32_t gen = NextGen();  // may flush the cache on stamp wrap
+  if (policy_ == MemoPolicy::kTopValueOnly && IsSlotKey(key)) {
+    // One (slot, candidate) entry per slot: a strictly-worse value is
+    // declined, a better-or-equal one displaces the reigning top.
+    const uint64_t slot = key >> 32;
+    AVT_DCHECK(slot < top_.size());
+    SlotTop& top = top_[slot];
+    if (top.valid && top.key != key) {
+      if (entry.value < top.value) return kDroppedGen;
+      Stored* old = map_.Find(top.key);
+      if (old != nullptr) {
+        EraseInternal(top.key, old);
+        ++stats_.evictions;
+      }
+    }
+    top.key = key;
+    top.value = entry.value;
+    top.valid = true;
+  }
+  Stored* existing = map_.Find(key);
+  if (existing != nullptr) {
+    existing->value = entry.value;
+    existing->exact = entry.exact ? 1 : 0;
+    existing->gen = gen;
+    if (policy_ == MemoPolicy::kLru) LruTouch(key, existing);
+    return gen;
+  }
+  if (policy_ == MemoPolicy::kLru) EvictForInsert();
+  map_.Put(key, Stored{entry.value, gen, kNullKey, kNullKey,
+                       static_cast<uint8_t>(entry.exact ? 1 : 0)});
+  if (policy_ == MemoPolicy::kLru) LruPushFront(key);
+  if (map_.size() > stats_.peak_entries) stats_.peak_entries = map_.size();
+  return gen;
+}
+
+void TrialMemoStore::EraseRef(uint64_t key, uint32_t gen) {
+  Stored* stored = map_.Find(key);
+  if (stored == nullptr || stored->gen != gen) return;  // stale reference
+  EraseInternal(key, stored);
+}
+
+void TrialMemoStore::Clear() {
+  map_.Clear();
+  lru_head_ = kNullKey;
+  lru_tail_ = kNullKey;
+  for (SlotTop& top : top_) top = SlotTop{};
+}
+
+uint32_t TrialMemoStore::NextGen() {
+  if (++gen_ == 0) {
+    // Stamp wrap (once per 2^32 records): outstanding (key, gen)
+    // references could alias fresh stamps, so flush the cache. Stale
+    // references that survive the flush can at worst spuriously
+    // invalidate a recomputed entry — a recompute, never a wrong value.
+    Clear();
+    gen_ = 1;
+  }
+  return gen_;
+}
+
+void TrialMemoStore::LruUnlink(Stored* stored) {
+  if (stored->lru_prev != kNullKey) {
+    map_.Find(stored->lru_prev)->lru_next = stored->lru_next;
+  } else {
+    lru_head_ = stored->lru_next;
+  }
+  if (stored->lru_next != kNullKey) {
+    map_.Find(stored->lru_next)->lru_prev = stored->lru_prev;
+  } else {
+    lru_tail_ = stored->lru_prev;
+  }
+}
+
+void TrialMemoStore::LruPushFront(uint64_t key) {
+  Stored* stored = map_.Find(key);
+  stored->lru_prev = kNullKey;
+  stored->lru_next = lru_head_;
+  if (lru_head_ != kNullKey) map_.Find(lru_head_)->lru_prev = key;
+  lru_head_ = key;
+  if (lru_tail_ == kNullKey) lru_tail_ = key;
+}
+
+void TrialMemoStore::LruTouch(uint64_t key, Stored* stored) {
+  if (lru_head_ == key) return;
+  LruUnlink(stored);
+  stored->lru_prev = kNullKey;
+  stored->lru_next = lru_head_;
+  map_.Find(lru_head_)->lru_prev = key;
+  lru_head_ = key;
+}
+
+void TrialMemoStore::EvictForInsert() {
+  if (max_live_ == 0) return;
+  while (map_.size() >= max_live_ && lru_tail_ != kNullKey) {
+    const uint64_t victim = lru_tail_;
+    Stored* stored = map_.Find(victim);
+    AVT_DCHECK(stored != nullptr);
+    if (stored == nullptr) break;
+    EraseInternal(victim, stored);
+    ++stats_.evictions;
+  }
+}
+
+void TrialMemoStore::EraseInternal(uint64_t key, Stored* stored) {
+  if (policy_ == MemoPolicy::kLru) LruUnlink(stored);
+  if (policy_ == MemoPolicy::kTopValueOnly && IsSlotKey(key)) {
+    SlotTop& top = top_[key >> 32];
+    if (top.valid && top.key == key) top.valid = false;
+  }
+  map_.Erase(key);
+}
+
+}  // namespace avt

@@ -1,0 +1,172 @@
+// Policy-bounded store for IncAVT's cross-snapshot trial memo.
+//
+// The tracker's memo (core/inc_avt.h) is a cache of trial evaluations
+// keyed by (slot, candidate) / per-slot base / incumbent. PR 2 grew it
+// without bound — a production bug for long-lived streams (ROADMAP open
+// item 4). Ingress (VLDB 2021) showed memoization policy should be a
+// first-class pluggable axis with measured memory/hit-rate tradeoffs;
+// this store is that axis for IncAVT: the four MemoPolicy retention
+// strategies (core/avt.h) behind one interface, with byte accounting
+// and hit/miss/eviction counters surfaced per run.
+//
+// Correctness: every entry is a cache of an exact evaluation (or a
+// certified bound whose validity the tracker re-gates against its base
+// key), so DROPPING an entry can only cost recomputation — never change
+// anchors. The dangerous direction is the opposite one, failing to drop
+// a stale entry; the tracker owns that via its dependency-region
+// invalidation, and this store supports it with generation stamps: each
+// Record returns a generation, the tracker files (key, gen) references
+// in its touch/bound lists, and EraseRef only kills the entry if the
+// reference is still current. A reference whose entry was meanwhile
+// overwritten, evicted, or cleared is stale and skipped — which is what
+// keeps eviction (this store's doing) and invalidation (the tracker's)
+// from corrupting each other's bookkeeping.
+//
+// LRU lives inside the table: the stored value embeds prev/next KEYS
+// (slot pointers would dangle across rehash), threading a recency list
+// through the map. The byte budget converts to a hard slot-capacity cap
+// (FlatKeyMap::SetMaxCapacity); the store evicts from the cold end
+// before any insert that would push live entries past 5/8 of the cap,
+// leaving slack so the capped table compacts tombstones in place
+// instead of degenerating.
+
+#ifndef AVT_CORE_MEMO_STORE_H_
+#define AVT_CORE_MEMO_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/avt.h"
+#include "util/flat_map.h"
+
+namespace avt {
+
+/// Policy-aware memo table. Not thread-safe (the tracker's serial loop
+/// owns it; parallel slot trials never record cross-snapshot entries).
+class TrialMemoStore {
+ public:
+  /// One memoized trial evaluation: exact follower count (full query)
+  /// or a certified upper bound (phase-1 probe).
+  struct Entry {
+    uint32_t value;
+    bool exact;
+  };
+
+  /// Cumulative counters since Configure. Lookups are counted by the
+  /// tracker via CountLookup so a base-invalidated bound registers as a
+  /// miss, not a hit.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;  // policy-driven drops (LRU + top displaced)
+    size_t peak_entries = 0;
+  };
+
+  /// Memo key space (shared with the tracker):
+  ///   (slot << 32) | v      — F(trial) per swap/extend slot;
+  ///   kBaseKeyBase | slot   — the slot's base cascade;
+  ///   kIncumbentKey         — F(S) itself.
+  static constexpr uint64_t kIncumbentKey = ~uint64_t{0};
+  static constexpr uint64_t kBaseKeyBase = uint64_t{1} << 62;
+
+  /// Record() return when the policy declined the entry: the caller
+  /// must not file any (key, gen) reference for it.
+  static constexpr uint32_t kDroppedGen = 0;
+
+  /// kLru with memo_budget_bytes == 0 falls back to this budget.
+  static constexpr size_t kDefaultLruBudgetBytes = size_t{1} << 20;
+
+  /// Resets the store for a fresh run. `num_slots` sizes the
+  /// top-value-only registry (the tracker's slot id range, 2l + 2).
+  /// kNone keeps the table at its minimum footprint and reports zero
+  /// bytes; the other policies pre-reserve the typical working set.
+  void Configure(MemoPolicy policy, size_t budget_bytes, size_t num_slots);
+
+  bool enabled() const { return policy_ != MemoPolicy::kNone; }
+  MemoPolicy policy() const { return policy_; }
+
+  /// Fetches `key` into `*out`; returns presence. Touches LRU recency
+  /// but does NOT count hit/miss — the tracker calls CountLookup with
+  /// the post-validity-gate verdict.
+  bool Lookup(uint64_t key, Entry* out);
+
+  /// Presence probe for base-validity gates. Touches LRU recency (a
+  /// base consulted by a surviving bound must stay warm), no counters.
+  bool ContainsLive(uint64_t key);
+
+  /// Whether (key, gen) still names the live entry — the staleness test
+  /// for filed references (touch-list compaction).
+  bool IsLive(uint64_t key, uint32_t gen) const;
+
+  void CountLookup(bool hit) { hit ? ++stats_.hits : ++stats_.misses; }
+
+  /// Inserts or overwrites `key` under the policy; may evict colder
+  /// entries first (kLru) or displace the slot's reigning top entry
+  /// (kTopValueOnly). Returns the entry's generation stamp, or
+  /// kDroppedGen when the policy declined it.
+  uint32_t Record(uint64_t key, Entry entry);
+
+  /// Erases `key` iff (key, gen) is still the live pairing; stale
+  /// references no-op (their entry was already superseded elsewhere).
+  void EraseRef(uint64_t key, uint32_t gen);
+
+  /// Commit-time wipe: O(1) epoch clear plus LRU / top-registry reset.
+  /// Counters and the capacity high-water mark survive (they describe
+  /// the run, not the current anchor base).
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+  /// Slot-array footprint; 0 when the policy is kNone. Monotone
+  /// non-decreasing between Configure calls.
+  size_t bytes() const { return enabled() ? map_.capacity_bytes() : 0; }
+  size_t table_capacity() const { return map_.capacity(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Inline value: the entry plus its generation and the embedded LRU
+  /// links (keys, not pointers — stable across rehash).
+  struct Stored {
+    uint32_t value;
+    uint32_t gen;
+    uint64_t lru_prev;
+    uint64_t lru_next;
+    uint8_t exact;
+  };
+
+  /// kTopValueOnly registry: the reigning best entry per slot.
+  struct SlotTop {
+    uint64_t key = 0;
+    uint32_t value = 0;
+    bool valid = false;
+  };
+
+  /// LRU link sentinel. Never a legal memo key: slot keys keep their
+  /// high bits small, base keys carry only bit 62, and the incumbent is
+  /// all-ones.
+  static constexpr uint64_t kNullKey = ~uint64_t{0} - 1;
+
+  static bool IsSlotKey(uint64_t key) { return key < kBaseKeyBase; }
+
+  uint32_t NextGen();
+  void LruUnlink(Stored* stored);
+  void LruPushFront(uint64_t key);
+  void LruTouch(uint64_t key, Stored* stored);
+  /// Evicts cold entries until a fresh insert keeps live entries at or
+  /// under the budget-derived threshold.
+  void EvictForInsert();
+  /// Unconditional erase + bookkeeping (LRU unlink, top invalidation).
+  void EraseInternal(uint64_t key, Stored* stored);
+
+  MemoPolicy policy_ = MemoPolicy::kMemoizeAll;
+  FlatKeyMap<Stored> map_;
+  std::vector<SlotTop> top_;
+  uint64_t lru_head_ = kNullKey;
+  uint64_t lru_tail_ = kNullKey;
+  size_t max_live_ = 0;  // kLru eviction threshold; 0 = unbounded
+  uint32_t gen_ = 0;
+  Stats stats_;
+};
+
+}  // namespace avt
+
+#endif  // AVT_CORE_MEMO_STORE_H_

@@ -8,9 +8,11 @@
 // stores entries inline in one slot array (linear probing, power-of-two
 // capacity), erases with tombstones, and clears by bumping an epoch
 // stamp — O(1), no destruction, no free-list churn. Capacity only ever
-// grows (Reserve or load-factor doubling), so after a short warm-up the
-// steady-state loop runs allocation- and rehash-free at its high-water
-// mark.
+// grows (Reserve, or load-factor doubling when LIVE entries need the
+// room — a tombstone-dominated table compacts in place instead of
+// doubling), so after a short warm-up the steady-state loop runs
+// allocation-free at its high-water mark. SetMaxCapacity pins a hard
+// byte ceiling for budget-bounded callers (core/memo_store.h).
 //
 // Values must be trivially copyable PODs (they are memcpy'd on rehash
 // and abandoned by Clear without destruction). Any uint64_t is a valid
@@ -41,14 +43,37 @@ class FlatKeyMap {
   }
 
   /// Grows (never shrinks) so `expected_entries` live entries fit
-  /// without a rehash. Existing entries are preserved.
+  /// without a rehash. Existing entries are preserved. Clamped to the
+  /// capacity cap when one is set.
   void Reserve(size_t expected_entries) {
-    const size_t want = CapacityFor(expected_entries);
+    size_t want = CapacityFor(expected_entries);
+    if (max_capacity_ != 0 && want > max_capacity_) want = max_capacity_;
     if (want > slots_.size()) Rehash(want);
   }
 
+  /// Hard ceiling on the slot-array capacity (0 = unlimited). Once the
+  /// table reaches the cap it compacts in place instead of doubling;
+  /// the caller must keep live entries strictly under 3/4 of the cap
+  /// (evicting ahead of inserts), or Put aborts. Must be a power of two
+  /// >= both kMinCapacity and the current capacity — set it before the
+  /// map grows, not after.
+  void SetMaxCapacity(size_t max_slots) {
+    AVT_CHECK((max_slots & (max_slots - 1)) == 0);
+    AVT_CHECK(max_slots == 0 ||
+              (max_slots >= kMinCapacity && max_slots >= slots_.size()));
+    max_capacity_ = max_slots;
+  }
+  size_t max_capacity() const { return max_capacity_; }
+
   size_t size() const { return size_; }
   size_t capacity() const { return slots_.size(); }
+  /// Occupied + tombstoned slots this epoch (the load Put grows on).
+  size_t used() const { return used_; }
+  /// Bytes of the slot array — the map's whole steady-state footprint.
+  size_t capacity_bytes() const { return slots_.size() * sizeof(Slot); }
+  /// Per-slot cost, for sizing a byte budget in slots.
+  static constexpr size_t slot_bytes() { return sizeof(Slot); }
+  static constexpr size_t min_capacity() { return kMinCapacity; }
   bool empty() const { return size_ == 0; }
 
   /// O(1) logical clear: every slot's stamp goes stale at once.
@@ -89,7 +114,7 @@ class FlatKeyMap {
         dest.state = kOccupied;
         ++size_;
         if (fresh && ++used_ * 4 >= slots_.size() * 3) {
-          Rehash(slots_.size() * 2);
+          GrowOrCompact();
         }
         return;
       }
@@ -128,6 +153,29 @@ class FlatKeyMap {
     size_t capacity = kMinCapacity;
     while (entries * 4 >= capacity * 3) capacity *= 2;
     return capacity;
+  }
+
+  /// Put crossed 3/4 total load (live + tombstones). Doubling is only
+  /// the right answer when LIVE entries need the room; an erase-heavy
+  /// workload reaches the trigger with a tombstone-dominated table, and
+  /// doubling there grows capacity without bound while size_ stays
+  /// small. When live load is below 3/8 (half the trigger), rehash in
+  /// place at the same capacity — it squashes every tombstone, and the
+  /// next trigger needs >= 3/8 * capacity fresh inserts, so the O(cap)
+  /// compactions stay amortized O(1) per insert. A capacity cap also
+  /// forces in-place compaction; there the caller guarantees live load
+  /// stays under 3/4 (checked), since no amount of compaction can fit
+  /// more live entries than slots.
+  void GrowOrCompact() {
+    const size_t capacity = slots_.size();
+    const bool tombstone_heavy = size_ * 8 <= capacity * 3;
+    const bool capped = max_capacity_ != 0 && capacity * 2 > max_capacity_;
+    if (capped) {
+      AVT_CHECK_MSG(size_ * 4 < capacity * 3,
+                    "FlatKeyMap: live entries exceed the capacity cap; "
+                    "the caller must evict before inserting");
+    }
+    Rehash(tombstone_heavy || capped ? capacity : capacity * 2);
   }
 
   /// SplitMix64 finalizer: full avalanche so the structured memo keys
@@ -172,8 +220,9 @@ class FlatKeyMap {
 
   std::vector<Slot> slots_;
   uint32_t epoch_ = 1;
-  size_t size_ = 0;  // live entries
-  size_t used_ = 0;  // occupied + tombstoned slots this epoch
+  size_t size_ = 0;          // live entries
+  size_t used_ = 0;          // occupied + tombstoned slots this epoch
+  size_t max_capacity_ = 0;  // capacity ceiling in slots; 0 = unlimited
 };
 
 }  // namespace avt

@@ -527,6 +527,69 @@ TEST(DifferentialFuzz, BatchedReplayMatchesPerDeltaBoundaries) {
   }
 }
 
+// PR-8 memo-policy matrix: every retention policy (memoize-all /
+// top-value-only / LRU under a tight byte budget / none) must produce
+// BIT-IDENTICAL anchors and follower counts, lazy and eager, at every
+// transition of a random churn schedule. Eviction may only ever cost
+// recomputation — a policy that changes a result has broken the
+// certified-bound contract (a stale or missing entry must degrade to a
+// fresh query, never to a wrong settle). Runs IncAvtMode::kMaintainedFull
+// so the memo sees real slot-candidate pressure (kRestricted memoizes
+// no slot entries), with gentle per-transition churn so entries survive
+// long enough for retention to matter.
+TEST(DifferentialFuzz, MemoPolicyMatrixIsBitIdentical) {
+  const size_t transitions = 2 * TransitionsPerConfig();
+  Rng rng(811);
+  Graph g0 = ChungLuPowerLaw(200, 6.0, 2.2, 50, rng);
+  Graph working = g0;
+  std::vector<EdgeDelta> schedule;
+  schedule.reserve(transitions);
+  for (size_t t = 0; t < transitions; ++t) {
+    schedule.push_back(RandomDelta(working, 4, rng));
+  }
+
+  const uint32_t k = 3, l = 4;
+  struct PolicyConfig {
+    MemoPolicy policy;
+    size_t budget;
+  };
+  const PolicyConfig policies[] = {
+      {MemoPolicy::kMemoizeAll, 0},
+      {MemoPolicy::kTopValueOnly, 0},
+      {MemoPolicy::kLru, 4 * 1024},  // tight: forces real eviction
+      {MemoPolicy::kNone, 0},
+  };
+  auto run = [&](MemoPolicy policy, size_t budget, bool lazy) {
+    IncAvtOptions options;
+    options.lazy = lazy;
+    options.memo_policy = policy;
+    options.memo_budget_bytes = budget;
+    IncAvtTracker tracker(k, l, IncAvtMode::kMaintainedFull, options);
+    std::vector<std::pair<std::vector<VertexId>, uint32_t>> track;
+    AvtSnapshotResult snap = tracker.ProcessFirst(g0);
+    track.emplace_back(snap.anchors, snap.num_followers);
+    for (const EdgeDelta& delta : schedule) {
+      snap = tracker.ProcessDelta(delta);
+      track.emplace_back(snap.anchors, snap.num_followers);
+    }
+    return track;
+  };
+
+  const auto baseline = run(MemoPolicy::kMemoizeAll, 0, /*lazy=*/true);
+  for (const PolicyConfig& config : policies) {
+    for (bool lazy : {true, false}) {
+      if (config.policy == MemoPolicy::kMemoizeAll && lazy) continue;
+      const auto track = run(config.policy, config.budget, lazy);
+      ASSERT_EQ(track.size(), baseline.size());
+      for (size_t t = 0; t < track.size(); ++t) {
+        ASSERT_EQ(track[t], baseline[t])
+            << "policy=" << MemoPolicyName(config.policy)
+            << " lazy=" << lazy << " t=" << t;
+      }
+    }
+  }
+}
+
 TEST(DifferentialFuzz, SurvivesEmptyAndDegenerateDeltas) {
   // Edge cases the random loop rarely hits: empty deltas, a delta whose
   // removals disconnect the k-core, and re-inserting what was removed.

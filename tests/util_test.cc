@@ -253,6 +253,87 @@ TEST(FlatKeyMap, MatchesReferenceMapUnderChurn) {
   }
 }
 
+// The PR-8 tombstone-growth fix: an erase-heavy workload (the
+// incremental tracker's invalidation walk is exactly this — Put/Erase
+// churn with a small live set) used to double capacity every time
+// tombstones pushed total load past 3/4, growing the table without
+// bound while size_ stayed tiny. With the fix the table compacts in
+// place instead, so capacity stays within a small constant of what the
+// live entries need.
+TEST(FlatKeyMap, EraseHeavyChurnKeepsCapacityBounded) {
+  FlatKeyMap<uint64_t> map;
+  constexpr size_t kLive = 1000;
+  // Working set: kLive keys resident at all times; each cycle replaces
+  // one key with a fresh one (Put + Erase), 100k cycles.
+  for (uint64_t key = 0; key < kLive; ++key) map.Put(key, key);
+  const size_t capacity_for_live = map.capacity();
+  size_t max_capacity = map.capacity();
+  for (uint64_t cycle = 0; cycle < 100000; ++cycle) {
+    const uint64_t fresh = kLive + cycle;
+    map.Put(fresh, fresh);
+    EXPECT_TRUE(map.Erase(cycle));
+    max_capacity = std::max(max_capacity, map.capacity());
+  }
+  EXPECT_EQ(map.size(), kLive);
+  // The unfixed map reached ~128k slots here (doubling on every
+  // tombstone-filled trigger); the fixed one stays within 4x of the
+  // capacity the live set itself warrants.
+  EXPECT_LE(max_capacity, 4 * capacity_for_live);
+  for (uint64_t key = 100000; key < 100000 + kLive; ++key) {
+    ASSERT_NE(map.Find(key), nullptr) << key;
+  }
+}
+
+TEST(FlatKeyMap, CompactionPreservesEntriesAndStillDoublesWhenLive) {
+  FlatKeyMap<uint64_t> map;
+  // Fill to just under the trigger, erase most, then churn past it:
+  // the trigger must compact (same capacity), not double.
+  for (uint64_t key = 0; key < 40; ++key) map.Put(key, key);
+  const size_t before = map.capacity();
+  for (uint64_t key = 0; key < 32; ++key) map.Erase(key);
+  for (uint64_t key = 100; key < 110; ++key) map.Put(key, key);
+  EXPECT_EQ(map.capacity(), before);
+  for (uint64_t key = 32; key < 40; ++key) {
+    ASSERT_NE(map.Find(key), nullptr);
+    EXPECT_EQ(*map.Find(key), key);
+  }
+  // Genuine live growth still doubles.
+  for (uint64_t key = 1000; key < 1100; ++key) map.Put(key, key);
+  EXPECT_GT(map.capacity(), before);
+  EXPECT_EQ(map.size(), 8 + 10 + 100);
+}
+
+TEST(FlatKeyMap, CapacityCapCompactsInsteadOfGrowing) {
+  FlatKeyMap<uint64_t> map;
+  map.SetMaxCapacity(64);
+  EXPECT_EQ(map.max_capacity(), 64u);
+  // Keep live load low (<= 16 of 64) while churning far past the point
+  // the uncapped map would have doubled: capacity must pin at the cap.
+  for (uint64_t cycle = 0; cycle < 5000; ++cycle) {
+    map.Put(cycle, cycle);
+    if (cycle >= 16) {
+      EXPECT_TRUE(map.Erase(cycle - 16));
+    }
+    ASSERT_EQ(map.capacity(), 64u) << "cycle " << cycle;
+  }
+  EXPECT_EQ(map.size(), 16u);
+  EXPECT_EQ(map.capacity_bytes(), 64 * FlatKeyMap<uint64_t>::slot_bytes());
+}
+
+TEST(FlatKeyMap, AccountingReportsUsedAndBytes) {
+  FlatKeyMap<uint32_t> map;
+  EXPECT_EQ(map.capacity_bytes(),
+            map.capacity() * FlatKeyMap<uint32_t>::slot_bytes());
+  map.Put(1, 10);
+  map.Put(2, 20);
+  EXPECT_EQ(map.used(), 2u);
+  map.Erase(1);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.used(), 2u);  // the tombstone still occupies its slot
+  map.Clear();
+  EXPECT_EQ(map.used(), 0u);
+}
+
 TEST(Flags, ParsesAllForms) {
   const char* argv[] = {"prog",     "--alpha=3", "--beta", "7",
                         "--gamma",  "--delta=x", "pos1"};
