@@ -86,6 +86,16 @@
 // put/erase soak asserts capacity stays within 4x of the live set's
 // own capacity across 100k cycles (the tombstone-growth fix itself).
 //
+// PR-9 gate — self-healing audit overhead: the streamed IncAVT
+// workload (--audit-transitions churn transitions) with the sentinel
+// auditor off / every 16 transactions / every transaction, timed
+// end-to-end around Drain (the audit runs in the engine's pre-commit
+// hook) and emitted to --selfheal-out. The audit is a read-only
+// cross-check, so all three anchor tracks and follower counts are
+// asserted bit-identical, zero audits may fail on the clean stream,
+// and the production cadence (every 16) must stay within 1.15x of the
+// unaudited wall time.
+//
 // Outputs are asserted identical between all strategies, thread counts,
 // and scan backings before any number is written: the gate measures a
 // speedup, never a quality trade. The JSON is intentionally flat so
@@ -100,6 +110,8 @@
 //                     [--durability-out=BENCH_PR7.json]
 //                     [--recovery-deltas=50000]
 //                     [--memo-out=BENCH_PR8.json] [--memo-transitions=800]
+//                     [--selfheal-out=BENCH_PR9.json]
+//                     [--audit-transitions=96]
 //
 // --repeats re-runs each timed section and keeps the fastest wall time
 // (work counters are deterministic and identical across repeats).
@@ -295,6 +307,49 @@ double HitRate(const MemoRun& run) {
   return lookups == 0 ? 0.0
                       : static_cast<double>(run.hits) /
                             static_cast<double>(lookups);
+}
+
+// One audited engine run for the PR-9 gate: wall time around Drain
+// (the sentinel audit runs inside the engine's pre-commit hook, so —
+// like the WAL cost in gate 7 — it is invisible to the tracker's own
+// per-snapshot timer), plus the per-snapshot anchors AND follower
+// counts so the audit arms can be asserted output-identical.
+struct AuditRun {
+  double millis = 1e300;
+  std::vector<std::vector<VertexId>> track;
+  std::vector<uint64_t> followers;
+  uint64_t audits_run = 0;
+  uint64_t audits_failed = 0;
+};
+
+AuditRun MeasureAuditedDrain(const SnapshotSequence& sequence, uint32_t k,
+                             uint32_t l, int repeats, size_t audit_every) {
+  AuditRun run;
+  for (int r = 0; r < repeats; ++r) {
+    EngineOptions options;
+    options.audit.every = audit_every;
+    AvtEngine engine(std::make_unique<IncAvtTracker>(k, l),
+                     std::make_unique<SequenceSource>(&sequence), options);
+    std::vector<std::vector<VertexId>> track;
+    std::vector<uint64_t> followers;
+    engine.SetObserver([&](const AvtSnapshotResult& snap) {
+      track.push_back(snap.anchors);
+      followers.push_back(snap.num_followers);
+    });
+    Timer timer;
+    Status status = engine.Drain();
+    const double millis = timer.ElapsedMillis();
+    AVT_CHECK_MSG(status.ok(), status.ToString().c_str());
+    AVT_CHECK_MSG(engine.health().healthy(),
+                  "perf gate violated: an audited run on a clean stream "
+                  "left the healthy state");
+    run.millis = std::min(run.millis, millis);
+    run.track = std::move(track);
+    run.followers = std::move(followers);
+    run.audits_run = engine.auditor().audits_run();
+    run.audits_failed = engine.auditor().audits_failed();
+  }
+  return run;
 }
 
 std::vector<uint32_t> ParseThreadList(const std::string& spec) {
@@ -1086,6 +1141,76 @@ int main(int argc, char** argv) {
               static_cast<double>(soak_max_capacity) /
                   static_cast<double>(soak_capacity_for_live));
 
+  // --- Gate 9 (PR 9): online integrity audit overhead ----------------
+  // The streamed IncAVT workload with the sentinel auditor off / every
+  // 16 transactions / every transaction. The audit (sampled coreness
+  // probe + full K-order invariant sweep over one shared DecomposeCores)
+  // runs pre-commit inside the engine, so the arms are timed around
+  // Drain like gate 7. An audit is a read-only cross-check: all three
+  // anchor tracks AND follower counts must be bit-identical, no audit
+  // may fail on a clean stream, and the production cadence (every 16)
+  // must cost at most 15% wall overhead.
+  const std::string selfheal_out =
+      flags.GetString("selfheal-out", "BENCH_PR9.json");
+  const size_t audit_transitions =
+      static_cast<size_t>(flags.GetInt("audit-transitions", 96));
+  AVT_CHECK_MSG(audit_transitions >= 16,
+                "--audit-transitions must be >= 16 so the every-16 arm "
+                "audits at least once");
+  const uint32_t audit_k = 3, audit_l = 4, audit_n = 2500;
+  const uint32_t audit_churn_min = 260, audit_churn_max = 300;
+  Rng audit_rng(seed + 17);
+  Graph audit_g = ChungLuPowerLaw(audit_n, 7.0, 2.1, 120, audit_rng);
+  ChurnOptions audit_churn;
+  audit_churn.num_snapshots = audit_transitions + 1;
+  audit_churn.min_churn = audit_churn_min;
+  audit_churn.max_churn = audit_churn_max;
+  SnapshotSequence audit_sequence =
+      MakeChurnSnapshots(audit_g, audit_churn, audit_rng);
+  const double audit_deltas = static_cast<double>(audit_transitions);
+
+  AuditRun audit_off =
+      MeasureAuditedDrain(audit_sequence, audit_k, audit_l, repeats, 0);
+  AuditRun audit_16 =
+      MeasureAuditedDrain(audit_sequence, audit_k, audit_l, repeats, 16);
+  AuditRun audit_1 =
+      MeasureAuditedDrain(audit_sequence, audit_k, audit_l, repeats, 1);
+  AVT_CHECK_MSG(audit_16.track == audit_off.track &&
+                    audit_1.track == audit_off.track,
+                "perf gate violated: enabling audits changed the anchor "
+                "track (audits must be read-only)");
+  AVT_CHECK_MSG(audit_16.followers == audit_off.followers &&
+                    audit_1.followers == audit_off.followers,
+                "perf gate violated: enabling audits changed follower "
+                "counts (audits must be read-only)");
+  AVT_CHECK_MSG(audit_off.audits_run == 0,
+                "perf gate violated: the audit-off arm ran audits");
+  AVT_CHECK_MSG(audit_16.audits_run == audit_transitions / 16,
+                "perf gate violated: the every-16 arm missed its audit "
+                "cadence");
+  AVT_CHECK_MSG(audit_1.audits_run == audit_transitions,
+                "perf gate violated: the every-1 arm missed its audit "
+                "cadence");
+  AVT_CHECK_MSG(audit_16.audits_failed == 0 && audit_1.audits_failed == 0,
+                "perf gate violated: an audit failed on a clean stream");
+  const double audit_16_overhead =
+      audit_off.millis > 0 ? audit_16.millis / audit_off.millis : 0.0;
+  const double audit_1_overhead =
+      audit_off.millis > 0 ? audit_1.millis / audit_off.millis : 0.0;
+  std::printf("audit    off: %8.3f ms/delta\n",
+              audit_off.millis / audit_deltas);
+  std::printf("audit  ev-16: %8.3f ms/delta  %.3fx (bound 1.15x)  %" PRIu64
+              " audits\n",
+              audit_16.millis / audit_deltas, audit_16_overhead,
+              audit_16.audits_run);
+  std::printf("audit   ev-1: %8.3f ms/delta  %.3fx               %" PRIu64
+              " audits\n",
+              audit_1.millis / audit_deltas, audit_1_overhead,
+              audit_1.audits_run);
+  AVT_CHECK_MSG(audit_16_overhead <= 1.15,
+                "perf gate violated: the every-16 audit cadence cost more "
+                "than 15% wall overhead");
+
   // --- Emit JSON -----------------------------------------------------
   FILE* f = std::fopen(out.c_str(), "w");
   AVT_CHECK_MSG(f != nullptr, "cannot open bench output file");
@@ -1389,5 +1514,42 @@ int main(int argc, char** argv) {
   std::fprintf(mf, "}\n");
   std::fclose(mf);
   std::printf("wrote %s\n", memo_out.c_str());
+
+  // --- Emit BENCH_PR9.json (self-healing audit overhead) -------------
+  FILE* hf = std::fopen(selfheal_out.c_str(), "w");
+  AVT_CHECK_MSG(hf != nullptr, "cannot open self-heal output file");
+  std::fprintf(hf, "{\n");
+  std::fprintf(hf, "  \"bench\": \"perf_gate_audit_overhead\",\n");
+  std::fprintf(hf, "  \"pr\": 9,\n");
+  std::fprintf(
+      hf,
+      "  \"config\": {\"n\": %u, \"avg_degree\": 7.0, \"alpha\": 2.1, "
+      "\"k\": %u, \"l\": %u, \"transitions\": %zu, \"churn_min\": %u, "
+      "\"churn_max\": %u, \"audit_sample\": 16, \"seed\": %" PRIu64
+      ", \"repeats\": %d},\n",
+      audit_n, audit_k, audit_l, audit_transitions, audit_churn_min,
+      audit_churn_max, seed + 17, repeats);
+  std::fprintf(hf, "  \"audited_drain_wall\": {\n");
+  std::fprintf(hf,
+               "    \"audit_off\": {\"millis_per_delta\": %.3f, "
+               "\"audits\": 0},\n",
+               audit_off.millis / audit_deltas);
+  std::fprintf(hf,
+               "    \"audit_every_16\": {\"millis_per_delta\": %.3f, "
+               "\"audits\": %" PRIu64 ", \"overhead_ratio\": %.3f},\n",
+               audit_16.millis / audit_deltas, audit_16.audits_run,
+               audit_16_overhead);
+  std::fprintf(hf,
+               "    \"audit_every_1\": {\"millis_per_delta\": %.3f, "
+               "\"audits\": %" PRIu64 ", \"overhead_ratio\": %.3f},\n",
+               audit_1.millis / audit_deltas, audit_1.audits_run,
+               audit_1_overhead);
+  std::fprintf(hf, "    \"every_16_overhead_bound\": 1.15\n");
+  std::fprintf(hf, "  },\n");
+  std::fprintf(hf, "  \"audits_failed\": 0,\n");
+  std::fprintf(hf, "  \"identical_outputs\": true\n");
+  std::fprintf(hf, "}\n");
+  std::fclose(hf);
+  std::printf("wrote %s\n", selfheal_out.c_str());
   return 0;
 }

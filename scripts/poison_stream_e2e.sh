@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Self-healing end-to-end drill, the process-level companion to
+# tests/self_healing_test.cc — through the public CLI surface only:
+#
+#   leg 1 (poison quarantine): stream a generated workload with a
+#     seeded PoisonInjectingSource corrupting a fraction of the deltas
+#     in flight. The run must COMPLETE (exit 6, degraded), quarantine
+#     every injected poison, keep the final anchors bit-identical to a
+#     clean reference run of the same seed, and `avt_cli quarantine`
+#     must list exactly the quarantined records.
+#
+#   leg 2 (corruption drill): the same workload run durably with
+#     cadenced audits and --corrupt-state-after, which desyncs the
+#     tracker's index mid-run. The sentinel audit must catch it, the
+#     checkpoint+WAL rollback must heal it in-process (recoveries=1,
+#     exit 6), and the final anchors must again match the reference.
+#
+#   scripts/poison_stream_e2e.sh                   # defaults
+#   scripts/poison_stream_e2e.sh --seed=123        # workload seed
+#   scripts/poison_stream_e2e.sh --poison-rate=0.4 # heavier poisoning
+#   scripts/poison_stream_e2e.sh --artifacts=DIR   # where failures dump
+#
+# On failure the quarantine log (quarantine.avtq), the checkpoint dir,
+# and all run transcripts are copied into the artifacts dir and the
+# script exits 1 — CI uploads that directory so the poisoned state is
+# inspectable.
+#
+# Exit-code contract consumed here (tools/cli_commands.h): 0 ok,
+# 2 invalid argument, 3 not found, 4 corruption, 5 io error,
+# 6 completed but degraded.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed=41
+poison_rate=0.3
+artifacts="poison_stream_artifacts"
+for arg in "$@"; do
+  case "$arg" in
+    --seed=*) seed="${arg#--seed=}" ;;
+    --poison-rate=*) poison_rate="${arg#--poison-rate=}" ;;
+    --artifacts=*) artifacts="${arg#--artifacts=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+stream_flags=(stream --source=gen --n=20000 --t=24 --k=3 --l=5
+              --churn-min=60 --churn-max=120 "--seed=$seed")
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$jobs" --target avt_cli >/dev/null
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/avt_poison_e2e.XXXXXX")"
+qdir="$work/quarantine"
+ckpt="$work/checkpoints"
+trap 'rm -rf "$work"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  rm -rf "$artifacts"
+  mkdir -p "$artifacts"
+  [[ -d "$qdir" ]] && cp -r "$qdir" "$artifacts/quarantine"
+  [[ -d "$ckpt" ]] && cp -r "$ckpt" "$artifacts/checkpoints"
+  cp "$work"/*.out "$work"/*.err "$artifacts/" 2>/dev/null || true
+  echo "quarantine log + transcripts copied to $artifacts/" >&2
+  exit 1
+}
+
+# --- Reference: one clean, undecorated run ----------------------------
+./build/avt_cli "${stream_flags[@]}" >"$work/reference.out" \
+  2>"$work/reference.err" || fail "reference run exited $?"
+reference_final="$(grep '^final ' "$work/reference.out")" \
+  || fail "reference run printed no final line"
+grep -q '^health: healthy' "$work/reference.out" \
+  || fail "reference run is not healthy"
+echo "reference: $reference_final"
+
+# --- Leg 1: poison quarantine -----------------------------------------
+# The injector corrupts deltas AFTER the clean source produced them, so
+# the underlying stream is unchanged: quarantining every poison must
+# reproduce the reference anchors exactly.
+rc=0
+./build/avt_cli "${stream_flags[@]}" "--poison-rate=$poison_rate" \
+  --poison-seed=99 "--quarantine-dir=$qdir" \
+  >"$work/poison.out" 2>"$work/poison.err" || rc=$?
+[[ $rc -eq 6 ]] || fail "poison run exited $rc (expected 6, degraded)"
+grep -q '^health: degraded (quarantined-delta)' "$work/poison.out" \
+  || fail "poison run did not report degraded (quarantined-delta)"
+injected="$(sed -n 's/^poison injected: //p' "$work/poison.out")"
+[[ -n "$injected" && "$injected" -gt 0 ]] \
+  || fail "poison run injected nothing (seed too kind? got '$injected')"
+quarantined="$(sed -n 's/^health: .* quarantined=\([0-9]*\).*/\1/p' \
+  "$work/poison.out")"
+[[ "$quarantined" == "$injected" ]] \
+  || fail "quarantined $quarantined of $injected injected poisons"
+poison_final="$(grep '^final ' "$work/poison.out")" \
+  || fail "poison run printed no final line"
+if [[ "$poison_final" != "$reference_final" ]]; then
+  fail "poisoned final state diverged
+  reference: $reference_final
+  poisoned:  $poison_final"
+fi
+echo "leg 1: $injected poison(s) quarantined, final state identical"
+
+# The quarantine inspector must agree with the engine's own count.
+./build/avt_cli quarantine "$qdir" >"$work/quarantine.out" \
+  2>"$work/quarantine.err" || fail "quarantine listing exited $?"
+grep -q "^$injected quarantined delta(s)" "$work/quarantine.out" \
+  || fail "quarantine listing disagrees with the engine count"
+listed="$(grep -c '^#' "$work/quarantine.out")" || true
+[[ "$listed" == "$injected" ]] \
+  || fail "quarantine listing has $listed record lines, expected $injected"
+
+# --- Leg 2: corruption drill + audit-triggered rollback ---------------
+rc=0
+./build/avt_cli "${stream_flags[@]}" "--checkpoint-dir=$ckpt" \
+  --checkpoint-every=2 --audit-every=2 --corrupt-state-after=4 \
+  >"$work/drill.out" 2>"$work/drill.err" || rc=$?
+[[ $rc -eq 6 ]] || fail "corruption drill exited $rc (expected 6, degraded)"
+grep -q '^health: degraded (audit-recovered)' "$work/drill.out" \
+  || fail "drill run did not report degraded (audit-recovered)"
+grep -q 'recoveries=1' "$work/drill.out" \
+  || fail "drill run did not report exactly one recovery"
+grep -q 'failures=1' "$work/drill.out" \
+  || fail "drill run did not report the failed audit"
+drill_final="$(grep '^final ' "$work/drill.out")" \
+  || fail "drill run printed no final line"
+if [[ "$drill_final" != "$reference_final" ]]; then
+  fail "drilled final state diverged
+  reference: $reference_final
+  recovered: $drill_final"
+fi
+echo "leg 2: audit caught the drilled desync, rollback healed it,"
+echo "       final state identical"
+
+echo "PASS: quarantine + audit rollback both converged to the clean"
+echo "      reference state through the public CLI"

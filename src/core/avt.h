@@ -117,6 +117,15 @@ struct AvtRunResult {
   uint64_t TotalFollowers() const;
 };
 
+class KOrder;
+
+/// Read-only window into a tracker's internals for integrity audits
+/// (see AvtTracker::AuditView and core/health.h).
+struct TrackerAuditView {
+  const Graph* graph = nullptr;
+  const KOrder* order = nullptr;
+};
+
 /// Streaming tracker interface over an evolving graph. Trackers consume
 /// a delta STREAM: after ProcessFirst seeds them with G_0, each
 /// ProcessDelta receives only the transition — every tracker retains
@@ -173,6 +182,22 @@ class AvtTracker {
   /// those boundaries (DeltaBatcher's last-op-wins guarantee).
   virtual size_t PreferredBatchSize() const { return 1; }
 
+  /// Read-only window into the tracker's REDUNDANT internal state for
+  /// integrity audits (core/health.h): the maintained graph plus, when
+  /// the tracker keeps one, the incrementally maintained K-order index
+  /// a fresh decomposition can be checked against. Null pointers mean
+  /// "nothing to cross-check" — the re-solve family retains only a
+  /// graph copy (order stays null) and audits skip it.
+  virtual TrackerAuditView AuditView() const { return {}; }
+
+  /// Corruption drill: forcibly desynchronizes redundant internal
+  /// state — the signature of a maintenance regression or a memory
+  /// fault — so audits have something real to detect. Returns false
+  /// when the tracker keeps no redundant state. Drill/test surface
+  /// only (tests, `avt_cli stream --corrupt-state-after`); never
+  /// called by library code.
+  virtual bool InjectAuditFaultForDrill() { return false; }
+
   virtual std::string name() const = 0;
 };
 
@@ -200,6 +225,10 @@ class StaticAvtTracker : public AvtTracker {
   /// the uninterrupted run.
   bool SaveCheckpointState(std::string* out) const override;
   Status RestoreCheckpointState(const std::string& blob) override;
+
+  /// Only the retained snapshot is visible; there is no maintained
+  /// index to cross-check, so audits skip this family.
+  TrackerAuditView AuditView() const override { return {&graph_, nullptr}; }
 
  private:
   AvtSnapshotResult SolveSnapshot();

@@ -10,12 +10,38 @@
 
 namespace avt {
 
+namespace {
+
+/// Replay-side twin of ValidateAndGrow for trackers the engine does
+/// not own yet (recovery rebuilds, bisection probes): grows the
+/// tracker for a committed/candidate delta unconditionally — the
+/// engine's boundary checks already ran when the delta first arrived.
+void GrowForReplay(AvtTracker& tracker, const EdgeDelta& delta,
+                   VertexId* universe) {
+  VertexId max_id = 0;
+  bool any_endpoint = false;
+  for (const std::vector<Edge>* batch : {&delta.insertions,
+                                         &delta.deletions}) {
+    for (const Edge& e : *batch) {
+      max_id = std::max({max_id, e.u, e.v});
+      any_endpoint = true;
+    }
+  }
+  if (any_endpoint && max_id >= *universe) {
+    tracker.EnsureVertices(max_id + 1);
+    *universe = max_id + 1;
+  }
+}
+
+}  // namespace
+
 AvtEngine::AvtEngine(std::unique_ptr<AvtTracker> tracker,
                      std::unique_ptr<DeltaSource> source,
                      EngineOptions options)
     : tracker_(std::move(tracker)),
       source_(std::move(source)),
-      options_(options) {
+      options_(options),
+      auditor_(options.audit) {
   AVT_CHECK_MSG(tracker_ != nullptr, "AvtEngine needs a tracker");
   AVT_CHECK_MSG(source_ != nullptr, "AvtEngine needs a delta source");
 }
@@ -36,7 +62,9 @@ void AvtEngine::Record(AvtSnapshotResult snap) {
   }
   previous_anchors_ = snap.anchors;
   ++processed_;
-  if (observer_) observer_(snap);
+  // Replayed snapshots (AdoptReplay) were observed when first
+  // processed; re-announcing them would double every side effect.
+  if (observer_ && !replaying_) observer_(snap);
   if (options_.keep_snapshots) result_.snapshots.push_back(snap);
   last_ = std::move(snap);
 }
@@ -51,6 +79,14 @@ Status AvtEngine::ValidateAndGrow(const EdgeDelta& delta) {
       max_id = std::max({max_id, e.u, e.v});
       any_endpoint = true;
     }
+  }
+  if (any_endpoint && options_.max_universe > 0 &&
+      max_id >= options_.max_universe) {
+    return Status::OutOfRange(
+        "delta (transition " + std::to_string(processed_) +
+        " from source '" + source_->name() + "') references vertex " +
+        std::to_string(max_id) + " at or beyond the max_universe cap of " +
+        std::to_string(options_.max_universe));
   }
   if (any_endpoint && max_id >= num_vertices_) {
     if (!options_.grow_universe) {
@@ -69,6 +105,7 @@ Status AvtEngine::ValidateAndGrow(const EdgeDelta& delta) {
 }
 
 StatusOr<bool> AvtEngine::Step() {
+  if (!halt_status_.ok()) return halt_status_;
   if (durable_ && !durability_broken_.ok()) return durability_broken_;
 
   if (!started_) {
@@ -83,6 +120,8 @@ StatusOr<bool> AvtEngine::Step() {
       Status status = WriteCheckpointNow();
       if (!status.ok()) {
         durability_broken_ = status;
+        health_.Halt(HealthReason::kDurabilityFailure, processed_,
+                     status.message());
         return status;
       }
     }
@@ -104,10 +143,10 @@ StatusOr<bool> AvtEngine::Step() {
     if (batch <= 1) {
       // Verbatim per-delta delivery — within-batch op order reaches the
       // tracker untouched (canonicalization would reorder it).
-      StatusOr<bool> pulled = source_->NextDelta(&delta);
-      if (!pulled.ok()) return pulled.status();
+      StatusOr<bool> pulled = PullOne(&delta);
+      if (!pulled.ok()) return SourcePullFailed(pulled.status());
+      unavailable_streak_ = 0;
       if (!pulled.value()) return false;
-      ++uncommitted_pulls_;
     } else {
       // Batched transaction: merge up to `batch` consecutive deltas
       // into one canonical net-effect delta (last-op-wins, exactly the
@@ -117,12 +156,12 @@ StatusOr<bool> AvtEngine::Step() {
       // retained in the batcher — the next Step resumes the merge.
       EdgeDelta pulled;
       while (batcher_.merged() < batch) {
-        StatusOr<bool> more = source_->NextDelta(&pulled);
-        if (!more.ok()) return more.status();
+        StatusOr<bool> more = PullOne(&pulled);
+        if (!more.ok()) return SourcePullFailed(more.status());
         if (!more.value()) break;
         batcher_.Add(pulled);
-        ++uncommitted_pulls_;
       }
+      unavailable_streak_ = 0;
       if (batcher_.Empty()) return false;
       batcher_.Flush(&delta);
     }
@@ -135,16 +174,384 @@ StatusOr<bool> AvtEngine::Step() {
     return valid;
   }
 
-  Record(tracker_->ProcessDelta(delta));
+  AvtSnapshotResult snap = tracker_->ProcessDelta(delta);
+
+  // Pre-commit audit: a divergence must be caught while the suspect
+  // transaction is still OUTSIDE the WAL — the committed prefix then
+  // provably describes the last audited-good state, which is what
+  // rollback recovery rebuilds.
+  if (auditor_.Due(processed_)) {
+    if (audit_drill_pending_) {
+      // Drill: desync the index now, with the snapshot already computed
+      // from the healthy state, so the audit below must fail and the
+      // rollback recovery must reproduce this exact snapshot.
+      audit_drill_pending_ = false;
+      tracker_->InjectAuditFaultForDrill();
+    }
+    AuditOutcome outcome = AuditTracker(*tracker_);
+    if (outcome.audited && !outcome.ok) {
+      Status healed = HandleAuditFailure(std::move(delta), outcome.failure);
+      if (!healed.ok()) return healed;
+      txn_source_deltas_.clear();
+      return true;  // HandleAuditFailure recorded + committed
+    }
+  }
+
+  Record(std::move(snap));
+  txn_source_deltas_.clear();
 
   if (durable_) {
     Status status = CommitDurable(delta);
     if (!status.ok()) {
       durability_broken_ = status;
+      health_.Halt(HealthReason::kDurabilityFailure, processed_,
+                   status.message());
       return status;
     }
   }
   return true;
+}
+
+StatusOr<bool> AvtEngine::PullOne(EdgeDelta* delta) {
+  for (;;) {
+    StatusOr<bool> pulled = source_->NextDelta(delta);
+    if (!pulled.ok()) return pulled;
+    if (!pulled.value()) return false;
+    ++uncommitted_pulls_;
+    const uint64_t pull_index = source_pulls_committed_ + uncommitted_pulls_;
+    if (QuarantineArmed()) {
+      QuarantineReason reason;
+      std::string detail;
+      if (!PreValidateSourceDelta(*delta, &reason, &detail)) {
+        // Poison diverted at the source boundary: the pull is counted
+        // (commit accounting must match the stream cursor), the delta
+        // never reaches the tracker, and the engine keeps pulling.
+        AVT_RETURN_IF_ERROR(
+            Quarantine(reason, *delta, pull_index, std::move(detail)));
+        continue;
+      }
+    }
+    if (auditor_.enabled()) {
+      txn_source_deltas_.push_back({*delta, pull_index});
+    }
+    return true;
+  }
+}
+
+StatusOr<bool> AvtEngine::SourcePullFailed(const Status& status) {
+  if (status.code() != StatusCode::kUnavailable) return status;
+  // An open circuit breaker rejected the pull. Degrade and let Drain
+  // keep stepping — each rejected pull counts down the breaker's
+  // pull-counted cooldown, so stepping IS the path back to a
+  // half-open probe — but bound the patience so a dead source cannot
+  // spin the engine forever.
+  health_.Degrade(HealthReason::kSourceUnavailable, processed_,
+                  status.message());
+  ++unavailable_streak_;
+  if (unavailable_streak_ > options_.max_source_failures) {
+    return HaltWith(
+        HealthReason::kSourceFailure,
+        Status::Unavailable(
+            "source stayed unavailable for " +
+            std::to_string(unavailable_streak_) +
+            " consecutive pulls (max_source_failures = " +
+            std::to_string(options_.max_source_failures) + "); halting"));
+  }
+  return status;
+}
+
+bool AvtEngine::PreValidateSourceDelta(const EdgeDelta& delta,
+                                       QuarantineReason* reason,
+                                       std::string* detail) const {
+  VertexId max_id = 0;
+  bool any_endpoint = false;
+  for (const std::vector<Edge>* batch : {&delta.insertions,
+                                         &delta.deletions}) {
+    for (const Edge& e : *batch) {
+      if (e.u == e.v) {
+        *reason = QuarantineReason::kInvalidDelta;
+        *detail = "self-loop edge {" + std::to_string(e.u) + ", " +
+                  std::to_string(e.v) + "}";
+        return false;
+      }
+      max_id = std::max({max_id, e.u, e.v});
+      any_endpoint = true;
+    }
+  }
+  if (!any_endpoint) return true;
+  if (options_.max_universe > 0 && max_id >= options_.max_universe) {
+    *reason = QuarantineReason::kUniverseExceeded;
+    *detail = "vertex " + std::to_string(max_id) +
+              " at or beyond the max_universe cap of " +
+              std::to_string(options_.max_universe);
+    return false;
+  }
+  if (!options_.grow_universe && max_id >= num_vertices_) {
+    *reason = QuarantineReason::kUniverseExceeded;
+    *detail = "vertex " + std::to_string(max_id) +
+              " outside the frozen universe of " +
+              std::to_string(num_vertices_) + " vertices";
+    return false;
+  }
+  return true;
+}
+
+Status AvtEngine::Quarantine(QuarantineReason reason, const EdgeDelta& delta,
+                             uint64_t pull, std::string detail) {
+  if (quarantine_ == nullptr) {
+    StatusOr<std::unique_ptr<QuarantineLog>> log =
+        QuarantineLog::Open(options_.quarantine_dir);
+    if (!log.ok()) {
+      // Failing open would mean silently dropping poison evidence —
+      // the one thing the dead-letter log exists to prevent.
+      return HaltWith(HealthReason::kDurabilityFailure, log.status());
+    }
+    quarantine_ = std::move(log).value();
+  }
+  QuarantineRecord record;
+  record.reason = reason;
+  record.source_pull = pull;
+  record.delta = delta;
+  record.detail = std::move(detail);
+  Status status = quarantine_->Append(&record);
+  if (!status.ok()) {
+    return HaltWith(HealthReason::kDurabilityFailure, status);
+  }
+  ++quarantined_;
+  health_.Degrade(HealthReason::kQuarantinedDelta, processed_,
+                  std::string(QuarantineReasonName(reason)) + ": " +
+                      record.detail);
+  return Status::Ok();
+}
+
+AuditOutcome AvtEngine::AuditTracker(const AvtTracker& tracker) {
+  const TrackerAuditView view = tracker.AuditView();
+  return auditor_.Audit(view.graph, view.order, processed_);
+}
+
+Status AvtEngine::HaltWith(HealthReason reason, Status status) {
+  health_.Halt(reason, processed_, status.message());
+  halt_status_ = status;
+  return status;
+}
+
+StatusOr<AvtEngine::ReplayedRun> AvtEngine::RebuildFromWal() {
+  // Buffered appends must be visible to the independent read below.
+  if (wal_ != nullptr) AVT_RETURN_IF_ERROR(wal_->Flush());
+  StatusOr<DeltaWal::ReadResult> read =
+      DeltaWal::ReadAll(durability_.dir + "/" + DeltaWal::kFileName);
+  if (!read.ok()) return read.status();
+
+  ReplayedRun run;
+  run.tracker = tracker_factory_();
+  if (run.tracker == nullptr) {
+    return Status::Internal("tracker factory returned null");
+  }
+  const Graph& g0 = source_->InitialGraph();
+  run.num_vertices = g0.NumVertices();
+  run.snaps.reserve(read.value().records.size() + 1);
+  run.snaps.push_back(run.tracker->ProcessFirst(g0));
+  for (const WalRecord& record : read.value().records) {
+    GrowForReplay(*run.tracker, record.delta, &run.num_vertices);
+    run.snaps.push_back(run.tracker->ProcessDelta(record.delta));
+  }
+  return run;
+}
+
+void AvtEngine::AdoptReplay(ReplayedRun run) {
+  tracker_ = std::move(run.tracker);
+  num_vertices_ = run.num_vertices;
+  // Re-derive every accumulator from the replayed snapshots: results
+  // recorded between the corruption and its detection may be wrong,
+  // and the deterministic replay recomputes all of them exactly
+  // (timings are recomputed too — they are advisory, and the
+  // checkpoint cross-check deliberately excludes them).
+  processed_ = 0;
+  total_millis_ = 0;
+  max_millis_ = 0;
+  total_candidates_ = 0;
+  total_followers_ = 0;
+  stability_sum_ = 0;
+  anchor_changes_ = 0;
+  memo_hits_ = 0;
+  memo_misses_ = 0;
+  memo_evictions_ = 0;
+  memo_peak_bytes_ = 0;
+  previous_anchors_.clear();
+  result_.snapshots.clear();
+  replaying_ = true;
+  for (AvtSnapshotResult& snap : run.snaps) Record(std::move(snap));
+  replaying_ = false;
+}
+
+Status AvtEngine::HandleAuditFailure(EdgeDelta delta,
+                                     const std::string& failure) {
+  const std::string at =
+      "integrity audit failed at transaction " + std::to_string(processed_);
+  if (!durable_ || !tracker_factory_) {
+    // No rollback machinery: the only honest move is to halt before
+    // the divergent state commits anything further.
+    return HaltWith(
+        HealthReason::kCorruption,
+        Status::Corruption(at + ": " + failure +
+                           (durable_ ? " (no tracker factory; cannot "
+                                       "self-recover)"
+                                     : " (durability off; nothing to roll "
+                                       "back to)")));
+  }
+
+  // 1. Roll back: rebuild the last known-good state from G_0 plus the
+  // committed WAL prefix (every record there predates this audit).
+  StatusOr<ReplayedRun> rebuilt_or = RebuildFromWal();
+  if (!rebuilt_or.ok()) {
+    return HaltWith(HealthReason::kCorruption, rebuilt_or.status());
+  }
+  ReplayedRun rebuilt = std::move(rebuilt_or).value();
+
+  // 2. Re-audit the rebuild. If the committed prefix itself diverges,
+  // the log does not describe a healthy run — halt with kCorruption,
+  // exactly the contract: recover once, never loop on a lie.
+  AuditOutcome base = AuditTracker(*rebuilt.tracker);
+  if (base.audited && !base.ok) {
+    return HaltWith(
+        HealthReason::kCorruption,
+        Status::Corruption(at + " and the state rebuilt from "
+                           "checkpoint+WAL diverges again: " + base.failure));
+  }
+
+  // 3. Innocent-delta check: apply the suspect transaction to the
+  // clean rebuild. If the audit now passes, the divergence was
+  // in-memory corruption (bit flip, logic drill) and the rollback
+  // healed it — adopt the rebuild and commit the transaction normally.
+  GrowForReplay(*rebuilt.tracker, delta, &rebuilt.num_vertices);
+  AvtSnapshotResult snap = rebuilt.tracker->ProcessDelta(delta);
+  AuditOutcome retried = AuditTracker(*rebuilt.tracker);
+  if (!retried.audited || retried.ok) {
+    AdoptReplay(std::move(rebuilt));
+    ++recoveries_;
+    health_.Degrade(HealthReason::kAuditRecovered, processed_,
+                    at + "; healed by checkpoint+WAL rollback");
+    Record(std::move(snap));
+    if (durable_) {
+      Status status = CommitDurable(delta);
+      if (!status.ok()) {
+        durability_broken_ = status;
+        health_.Halt(HealthReason::kDurabilityFailure, processed_,
+                     status.message());
+        return status;
+      }
+    }
+    return Status::Ok();
+  }
+
+  // 4. The transaction itself is poison. Without quarantine there is
+  // no honest way to skip it.
+  if (!QuarantineArmed()) {
+    return HaltWith(
+        HealthReason::kCorruption,
+        Status::Corruption(
+            at + ": the transaction trips the audit even on a clean "
+                 "rebuild (" + retried.failure +
+            "); arm EngineOptions::quarantine_dir to isolate the poison"));
+  }
+
+  // 5. Deterministic bisection over the raw source deltas of this
+  // transaction. Invariant per round: the kept prefix passes on a
+  // clean rebuild; kept+remaining fails. Binary-search the smallest
+  // failing prefix of `remaining`, quarantine the delta at its edge,
+  // repeat until kept+remaining passes. Every probe replays from the
+  // same committed WAL prefix, so the search is exactly reproducible.
+  std::vector<PulledDelta> remaining = std::move(txn_source_deltas_);
+  txn_source_deltas_.clear();
+  if (remaining.empty()) remaining.push_back({delta, 0});
+  std::vector<PulledDelta> kept;
+
+  auto merge = [](const std::vector<PulledDelta>& deltas) {
+    DeltaBatcher batcher;
+    for (const PulledDelta& pulled : deltas) batcher.Add(pulled.delta);
+    EdgeDelta merged;
+    if (!batcher.Empty()) batcher.Flush(&merged);
+    return merged;
+  };
+  auto probe = [&](size_t take) -> StatusOr<bool> {
+    // Apply kept + the first `take` of remaining to a fresh rebuild.
+    StatusOr<ReplayedRun> run_or = RebuildFromWal();
+    if (!run_or.ok()) return run_or.status();
+    ReplayedRun run = std::move(run_or).value();
+    std::vector<PulledDelta> candidate = kept;
+    candidate.insert(candidate.end(), remaining.begin(),
+                     remaining.begin() + take);
+    EdgeDelta merged = merge(candidate);
+    GrowForReplay(*run.tracker, merged, &run.num_vertices);
+    run.tracker->ProcessDelta(merged);
+    AuditOutcome outcome = AuditTracker(*run.tracker);
+    return !outcome.audited || outcome.ok;
+  };
+
+  for (;;) {
+    StatusOr<bool> whole = probe(remaining.size());
+    if (!whole.ok()) return HaltWith(HealthReason::kCorruption,
+                                     whole.status());
+    if (whole.value()) break;
+    size_t lo = 1;
+    size_t hi = remaining.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      StatusOr<bool> passes = probe(mid);
+      if (!passes.ok()) return HaltWith(HealthReason::kCorruption,
+                                        passes.status());
+      if (passes.value()) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    // remaining[lo-1] is the first delta whose application trips the
+    // audit given everything kept so far.
+    const PulledDelta poison = remaining[lo - 1];
+    AVT_RETURN_IF_ERROR(Quarantine(
+        QuarantineReason::kAuditDivergence, poison.delta, poison.pull,
+        "isolated by bisection at transaction " + std::to_string(processed_) +
+            ": " + failure));
+    kept.insert(kept.end(), remaining.begin(), remaining.begin() + (lo - 1));
+    remaining.erase(remaining.begin(), remaining.begin() + lo);
+  }
+  kept.insert(kept.end(), remaining.begin(), remaining.end());
+
+  // 6. Rebuild once more, apply the cleaned transaction for real, and
+  // paranoia-audit the result before adopting it.
+  StatusOr<ReplayedRun> healed_or = RebuildFromWal();
+  if (!healed_or.ok()) {
+    return HaltWith(HealthReason::kCorruption, healed_or.status());
+  }
+  ReplayedRun healed = std::move(healed_or).value();
+  EdgeDelta cleaned = merge(kept);
+  GrowForReplay(*healed.tracker, cleaned, &healed.num_vertices);
+  AvtSnapshotResult cleaned_snap = healed.tracker->ProcessDelta(cleaned);
+  AuditOutcome verify = AuditTracker(*healed.tracker);
+  if (verify.audited && !verify.ok) {
+    return HaltWith(
+        HealthReason::kCorruption,
+        Status::Corruption(at + ": state still diverges after bisection (" +
+                           verify.failure + ")"));
+  }
+  AdoptReplay(std::move(healed));
+  ++recoveries_;
+  Record(std::move(cleaned_snap));
+  if (durable_) {
+    // The committed transaction is the CLEANED one; its source_pulls
+    // still count every pull of the original batch (quarantined deltas
+    // consumed stream positions too), so recovery fast-forward stays
+    // exact.
+    Status status = CommitDurable(cleaned);
+    if (!status.ok()) {
+      durability_broken_ = status;
+      health_.Halt(HealthReason::kDurabilityFailure, processed_,
+                   status.message());
+      return status;
+    }
+  }
+  return Status::Ok();
 }
 
 Status AvtEngine::CommitDurable(const EdgeDelta& delta) {
@@ -390,7 +797,18 @@ StatusOr<std::unique_ptr<AvtEngine>> AvtEngine::Recover(
 Status AvtEngine::Drain() {
   for (;;) {
     StatusOr<bool> stepped = Step();
-    if (!stepped.ok()) return stepped.status();
+    if (!stepped.ok()) {
+      // An open circuit breaker rejects pulls with kUnavailable; each
+      // rejected pull counts down its pull-counted cooldown, so the
+      // way to wait it out is to keep stepping. SourcePullFailed halts
+      // the engine if the streak outlives max_source_failures, at
+      // which point halt_status_ is set and we stop retrying.
+      if (stepped.status().code() == StatusCode::kUnavailable &&
+          halt_status_.ok()) {
+        continue;
+      }
+      return stepped.status();
+    }
     if (!stepped.value()) return Status::Ok();
   }
 }
@@ -401,6 +819,14 @@ RunSummary AvtEngine::Summary() const {
   const DeltaSource::Stats source_stats = source_->SourceStats();
   summary.source_retries = source_stats.retries;
   summary.source_transient_errors = source_stats.transient_errors;
+  summary.breaker_opens = source_stats.breaker_opens;
+  summary.breaker_rejected_pulls = source_stats.breaker_rejected_pulls;
+  summary.audits_run = auditor_.audits_run();
+  summary.audits_failed = auditor_.audits_failed();
+  summary.deltas_quarantined = quarantined_;
+  summary.recoveries = recoveries_;
+  summary.health = health_.state();
+  summary.health_reason = health_.reason();
   if (processed_ == 0) return summary;
   summary.total_millis = total_millis_;
   summary.max_millis = max_millis_;

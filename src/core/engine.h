@@ -34,9 +34,12 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/avt.h"
+#include "core/health.h"
 #include "core/run_summary.h"
+#include "durability/quarantine.h"
 #include "durability/wal.h"
 #include "graph/delta_source.h"
 #include "util/status.h"
@@ -51,6 +54,27 @@ struct EngineOptions {
   /// Retain every per-snapshot result in result(). Disable for
   /// unbounded streams: aggregates and last() stay available.
   bool keep_snapshots = true;
+  /// Online integrity audits (core/health.h): every `audit.every`
+  /// committed transactions the tracker's maintained state is
+  /// cross-checked against a fresh decomposition BEFORE the
+  /// transaction commits — so a divergence is caught while the
+  /// suspect transaction is still outside the WAL and rollback can
+  /// rebuild the last known-good state. audit.every = 0 disables.
+  AuditOptions audit;
+  /// Non-empty arms poison-delta quarantine: source deltas failing
+  /// structural validation (or isolated by audit bisection) are
+  /// appended to <quarantine_dir>/quarantine.avtq and skipped, and the
+  /// engine continues in HealthState::kDegraded instead of erroring.
+  std::string quarantine_dir;
+  /// Hard cap on the vertex universe; 0 = uncapped. A delta whose
+  /// endpoint reaches the cap is quarantined (when armed) or rejected
+  /// like a grow_universe violation — the fence that keeps one absurd
+  /// upstream id from ballooning every per-vertex array.
+  VertexId max_universe = 0;
+  /// Consecutive kUnavailable pulls Drain tolerates (waiting out an
+  /// open circuit breaker, whose cooldown is pull-counted) before the
+  /// engine halts with HealthReason::kSourceFailure.
+  size_t max_source_failures = 256;
 };
 
 /// Crash-safety knobs (EnableDurability / Recover). The invariant the
@@ -119,6 +143,34 @@ class AvtEngine {
   /// The config fingerprint durability stamps into checkpoints.
   uint64_t ConfigFingerprint() const;
 
+  /// Factory producing a fresh tracker with the engine's exact
+  /// configuration — the engine cannot construct trackers itself, and
+  /// audit-failure self-recovery (rollback rebuild + bisection probes)
+  /// needs pristine ones. Without a factory, an audit divergence halts
+  /// with kCorruption instead of self-healing.
+  void SetTrackerFactory(
+      std::function<std::unique_ptr<AvtTracker>()> factory) {
+    tracker_factory_ = std::move(factory);
+  }
+
+  /// Corruption drill: arms a one-shot index fault that the engine
+  /// injects into the tracker immediately BEFORE the next due audit
+  /// (injecting at the audit boundary keeps the drill deterministic —
+  /// a fault planted between transactions can be healed incidentally
+  /// by the next delta's cascades before any audit sees it). The
+  /// snapshot of that transaction is computed from the healthy state
+  /// first, so a successful rollback recovery reproduces it exactly.
+  /// No-op unless audits are enabled.
+  void RequestAuditFaultDrill() { audit_drill_pending_ = true; }
+
+  /// Engine health (monotone; see core/health.h). Audits, quarantine,
+  /// self-recovery, and breaker trips all report through here and are
+  /// mirrored into Summary().
+  const HealthStateMachine& health() const { return health_; }
+  const SentinelAuditor& auditor() const { return auditor_; }
+  uint64_t QuarantinedDeltas() const { return quarantined_; }
+  uint64_t Recoveries() const { return recoveries_; }
+
   /// Observer invoked after every processed snapshot (pause/inspect
   /// hook for tools and benches; called before Step returns).
   void SetObserver(std::function<void(const AvtSnapshotResult&)> observer) {
@@ -161,6 +213,59 @@ class AvtEngine {
   Status CommitDurable(const EdgeDelta& delta);
 
   Status WriteCheckpointNow();
+
+  // --- self-healing internals (PR 9) ---
+
+  bool QuarantineArmed() const { return !options_.quarantine_dir.empty(); }
+
+  /// Structural screen for one SOURCE delta (quarantine armed only):
+  /// self-loop endpoints, universe-cap / frozen-universe violations.
+  /// Returns false with reason + detail filled when the delta is
+  /// poison.
+  bool PreValidateSourceDelta(const EdgeDelta& delta,
+                              QuarantineReason* reason,
+                              std::string* detail) const;
+
+  /// Appends one poison delta to the dead-letter log (opening it
+  /// lazily) and degrades health. `pull` is the 1-based source pull
+  /// index the delta arrived on.
+  Status Quarantine(QuarantineReason reason, const EdgeDelta& delta,
+                    uint64_t pull, std::string detail);
+
+  /// Pulls the next source delta, diverting poison to quarantine when
+  /// armed and retaining raw pulls for bisection when audits are on.
+  /// Same contract as DeltaSource::NextDelta.
+  StatusOr<bool> PullOne(EdgeDelta* delta);
+
+  /// Classifies a failed pull: kUnavailable degrades health and is
+  /// bounded by max_source_failures; everything else passes through.
+  StatusOr<bool> SourcePullFailed(const Status& status);
+
+  /// A tracker rebuilt from G_0 + the committed WAL prefix, with every
+  /// replayed snapshot retained for accumulator reconstruction.
+  struct ReplayedRun {
+    std::unique_ptr<AvtTracker> tracker;
+    std::vector<AvtSnapshotResult> snaps;
+    VertexId num_vertices = 0;
+  };
+  StatusOr<ReplayedRun> RebuildFromWal();
+
+  /// Swaps in a rebuilt tracker and re-derives every accumulator from
+  /// its replayed snapshots (observer suppressed: they were already
+  /// observed once).
+  void AdoptReplay(ReplayedRun run);
+
+  /// Audits `tracker` with the sentinel (at the current step).
+  AuditOutcome AuditTracker(const AvtTracker& tracker);
+
+  /// The pre-commit audit tripped on the in-flight transaction:
+  /// rollback, re-audit, innocent-delta check, deterministic bisection
+  /// — or an honest halt when none of that is possible. On success the
+  /// (possibly cleaned) transaction is recorded and committed.
+  Status HandleAuditFailure(EdgeDelta delta, const std::string& failure);
+
+  /// Marks the engine terminally broken with kCorruption semantics.
+  Status HaltWith(HealthReason reason, Status status);
 
   std::unique_ptr<AvtTracker> tracker_;
   std::unique_ptr<DeltaSource> source_;
@@ -211,6 +316,35 @@ class AvtEngine {
   /// contiguous, so every later Step refuses with this status instead
   /// of silently streaming without crash safety.
   Status durability_broken_ = Status::Ok();
+
+  // Self-healing state (inert unless audits/quarantine/breaker are
+  // armed; all counters are per-process — a Recover'd engine starts
+  // them at zero, the logs on disk are the durable record).
+  HealthStateMachine health_;
+  SentinelAuditor auditor_;
+  std::function<std::unique_ptr<AvtTracker>()> tracker_factory_;
+  std::unique_ptr<QuarantineLog> quarantine_;
+  uint64_t quarantined_ = 0;
+  uint64_t recoveries_ = 0;
+  /// Consecutive kUnavailable pulls (an open breaker counting down its
+  /// cooldown); reset by any successful pull.
+  size_t unavailable_streak_ = 0;
+  /// Raw source deltas of the in-flight transaction (with their pull
+  /// indices), retained when audits are armed so bisection can isolate
+  /// a poison delta inside a merged batch. Cleared on commit.
+  struct PulledDelta {
+    EdgeDelta delta;
+    uint64_t pull = 0;
+  };
+  std::vector<PulledDelta> txn_source_deltas_;
+  /// Observer suppressed while AdoptReplay re-records replayed
+  /// snapshots (they were observed when first processed).
+  bool replaying_ = false;
+  /// One-shot flag armed by RequestAuditFaultDrill.
+  bool audit_drill_pending_ = false;
+  /// Terminal halt (audit divergence that could not be healed, source
+  /// failure bound exceeded): every later Step refuses with this.
+  Status halt_status_ = Status::Ok();
 };
 
 }  // namespace avt

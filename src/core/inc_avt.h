@@ -151,6 +151,15 @@ class IncAvtTracker : public AvtTracker {
   const CoreMaintainer& maintainer() const { return maintainer_; }
   const std::vector<VertexId>& current_anchors() const { return anchors_; }
 
+  /// The maintained graph + K-order index: exactly the redundant state
+  /// integrity audits cross-check against a fresh decomposition.
+  TrackerAuditView AuditView() const override {
+    return {&maintainer_.graph(), &maintainer_.order()};
+  }
+  bool InjectAuditFaultForDrill() override {
+    return maintainer_.InjectIndexFaultForDrill();
+  }
+
  private:
   /// A (key, generation) reference into the memo store: the store
   /// stamps every Record, so a reference whose entry was overwritten,

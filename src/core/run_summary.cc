@@ -99,6 +99,31 @@ std::string FormatRunSummary(const RunSummary& summary) {
                   static_cast<unsigned long long>(summary.source_retries));
     line += buf;
   }
+  if (summary.audits_run > 0 || summary.deltas_quarantined > 0 ||
+      summary.recoveries > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ", %llu audits (%llu failed), %llu quarantined, "
+                  "%llu recoveries",
+                  static_cast<unsigned long long>(summary.audits_run),
+                  static_cast<unsigned long long>(summary.audits_failed),
+                  static_cast<unsigned long long>(summary.deltas_quarantined),
+                  static_cast<unsigned long long>(summary.recoveries));
+    line += buf;
+  }
+  if (summary.breaker_opens > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ", breaker opened %llu times (%llu pulls rejected)",
+                  static_cast<unsigned long long>(summary.breaker_opens),
+                  static_cast<unsigned long long>(
+                      summary.breaker_rejected_pulls));
+    line += buf;
+  }
+  if (summary.health != HealthState::kHealthy) {
+    std::snprintf(buf, sizeof(buf), ", health %s (%s)",
+                  HealthStateName(summary.health),
+                  HealthReasonName(summary.health_reason));
+    line += buf;
+  }
   return line;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/avt.h"
+#include "core/health.h"
 
 namespace avt {
 
@@ -47,6 +48,23 @@ struct RunSummary {
   uint64_t memo_misses = 0;
   uint64_t memo_evictions = 0;
   uint64_t memo_peak_bytes = 0;
+  /// Self-healing telemetry (AvtEngine only; SummarizeRun leaves these
+  /// zero). Audits are the cadenced integrity checks of core/health.h;
+  /// quarantined deltas went to the dead-letter log instead of the
+  /// tracker; recoveries are checkpoint+WAL rollbacks that healed an
+  /// audit divergence in-process. Breaker counters come from
+  /// CircuitBreakerSource via DeltaSource::SourceStats.
+  uint64_t audits_run = 0;
+  uint64_t audits_failed = 0;
+  uint64_t deltas_quarantined = 0;
+  uint64_t recoveries = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_rejected_pulls = 0;
+  /// Terminal engine health. kHealthy for SummarizeRun and for engine
+  /// runs that never degraded; the reason names the FIRST cause of the
+  /// current state.
+  HealthState health = HealthState::kHealthy;
+  HealthReason health_reason = HealthReason::kNone;
 };
 
 /// Computes the summary.

@@ -8,6 +8,11 @@ namespace avt {
 
 InvariantReport CheckKOrderInvariants(const Graph& graph,
                                       const KOrder& order) {
+  return CheckKOrderInvariants(graph, order, DecomposeCores(graph));
+}
+
+InvariantReport CheckKOrderInvariants(const Graph& graph, const KOrder& order,
+                                      const CoreDecomposition& fresh) {
   InvariantReport report;
   const VertexId n = graph.NumVertices();
   if (order.NumVertices() != n) {
@@ -16,7 +21,6 @@ InvariantReport CheckKOrderInvariants(const Graph& graph,
   }
 
   // 1. Cores match a fresh decomposition.
-  CoreDecomposition fresh = DecomposeCores(graph);
   for (VertexId v = 0; v < n; ++v) {
     if (order.CoreOf(v) != fresh.core[v]) {
       report.Fail("core mismatch at vertex " + std::to_string(v) +

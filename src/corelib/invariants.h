@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "corelib/decomposition.h"
 #include "corelib/korder.h"
 #include "graph/graph.h"
 
@@ -36,6 +37,12 @@ struct InvariantReport {
 /// Runs all checks; O(n + m) plus one fresh decomposition.
 InvariantReport CheckKOrderInvariants(const Graph& graph,
                                       const KOrder& order);
+
+/// Same sweep against a caller-supplied `fresh = DecomposeCores(graph)`
+/// — lets an auditor that already decomposed the graph (core/health.h)
+/// run the sweep without paying for a second decomposition.
+InvariantReport CheckKOrderInvariants(const Graph& graph, const KOrder& order,
+                                      const CoreDecomposition& fresh);
 
 }  // namespace avt
 

@@ -71,6 +71,13 @@ class DeltaSource {
   struct Stats {
     uint64_t retries = 0;           ///< re-attempted pulls
     uint64_t transient_errors = 0;  ///< transient errors absorbed
+    /// Circuit-breaker counters (CircuitBreakerSource): transitions to
+    /// the open state, and pulls rejected without touching the inner
+    /// source while open. Zero without a breaker in the stack. Every
+    /// decorator forwards-and-adds, so the counters survive any
+    /// wrapper nesting order (pinned by tests/breaker_test.cc).
+    uint64_t breaker_opens = 0;
+    uint64_t breaker_rejected_pulls = 0;
   };
   virtual Stats SourceStats() const { return {}; }
 

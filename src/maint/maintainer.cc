@@ -183,11 +183,16 @@ void CoreMaintainer::RunInsertCascade(const Adjacency& adj, VertexId root,
 }
 
 bool CoreMaintainer::RemoveEdge(VertexId u, VertexId v) {
-  // Fix deg+ of the earlier endpoint before mutating the graph.
-  if (!graph_.HasEdge(u, v)) return false;
+  // Edge endpoints arrive from stream deltas; like InsertEdge, a
+  // removal the graph declines (absent edge, self-loop) is a benign
+  // no-op — never an assertion, because external input must not be
+  // able to abort the process. The graph mutates first; the index is
+  // touched only once the removal actually happened.
+  if (!graph_.RemoveEdge(u, v)) return false;
+  // Fix deg+ of the earlier endpoint now that its later neighbor is
+  // gone (Lemma 1, mirrored).
   VertexId earlier = order_.Precedes(u, v) ? u : v;
   order_.IncrementDegPlus(earlier, -1);
-  AVT_CHECK(graph_.RemoveEdge(u, v));
   if (csr_enabled_) csr_.RemoveEdge(u, v);
   ++stats_.edges_removed;
   MarkAffected(u);
@@ -290,6 +295,24 @@ std::vector<VertexId> CoreMaintainer::ApplyDelta(const EdgeDelta& delta) {
   for (const Edge& e : delta.deletions) RemoveEdge(e.u, e.v);
   collecting_affected_ = false;
   return std::move(affected_list_);
+}
+
+bool CoreMaintainer::InjectIndexFaultForDrill() {
+  if (graph_.NumVertices() == 0) return false;
+  // Desync the index from the graph: promote the front vertex of the
+  // highest populated level one level up. CoreOf now disagrees with a
+  // fresh decomposition for that vertex — detectable by both the
+  // sampled-coreness probe and the full invariant sweep.
+  uint32_t level = order_.MaxLevel();
+  for (;;) {
+    const VertexId v = order_.LevelFront(level);
+    if (v != kNoVertex) {
+      order_.MoveToLevelBack(v, level + 1);
+      return true;
+    }
+    if (level == 0) return false;
+    --level;
+  }
 }
 
 }  // namespace avt

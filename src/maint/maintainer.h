@@ -108,6 +108,15 @@ class CoreMaintainer {
   const MaintenanceStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Corruption drill (tests, `avt_cli stream --corrupt-state-after`):
+  /// moves one vertex — the front of the highest populated level — one
+  /// level up WITHOUT touching the graph, so the index reports a wrong
+  /// core number: exactly the signature of a maintenance regression or
+  /// a memory fault. Returns false on an empty universe. Never called
+  /// by library code; the integrity audits (core/health.h) exist to
+  /// catch states like the one this creates.
+  bool InjectIndexFaultForDrill();
+
  private:
   /// Cascades are templated over the adjacency they scan: the dynamic
   /// per-vertex lists, or — when the mirror is enabled — the maintained

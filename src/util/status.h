@@ -26,6 +26,11 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// Temporarily rejected, retry later: an open circuit breaker
+  /// short-circuiting pulls (graph/resilient_source.h). Distinct from
+  /// kIoError so callers can tell "the source failed" from "the
+  /// breaker is protecting the source".
+  kUnavailable,
 };
 
 /// Value-semantic status: either OK or a code plus message.
@@ -57,6 +62,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +86,7 @@ class Status {
       case StatusCode::kOutOfRange: return "OutOfRange";
       case StatusCode::kUnimplemented: return "Unimplemented";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

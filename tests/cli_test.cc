@@ -817,6 +817,175 @@ TEST_F(CliTest, StreamInjectedCorruptionExitsCorruptionCode) {
   EXPECT_NE(err.find("injected"), std::string::npos);
 }
 
+// --- stream self-healing -------------------------------------------------
+
+TEST_F(CliTest, HelpMentionsSelfHealingKnobs) {
+  std::string out;
+  ASSERT_EQ(Run({"help"}, &out), 0);
+  EXPECT_NE(out.find("--audit-every"), std::string::npos);
+  EXPECT_NE(out.find("--quarantine-dir"), std::string::npos);
+  EXPECT_NE(out.find("--breaker"), std::string::npos);
+  EXPECT_NE(out.find("--poison-rate"), std::string::npos);
+  EXPECT_NE(out.find("quarantine"), std::string::npos);
+  EXPECT_NE(out.find("6 completed but degraded"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamRejectsBadSelfHealingFlags) {
+  std::string out, err;
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=100", "--t=3",
+                 "--audit-every=-2"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("--audit-every"), std::string::npos);
+
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=100", "--t=3",
+                 "--audit-sample=32"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("need --audit-every"), std::string::npos);
+
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=100", "--t=3",
+                 "--poison-rate=1.5"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("--poison-rate"), std::string::npos);
+
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=100", "--t=3",
+                 "--breaker-window=4"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("need --breaker"), std::string::npos);
+
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=100", "--t=3",
+                 "--breaker", "--breaker-threshold=2.0"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("--breaker-threshold"), std::string::npos);
+
+  // The corruption drill needs an audit to catch it and a WAL to roll
+  // back to; orphaned it is a caller error.
+  EXPECT_EQ(Run({"stream", "--source=gen", "--n=100", "--t=3",
+                 "--corrupt-state-after=2"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("--corrupt-state-after"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamHealthyAuditedRunPrintsHealthLine) {
+  std::vector<std::string> base = {"stream",      "--source=gen",
+                                   "--n=250",     "--t=5",
+                                   "--k=3",       "--l=3",
+                                   "--seed=11",   "--churn-min=20",
+                                   "--churn-max=40"};
+  std::string plain;
+  ASSERT_EQ(Run(base, &plain), 0);
+
+  std::vector<std::string> audited_args = base;
+  audited_args.push_back("--audit-every=2");
+  std::string audited;
+  ASSERT_EQ(Run(audited_args, &audited), 0);
+  EXPECT_NE(audited.find("health: healthy audits=2 failures=0"),
+            std::string::npos)
+      << audited;
+  // Audits are pure observers: the tracked result is unchanged.
+  EXPECT_EQ(FinalLine(audited), FinalLine(plain));
+}
+
+TEST_F(CliTest, StreamPoisonRunQuarantinesAndExitsDegraded) {
+  std::vector<std::string> base = {"stream",      "--source=gen",
+                                   "--n=250",     "--t=6",
+                                   "--k=3",       "--l=3",
+                                   "--seed=11",   "--churn-min=20",
+                                   "--churn-max=40"};
+  std::string clean;
+  ASSERT_EQ(Run(base, &clean), 0);
+
+  std::string dir = TempDir("poison_run");
+  std::vector<std::string> poisoned_args = base;
+  poisoned_args.push_back("--poison-rate=0.3");
+  poisoned_args.push_back("--quarantine-dir=" + dir);
+  std::string poisoned;
+  ASSERT_EQ(Run(poisoned_args, &poisoned), 6);
+  EXPECT_NE(poisoned.find("health: degraded (quarantined-delta)"),
+            std::string::npos)
+      << poisoned;
+  EXPECT_NE(poisoned.find("poison injected:"), std::string::npos);
+  // Exactly the poison was diverted: the surviving stream reproduces
+  // the clean run bit for bit.
+  EXPECT_EQ(FinalLine(poisoned), FinalLine(clean));
+
+  // The quarantine subcommand lists the dead-lettered deltas.
+  std::string listed;
+  ASSERT_EQ(Run({"quarantine", dir}, &listed), 0);
+  EXPECT_NE(listed.find("quarantined delta(s) in"), std::string::npos);
+  EXPECT_NE(listed.find("reason=invalid-delta"), std::string::npos);
+  EXPECT_NE(listed.find("self-loop"), std::string::npos);
+}
+
+TEST_F(CliTest, QuarantineCommandErrors) {
+  std::string out, err;
+  EXPECT_EQ(Run({"quarantine"}, &out, &err), 2);
+  EXPECT_NE(err.find("missing"), std::string::npos);
+
+  EXPECT_EQ(Run({"quarantine", TempDir("no_such_quarantine")}, &out, &err),
+            3);
+  EXPECT_NE(err.find("no quarantine log"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamCorruptionDrillSelfHealsBitIdentically) {
+  std::vector<std::string> base = {"stream",      "--source=gen",
+                                   "--n=250",     "--t=6",
+                                   "--k=3",       "--l=3",
+                                   "--seed=11",   "--churn-min=20",
+                                   "--churn-max=40"};
+  std::string clean;
+  ASSERT_EQ(Run(base, &clean), 0);
+
+  std::string dir = TempDir("drill_run");
+  std::vector<std::string> drilled_args = base;
+  drilled_args.push_back("--checkpoint-dir=" + dir);
+  drilled_args.push_back("--audit-every=2");
+  drilled_args.push_back("--corrupt-state-after=2");
+  std::string drilled;
+  ASSERT_EQ(Run(drilled_args, &drilled), 6);
+  EXPECT_NE(drilled.find("health: degraded (audit-recovered)"),
+            std::string::npos)
+      << drilled;
+  EXPECT_NE(drilled.find("recoveries=1"), std::string::npos) << drilled;
+  // Rollback recovery reproduced the exact pre-drill trajectory.
+  EXPECT_EQ(FinalLine(drilled), FinalLine(clean));
+}
+
+TEST_F(CliTest, StreamBreakerRunSurvivesFaultySourceDegraded) {
+  std::vector<std::string> base = {"stream",      "--source=gen",
+                                   "--n=250",     "--t=6",
+                                   "--k=3",       "--l=3",
+                                   "--seed=11",   "--churn-min=20",
+                                   "--churn-max=40"};
+  std::string clean;
+  ASSERT_EQ(Run(base, &clean), 0);
+
+  // No retry budget: every injected fault reaches the breaker, which
+  // trips, cools down in pulls, half-open-probes, and the run still
+  // completes with the identical final state — exit 6 because trips
+  // mean the source was degraded.
+  std::vector<std::string> guarded_args = base;
+  guarded_args.push_back("--fault-rate=0.4");
+  guarded_args.push_back("--fault-seed=3");
+  guarded_args.push_back("--max-retries=0");
+  guarded_args.push_back("--breaker");
+  guarded_args.push_back("--breaker-window=4");
+  guarded_args.push_back("--breaker-threshold=0.5");
+  guarded_args.push_back("--breaker-cooldown=6");
+  std::string guarded;
+  ASSERT_EQ(Run(guarded_args, &guarded), 6);
+  EXPECT_NE(guarded.find("health: degraded (source-unavailable)"),
+            std::string::npos)
+      << guarded;
+  EXPECT_NE(guarded.find("breaker opened"), std::string::npos) << guarded;
+  EXPECT_EQ(FinalLine(guarded), FinalLine(clean));
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace avt

@@ -985,5 +985,88 @@ TEST(Recovery, FaultySourceStackRecoversBitIdentically) {
   EXPECT_EQ(Capture(*recovered.value()), expected);
 }
 
+// --- Durability-directory I/O failures --------------------------------
+// (The tests run as root in CI, so permission-based unwritable dirs are
+// not a usable failure vector; routing the path THROUGH a regular file
+// (ENOTDIR / EEXIST) fails for root too.)
+
+TEST(DurabilityIo, EnableDurabilityThroughRegularFilePathIsIoError) {
+  SnapshotSequence sequence = SmallWorkload(51, 3, 40);
+  TempDir dir("io_notdir");
+  fs::create_directories(dir.path());
+  const std::string file = dir.path() + "/plain-file";
+  WriteFileBytes(file, "not a directory");
+
+  for (const std::string& target :
+       {file, file + "/sub"}) {  // EEXIST-as-file, then ENOTDIR
+    AvtEngine engine(MakeTracker(AvtAlgorithm::kIncAvt, 3, 3),
+                     std::make_unique<SequenceSource>(&sequence));
+    DurabilityOptions durability;
+    durability.dir = target;
+    Status status = engine.EnableDurability(durability);
+    ASSERT_FALSE(status.ok()) << target;
+    EXPECT_EQ(status.code(), StatusCode::kIoError) << target;
+    // Arming failed cleanly: the engine still runs, just not durably.
+    EXPECT_TRUE(engine.Drain().ok()) << target;
+  }
+}
+
+TEST(DurabilityIo, CheckpointDirVanishingMidRunHaltsDurability) {
+  SnapshotSequence sequence = SmallWorkload(52, 5, 40);
+  TempDir dir("io_vanish");
+  DurabilityOptions durability;
+  durability.dir = dir.path();
+  durability.checkpoint_every = 1;
+
+  AvtEngine engine(MakeTracker(AvtAlgorithm::kIncAvt, 3, 3),
+                   std::make_unique<SequenceSource>(&sequence));
+  ASSERT_TRUE(engine.EnableDurability(durability).ok());
+  ASSERT_TRUE(engine.Step().value());  // G_0 + initial checkpoint
+
+  // The directory disappears under a live run (operator error, tmpfs
+  // cleanup). The WAL's open handle may keep absorbing appends, but
+  // the next cadenced checkpoint cannot land — and an engine that
+  // cannot keep its crash-safety promise must say so, not stream on
+  // silently unprotected.
+  fs::remove_all(dir.path());
+  StatusOr<bool> stepped = engine.Step();
+  ASSERT_FALSE(stepped.ok());
+  EXPECT_EQ(stepped.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(engine.health().state(), HealthState::kHalted);
+  EXPECT_EQ(engine.health().reason(), HealthReason::kDurabilityFailure);
+
+  // Broken durability is sticky: no later Step silently resumes.
+  StatusOr<bool> again = engine.Step();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().message(), stepped.status().message());
+}
+
+TEST(DurabilityIo, QuarantineOpenFailureHaltsInsteadOfDroppingPoison) {
+  // The dead-letter log exists so poison is never silently dropped; if
+  // it cannot be opened when the first poison delta arrives, the engine
+  // halts rather than pretend the delta never existed.
+  TempDir dir("io_qfail");
+  fs::create_directories(dir.path());
+  const std::string file = dir.path() + "/plain-file";
+  WriteFileBytes(file, "not a directory");
+
+  Graph initial(6);
+  std::vector<EdgeDelta> deltas;
+  deltas.push_back(MakeDelta({{0, 1}}));
+  deltas.push_back(MakeDelta({{3, 3}}));  // self-loop poison
+  SnapshotSequence sequence(initial);
+  for (const EdgeDelta& delta : deltas) sequence.PushDelta(delta);
+
+  EngineOptions options;
+  options.quarantine_dir = file + "/sub";  // ENOTDIR on lazy open
+  AvtEngine engine(MakeTracker(AvtAlgorithm::kIncAvt, 2, 2),
+                   std::make_unique<SequenceSource>(&sequence), options);
+  Status status = engine.Drain();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(engine.health().state(), HealthState::kHalted);
+  EXPECT_EQ(engine.health().reason(), HealthReason::kDurabilityFailure);
+  EXPECT_EQ(engine.QuarantinedDeltas(), 0u);
+}
+
 }  // namespace
 }  // namespace avt

@@ -30,10 +30,14 @@ namespace cli {
 namespace {
 
 // Maps a Status onto the CLI's exit-code contract (pinned by cli_test
-// and consumed by the crash-recovery e2e script): usage and invalid
-// input are 2, a missing file or dataset is 3, corrupt on-disk state
-// (WAL/checkpoint damage, malformed frames) is 4, and IO failures are
-// 5. Everything else collapses to the generic failure 1.
+// and consumed by the crash-recovery and poison-stream e2e scripts):
+// usage and invalid input are 2, a missing file or dataset is 3,
+// corrupt on-disk state (WAL/checkpoint damage, malformed frames) is
+// 4, and IO failures are 5 — kUnavailable (a source that stayed down
+// past the engine's patience) maps to 5 too, the transport bucket.
+// Everything else collapses to the generic failure 1. A stream run
+// that COMPLETES but ends degraded (quarantined deltas, an audit
+// recovery) exits 6, distinct from every failure code above.
 int ExitCodeFor(const Status& status) {
   switch (status.code()) {
     case StatusCode::kOk: return 0;
@@ -41,9 +45,14 @@ int ExitCodeFor(const Status& status) {
     case StatusCode::kNotFound: return 3;
     case StatusCode::kCorruption: return 4;
     case StatusCode::kIoError: return 5;
+    case StatusCode::kUnavailable: return 5;
     default: return 1;
   }
 }
+
+// Exit code for a stream run that drained successfully but may have
+// degraded along the way (see above).
+constexpr int kExitDegraded = 6;
 
 // Loads the graph named by the first positional argument. Returns 0 on
 // success, else the exit code the command should return.
@@ -503,6 +512,74 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
     return 2;
   }
 
+  // Self-healing flags (core/health.h, docs/DURABILITY.md): cadenced
+  // integrity audits, the poison-delta quarantine, the source circuit
+  // breaker, and the corruption drill.
+  const int64_t audit_every =
+      flags.Has("audit-every") ? flags.GetInt("audit-every", -1) : 0;
+  if (audit_every < 0) {
+    std::fprintf(err,
+                 "error: --audit-every must be a non-negative integer "
+                 "(got '%s')\n",
+                 flags.GetString("audit-every", "").c_str());
+    return 2;
+  }
+  if ((flags.Has("audit-sample") || flags.Has("audit-seed")) &&
+      audit_every == 0) {
+    std::fprintf(err,
+                 "error: --audit-sample/--audit-seed need "
+                 "--audit-every=<N>\n");
+    return 2;
+  }
+  const int64_t audit_sample =
+      flags.Has("audit-sample") ? flags.GetInt("audit-sample", -1) : 16;
+  if (audit_sample < 0) {
+    std::fprintf(err,
+                 "error: --audit-sample must be a non-negative integer "
+                 "(got '%s')\n",
+                 flags.GetString("audit-sample", "").c_str());
+    return 2;
+  }
+  const std::string quarantine_dir = flags.GetString("quarantine-dir", "");
+  const int64_t max_universe =
+      flags.Has("max-universe") ? flags.GetInt("max-universe", -1) : 0;
+  if (max_universe < 0) {
+    std::fprintf(err,
+                 "error: --max-universe must be a non-negative integer "
+                 "(got '%s')\n",
+                 flags.GetString("max-universe", "").c_str());
+    return 2;
+  }
+  const double poison_rate = flags.GetDouble("poison-rate", 0.0);
+  if (poison_rate < 0.0 || poison_rate >= 1.0) {
+    std::fprintf(err, "error: --poison-rate must be in [0, 1) (got '%s')\n",
+                 flags.GetString("poison-rate", "").c_str());
+    return 2;
+  }
+  const bool breaker = flags.GetBool("breaker", false);
+  if (!breaker && (flags.Has("breaker-window") ||
+                   flags.Has("breaker-threshold") ||
+                   flags.Has("breaker-cooldown"))) {
+    std::fprintf(err,
+                 "error: --breaker-window/--breaker-threshold/"
+                 "--breaker-cooldown need --breaker\n");
+    return 2;
+  }
+  const int64_t corrupt_state_after =
+      flags.Has("corrupt-state-after")
+          ? flags.GetInt("corrupt-state-after", -1)
+          : -1;
+  if (flags.Has("corrupt-state-after") &&
+      (corrupt_state_after < 0 || checkpoint_dir.empty() ||
+       audit_every == 0)) {
+    std::fprintf(err,
+                 "error: --corrupt-state-after needs a non-negative "
+                 "transaction index, --checkpoint-dir, and --audit-every "
+                 "(the drill exists to exercise audit-triggered rollback "
+                 "recovery)\n");
+    return 2;
+  }
+
   // Build the source. A sequence source needs its backing sequence
   // alive for the whole run; it lives here.
   SnapshotSequence sequence;
@@ -568,22 +645,66 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
     retry.max_retries = static_cast<int>(max_retries);
     source = std::make_unique<RetryingSource>(std::move(source), retry);
   }
+  if (breaker) {
+    CircuitBreakerOptions breaker_options;
+    breaker_options.window = static_cast<size_t>(
+        flags.GetInt("breaker-window", 8));
+    breaker_options.failure_threshold =
+        flags.GetDouble("breaker-threshold", 0.5);
+    breaker_options.cooldown_pulls = static_cast<size_t>(
+        flags.GetInt("breaker-cooldown", 16));
+    if (breaker_options.window == 0 ||
+        breaker_options.failure_threshold <= 0.0 ||
+        breaker_options.failure_threshold > 1.0 ||
+        breaker_options.cooldown_pulls == 0) {
+      std::fprintf(err,
+                   "error: --breaker-window/--breaker-cooldown must be "
+                   "positive and --breaker-threshold in (0, 1]\n");
+      return 2;
+    }
+    source = std::make_unique<CircuitBreakerSource>(std::move(source),
+                                                    breaker_options);
+  }
   if (coalesce > 1) {
     source = std::make_unique<CoalescingSource>(
         std::move(source), static_cast<size_t>(coalesce));
+  }
+  PoisonInjectingSource* poison_source = nullptr;
+  if (poison_rate > 0.0) {
+    // Outermost on purpose: CoalescingSource canonicalizes merged
+    // deltas (dropping self-loops), which would silently launder the
+    // poison before the engine ever saw it.
+    PoisonInjectionOptions poison;
+    poison.seed = static_cast<uint64_t>(flags.GetInt("poison-seed", 99));
+    poison.poison_rate = poison_rate;
+    auto poisoned = std::make_unique<PoisonInjectingSource>(
+        std::move(source), poison);
+    poison_source = poisoned.get();
+    source = std::move(poisoned);
   }
 
   // Memo policy stays OUT of the durability fingerprint below for the
   // same reason threads/csr do: outputs are bit-identical under every
   // policy, so resuming a checkpointed run under a different one is
   // sound.
-  std::unique_ptr<AvtTracker> tracker = MakeTracker(
-      algorithm, k, l, num_threads, csr_mode, static_cast<size_t>(batch),
-      memo_policy, memo_budget);
+  auto make_tracker = [&]() {
+    return MakeTracker(algorithm, k, l, num_threads, csr_mode,
+                       static_cast<size_t>(batch), memo_policy, memo_budget);
+  };
+  std::unique_ptr<AvtTracker> tracker = make_tracker();
+
+  EngineOptions engine_options;
+  engine_options.audit.every = static_cast<size_t>(audit_every);
+  engine_options.audit.sample = static_cast<size_t>(audit_sample);
+  engine_options.audit.seed =
+      static_cast<uint64_t>(flags.GetInt("audit-seed", 0x5eed));
+  engine_options.quarantine_dir = quarantine_dir;
+  engine_options.max_universe = static_cast<VertexId>(max_universe);
+
   std::unique_ptr<AvtEngine> engine;
   if (checkpoint_dir.empty()) {
     engine = std::make_unique<AvtEngine>(std::move(tracker),
-                                         std::move(source));
+                                         std::move(source), engine_options);
   } else {
     // The fingerprint already covers the tracker/source names and the
     // batch width; fold in every flag that shapes the STREAM itself so
@@ -608,7 +729,7 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
         std::to_string(flags.GetInt("churn-max", 250));
     if (resume) {
       auto recovered = AvtEngine::Recover(std::move(tracker),
-                                          std::move(source), EngineOptions{},
+                                          std::move(source), engine_options,
                                           durability);
       if (!recovered.ok()) {
         std::fprintf(err, "error: %s\n",
@@ -618,7 +739,8 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
       engine = std::move(recovered).value();
     } else {
       engine = std::make_unique<AvtEngine>(std::move(tracker),
-                                           std::move(source));
+                                           std::move(source),
+                                           engine_options);
       Status armed = engine->EnableDurability(durability);
       if (!armed.ok()) {
         std::fprintf(err, "error: %s\n", armed.ToString().c_str());
@@ -626,6 +748,10 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
       }
     }
   }
+  // A factory lets an audit divergence self-heal by rollback rebuild
+  // instead of halting (trackers are deterministic, so a pristine
+  // replacement replays the WAL to the identical state).
+  engine->SetTrackerFactory(make_tracker);
 
   TablePrinter table(
       {"t", "vertices", "followers", "anchored_core", "candidates",
@@ -638,6 +764,14 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
         .UInt(snap.anchored_core_size)
         .UInt(snap.candidates_visited)
         .Double(snap.millis, 2);
+    if (corrupt_state_after >= 0 &&
+        snap.t == static_cast<size_t>(corrupt_state_after)) {
+      // Corruption drill: arm an index desync that fires right before
+      // the next due audit. The audit must catch it and the rollback
+      // recovery must heal it — exercised end to end by
+      // scripts/poison_stream_e2e.sh.
+      engine->RequestAuditFaultDrill();
+    }
   });
   Status status = engine->Drain();
   if (!status.ok()) {
@@ -649,6 +783,24 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
                engine->source().name().c_str(),
                engine->SnapshotsProcessed(), engine->NumVertices());
   std::fprintf(out, "%s\n", FormatRunSummary(engine->Summary()).c_str());
+  // Health line: the self-healing telemetry in one greppable place
+  // (poison_stream_e2e.sh asserts on it). Printed before the final
+  // line so `tail -1` still yields the machine-diffable state.
+  const RunSummary summary = engine->Summary();
+  std::fprintf(out,
+               "health: %s audits=%llu failures=%llu quarantined=%llu "
+               "recoveries=%llu breaker-opens=%llu\n",
+               engine->health().Describe().c_str(),
+               static_cast<unsigned long long>(summary.audits_run),
+               static_cast<unsigned long long>(summary.audits_failed),
+               static_cast<unsigned long long>(summary.deltas_quarantined),
+               static_cast<unsigned long long>(summary.recoveries),
+               static_cast<unsigned long long>(summary.breaker_opens));
+  if (poison_source != nullptr) {
+    std::fprintf(out, "poison injected: %llu\n",
+                 static_cast<unsigned long long>(
+                     poison_source->poisons_injected()));
+  }
   // Machine-diffable final state for the crash-recovery e2e: identical
   // between an uninterrupted run and a killed+resumed one (the
   // durability layer's whole invariant).
@@ -657,6 +809,43 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
                  engine->last().t, engine->NumVertices());
     for (VertexId a : engine->last().anchors) std::fprintf(out, " %u", a);
     std::fprintf(out, "\n");
+  }
+  // The run completed, but a degraded state (quarantined poison, an
+  // audit recovery, breaker trips) is worth a distinct signal for
+  // scripts that must notice without parsing: exit 6.
+  return engine->health().state() == HealthState::kDegraded ? kExitDegraded
+                                                            : 0;
+}
+
+int RunQuarantineCommand(const Flags& flags, FILE* out, FILE* err) {
+  if (flags.positional().empty()) {
+    std::fprintf(err,
+                 "error: missing <quarantine-dir-or-file> argument\n");
+    return 2;
+  }
+  std::string path = flags.positional()[0];
+  const std::string suffix = ".avtq";
+  if (path.size() < suffix.size() ||
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) !=
+          0) {
+    path += "/";
+    path += QuarantineLog::kFileName;
+  }
+  auto read = QuarantineLog::ReadAll(path);
+  if (!read.ok()) {
+    std::fprintf(err, "error: %s\n", read.status().ToString().c_str());
+    return ExitCodeFor(read.status());
+  }
+  const std::vector<QuarantineRecord>& records = read.value();
+  std::fprintf(out, "%zu quarantined delta(s) in %s\n", records.size(),
+               path.c_str());
+  for (const QuarantineRecord& record : records) {
+    std::fprintf(out, "#%llu reason=%s pull=%llu +%zu -%zu %s\n",
+                 static_cast<unsigned long long>(record.seq),
+                 QuarantineReasonName(record.reason),
+                 static_cast<unsigned long long>(record.source_pull),
+                 record.delta.insertions.size(),
+                 record.delta.deletions.size(), record.detail.c_str());
   }
   return 0;
 }
@@ -712,7 +901,13 @@ std::string UsageText() {
       "           crash safety: [--checkpoint-dir D] [--checkpoint-every N] "
       "[--fsync=never|record] [--resume]\n"
       "           fault drill: [--fault-rate p] [--fault-seed S] "
-      "[--fault-corrupt-after N] [--max-retries R])\n"
+      "[--fault-corrupt-after N] [--max-retries R]\n"
+      "           self-healing: [--audit-every N] [--audit-sample K] "
+      "[--audit-seed S] [--quarantine-dir D] [--max-universe N]\n"
+      "           [--poison-rate p] [--poison-seed S] [--breaker] "
+      "[--breaker-window N] [--breaker-threshold p] [--breaker-cooldown N]\n"
+      "           [--corrupt-state-after N])\n"
+      "  quarantine  inspect a dead-letter log (<dir-or-.avtq-file>)\n"
       "  convert  temporal log -> snapshots    (<temporal> --t --window "
       "--out-prefix)\n"
       "\n"
@@ -749,8 +944,22 @@ std::string UsageText() {
       "injects seeded transient read faults (absorbed by bounded\n"
       "retries with backoff; --max-retries R); --fault-corrupt-after N\n"
       "injects a sticky corrupt frame, surfacing as exit code 4.\n"
+      "--audit-every N runs a cadenced integrity audit (K-order\n"
+      "invariants + --audit-sample K sampled core numbers against a\n"
+      "fresh decomposition) every N transactions, BEFORE the transaction\n"
+      "commits to the WAL. With --checkpoint-dir, an audit divergence\n"
+      "self-heals by checkpoint+WAL rollback; with --quarantine-dir D,\n"
+      "deltas that fail validation or are isolated by bisection land in\n"
+      "D/quarantine.avtq (inspect with `avt_cli quarantine D`) and the\n"
+      "run continues degraded. --max-universe N rejects deltas naming\n"
+      "vertices >= N. --poison-rate p injects seeded malformed deltas\n"
+      "(drill for the quarantine path); --breaker wraps the source in a\n"
+      "failure-rate circuit breaker (closed/open/half-open, pull-counted\n"
+      "cooldown). --corrupt-state-after N desyncs the tracker index\n"
+      "after snapshot N (drill for audit-triggered recovery).\n"
       "exit codes: 0 ok, 2 invalid argument, 3 not found, 4 corruption,\n"
-      "5 io error, 1 other failure.\n";
+      "5 io error (or source unavailable), 6 completed but degraded\n"
+      "(quarantined deltas / audit recovery), 1 other failure.\n";
 }
 
 int RunCli(int argc, char** argv, FILE* out, FILE* err) {
@@ -766,6 +975,7 @@ int RunCli(int argc, char** argv, FILE* out, FILE* err) {
   if (command == "anchors") return RunAnchorsCommand(flags, out, err);
   if (command == "track") return RunTrackCommand(flags, out, err);
   if (command == "stream") return RunStreamCommand(flags, out, err);
+  if (command == "quarantine") return RunQuarantineCommand(flags, out, err);
   if (command == "convert") return RunConvertCommand(flags, out, err);
   if (command == "help" || command == "--help") {
     std::fprintf(out, "%s", UsageText().c_str());

@@ -9,14 +9,17 @@
 //   avt_cli anchors graph.txt --k=3 --l=5 [--algo=greedy|olak|rcm|brute]
 //   avt_cli track   --dataset=eu-core --t=10 --k=3 --l=5 [--algo=incavt]
 //   avt_cli stream  --source=file --temporal=log.txt --t=10 --k=3 --l=5
+//   avt_cli quarantine <dir-or-.avtq-file>
 //   avt_cli convert temporal.txt --t=10 --window=45 --out-prefix=snap
 //
 // All commands return 0 on success and print diagnostics to `err` on
 // failure (no exceptions cross the boundary). Failure exit codes follow
 // the Status code of the underlying error: 2 invalid argument (also
-// usage errors), 3 not found, 4 corruption, 5 io error, 1 anything
-// else — pinned by tests/cli_test.cc and consumed by
-// scripts/crash_recovery_e2e.sh.
+// usage errors), 3 not found, 4 corruption, 5 io error (including an
+// unavailable source), 1 anything else — pinned by tests/cli_test.cc
+// and consumed by scripts/crash_recovery_e2e.sh and
+// scripts/poison_stream_e2e.sh. A stream run that completes but ends
+// DEGRADED (quarantined deltas, an in-process audit recovery) exits 6.
 
 #ifndef AVT_TOOLS_CLI_COMMANDS_H_
 #define AVT_TOOLS_CLI_COMMANDS_H_
@@ -51,7 +54,14 @@ int RunTrackCommand(const Flags& flags, FILE* out, FILE* err);
 /// via --checkpoint-dir/--checkpoint-every/--fsync/--resume (WAL +
 /// checkpoints; docs/DURABILITY.md) and fault drills via
 /// --fault-rate/--fault-seed/--fault-corrupt-after/--max-retries.
+/// Self-healing via --audit-every/--audit-sample/--quarantine-dir/
+/// --max-universe/--breaker and the --poison-rate/
+/// --corrupt-state-after drills (docs/DURABILITY.md).
 int RunStreamCommand(const Flags& flags, FILE* out, FILE* err);
+
+/// Lists the records of a quarantine dead-letter log (a directory
+/// holding quarantine.avtq, or the file itself).
+int RunQuarantineCommand(const Flags& flags, FILE* out, FILE* err);
 
 /// Converts a temporal edge list into windowed snapshot edge lists.
 int RunConvertCommand(const Flags& flags, FILE* out, FILE* err);
