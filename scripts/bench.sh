@@ -27,6 +27,10 @@
 #                                    # + bench_smoke_pr8.json
 #                                    # + bench_smoke_pr9.json)
 #   scripts/bench.sh --stream-out=X.json   # redirect the PR-5 JSON
+#   scripts/bench.sh --scale-out=X.json    # ALSO run bench_scalability
+#                                    # (n=1M stream->track->anchor tier +
+#                                    # text-vs-binlog ingestion gate >=1.5x;
+#                                    # AVT_SCALE_10M=1 adds the 10M tier)
 #   scripts/bench.sh -- --n=100000   # extra args forwarded to bench_perf_gate
 #
 # The gate measures the eager ("before", seed execution strategy) and
@@ -70,6 +74,11 @@ if [[ "${1:-}" == --stream-out=* ]]; then
   stream_out="${1#--stream-out=}"
   shift
 fi
+scale_out=""
+if [[ "${1:-}" == --scale-out=* ]]; then
+  scale_out="${1#--scale-out=}"
+  shift
+fi
 if [[ "${1:-}" == "--" ]]; then
   shift
 fi
@@ -84,3 +93,18 @@ cmake --build build -j "$jobs" --target bench_perf_gate
   --memo-out="$memo_out" --selfheal-out="$selfheal_out" \
   "${extra[@]}" "$@"
 echo "bench output: $out + $threads_out + $csr_out + $stream_out + $scaling_out + $durability_out + $memo_out + $selfheal_out"
+
+# Scalability tier (PR 10): full stream->track->anchor pipeline at
+# n=1M driven from the binary edge log, plus the text-vs-binlog
+# ingestion gate (>= 1.5x). Opt-in because the 1M tier alone needs a
+# few GB of scratch and ~2 minutes; AVT_SCALE_10M=1 adds the 10M tier
+# (nightly-sized: ~10 GB scratch, several minutes).
+if [[ -n "$scale_out" ]]; then
+  cmake --build build -j "$jobs" --target bench_scalability
+  scale_flags=(--out="$scale_out")
+  if [[ -n "${AVT_SCALE_10M:-}" ]]; then
+    scale_flags+=(--full)
+  fi
+  ./build/bench_scalability "${scale_flags[@]}"
+  echo "scalability output: $scale_out"
+fi

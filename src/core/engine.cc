@@ -7,6 +7,7 @@
 
 #include "durability/checkpoint.h"
 #include "durability/serde.h"
+#include "util/mem.h"
 
 namespace avt {
 
@@ -827,6 +828,7 @@ RunSummary AvtEngine::Summary() const {
   summary.recoveries = recoveries_;
   summary.health = health_.state();
   summary.health_reason = health_.reason();
+  summary.peak_rss_bytes = PeakRssBytes();
   if (processed_ == 0) return summary;
   summary.total_millis = total_millis_;
   summary.max_millis = max_millis_;

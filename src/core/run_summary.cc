@@ -118,6 +118,12 @@ std::string FormatRunSummary(const RunSummary& summary) {
                       summary.breaker_rejected_pulls));
     line += buf;
   }
+  if (summary.peak_rss_bytes > 0) {
+    std::snprintf(buf, sizeof(buf), ", peak RSS %.1f MiB",
+                  static_cast<double>(summary.peak_rss_bytes) /
+                      (1024.0 * 1024.0));
+    line += buf;
+  }
   if (summary.health != HealthState::kHealthy) {
     std::snprintf(buf, sizeof(buf), ", health %s (%s)",
                   HealthStateName(summary.health),

@@ -65,6 +65,12 @@ struct RunSummary {
   /// current state.
   HealthState health = HealthState::kHealthy;
   HealthReason health_reason = HealthReason::kNone;
+  /// Process peak resident set size at summary time (util/mem.h), the
+  /// metric that decides whether a run of this size is servable on a
+  /// box. 0 = unknown (platform without getrusage). Only
+  /// AvtEngine::Summary fills it; it describes the process, not the
+  /// tracked result, so recovery bit-identity comparisons exclude it.
+  uint64_t peak_rss_bytes = 0;
 };
 
 /// Computes the summary.

@@ -69,25 +69,19 @@ void WindowDiffer::EmitWindow(int64_t horizon, EdgeDelta* delta) {
 
 // --- StreamingEdgeFileSource -------------------------------------------
 
-StatusOr<std::unique_ptr<StreamingEdgeFileSource>>
-StreamingEdgeFileSource::Open(const std::string& path, size_t T,
-                              uint32_t window_days) {
-  if (T < 1) {
-    return Status::InvalidArgument("stream needs at least one snapshot");
-  }
-
-  // Metadata pass: timestamp range + sortedness, O(1) memory. The batch
-  // loader tolerates unsorted files by sorting in memory; a stream
-  // cannot, so reject disorder here with line-level context instead of
-  // producing silently wrong windows.
+StatusOr<TemporalFileMetadata> ScanTemporalMetadata(
+    const std::string& path) {
+  // Timestamp range + sortedness + universe count. The batch loader
+  // tolerates unsorted files by sorting in memory; a stream cannot, so
+  // reject disorder here with line-level context instead of producing
+  // silently wrong windows.
   std::ifstream scan(path);
   if (!scan) {
     return Status::IoError("cannot open " + path);
   }
   std::string line;
   size_t line_number = 0;
-  int64_t t_min = 0;
-  int64_t t_max = 0;
+  TemporalFileMetadata meta;
   int64_t previous = 0;
   bool any = false;
   std::unordered_set<uint64_t> raw_ids;
@@ -110,8 +104,8 @@ StreamingEdgeFileSource::Open(const std::string& path, size_t T,
           "LoadTemporalEdgeList");
     }
     previous = ts;
-    if (!any || ts < t_min) t_min = ts;
-    if (!any || ts > t_max) t_max = ts;
+    if (!any || ts < meta.t_min) meta.t_min = ts;
+    if (!any || ts > meta.t_max) meta.t_max = ts;
     any = true;
     raw_ids.insert(a);
     raw_ids.insert(b);
@@ -120,32 +114,64 @@ StreamingEdgeFileSource::Open(const std::string& path, size_t T,
     return Status::InvalidArgument("temporal edge list " + path +
                                    " contains no events");
   }
+  meta.num_vertices = static_cast<VertexId>(raw_ids.size());
+  return meta;
+}
+
+StatusOr<std::unique_ptr<StreamingEdgeFileSource>>
+StreamingEdgeFileSource::Open(const std::string& path, size_t T,
+                              uint32_t window_days) {
+  StatusOr<TemporalFileMetadata> meta = ScanTemporalMetadata(path);
+  if (!meta.ok()) return meta.status();
+  return Open(path, T, window_days, meta.value());
+}
+
+StatusOr<std::unique_ptr<StreamingEdgeFileSource>>
+StreamingEdgeFileSource::Open(const std::string& path, size_t T,
+                              uint32_t window_days,
+                              const TemporalFileMetadata& metadata) {
+  if (T < 1) {
+    return Status::InvalidArgument("stream needs at least one snapshot");
+  }
 
   auto source =
       std::unique_ptr<StreamingEdgeFileSource>(new StreamingEdgeFileSource());
   source->path_ = path;
   source->T_ = T;
   source->window_days_ = window_days;
-  source->t_min_ = t_min;
-  source->t_max_ = t_max;
+  source->t_min_ = metadata.t_min;
+  source->t_max_ = metadata.t_max;
   source->file_.open(path);
   if (!source->file_) {
-    return Status::IoError("cannot reopen " + path);
+    return Status::IoError("cannot open " + path);
   }
 
   // Window 1 builds G_0 over the FULL declared universe (not-yet-active
   // vertices isolated, exactly like the batch loader's fixed universe).
   // Sorted canonical insertions mean G_0's adjacency order is exactly
   // what the materialized WindowSnapshots path builds.
-  const int64_t boundary = WindowBoundary(t_min, t_max, 1, T);
+  const int64_t boundary =
+      WindowBoundary(metadata.t_min, metadata.t_max, 1, T);
   Status status = source->ConsumeUpTo(boundary);
   if (!status.ok()) return status;
   EdgeDelta first;
   source->differ_.EmitWindow(boundary - static_cast<int64_t>(window_days),
                              &first);
-  AVT_CHECK(first.deletions.empty());
-  source->initial_ = Graph(static_cast<VertexId>(raw_ids.size()));
+  if (!first.deletions.empty()) {
+    // Only reachable with fabricated metadata whose t_min overshoots
+    // the real range; with a scanned range window 1 can never delete.
+    return Status::InvalidArgument(
+        "stream metadata inconsistent with " + path +
+        ": first window produced deletions");
+  }
+  source->initial_ = Graph(metadata.num_vertices);
   for (const Edge& e : first.insertions) {
+    if (e.v >= metadata.num_vertices) {
+      // Dense ids exceed the declared universe: supplied metadata
+      // undercounts the file's endpoints.
+      return Status::InvalidArgument(
+          "stream metadata undercounts the vertex universe of " + path);
+    }
     source->initial_.AddEdge(e.u, e.v);
   }
   return source;
@@ -166,6 +192,17 @@ Status StreamingEdgeFileSource::ConsumeUpTo(int64_t boundary) {
     AVT_RETURN_IF_ERROR(
         ParseTemporalEdgeLine(line, line_number_, &a, &b, &ts));
     if (a == b) continue;  // the loader drops self-loops before mapping
+    // Incremental sortedness check: the scanning Open validated order
+    // up front, but the metadata Open never saw the file — and either
+    // way the file may have changed under us. Disorder mis-windows
+    // everything downstream, so it is an error, not a warning.
+    if (any_event_ && ts < last_ts_) {
+      return Status::InvalidArgument(
+          "temporal edge list is not sorted by timestamp (line " +
+          std::to_string(line_number_) + ")");
+    }
+    last_ts_ = ts;
+    any_event_ = true;
     // First-appearance id compaction, exactly like LoadTemporalEdgeList
     // (sequenced Map calls; see graph/io.cc).
     auto map_id = [this](uint64_t raw) {

@@ -184,6 +184,27 @@ inline int64_t WindowBoundary(int64_t t_min, int64_t t_max, size_t t,
          1;
 }
 
+/// What StreamingEdgeFileSource's metadata pre-scan learns about a
+/// temporal edge-list file: the timestamp range that fixes the window
+/// boundaries and the distinct-endpoint count that fixes the dense
+/// universe. Callers that already know these (a binary edge-log header,
+/// a prior scan, a generator) hand them to Open and skip the O(file)
+/// pre-scan entirely — the fix for the two-pass ingestion cost.
+struct TemporalFileMetadata {
+  int64_t t_min = 0;
+  int64_t t_max = 0;
+  /// Distinct non-self-loop endpoint ids (the dense universe size).
+  VertexId num_vertices = 0;
+};
+
+/// One pass over `path` (O(distinct ids) memory): validates grammar
+/// and timestamp sortedness (kInvalidArgument on disorder or an empty
+/// event set, kCorruption on malformed lines — LoadTemporalEdgeList's
+/// taxonomy) and returns the stream metadata. This IS the pre-scan
+/// StreamingEdgeFileSource::Open runs when no metadata is supplied.
+StatusOr<TemporalFileMetadata> ScanTemporalMetadata(
+    const std::string& path);
+
 /// Streams a temporal edge-list file ("u v timestamp" lines, '#'/'%'
 /// comments — the exact grammar of LoadTemporalEdgeList) into T
 /// window-diffed transitions without materializing any snapshot beyond
@@ -215,8 +236,22 @@ inline int64_t WindowBoundary(int64_t t_min, int64_t t_max, size_t t,
 class StreamingEdgeFileSource : public DeltaSource {
  public:
   /// Opens `path` for a T-snapshot stream with the given window width.
+  /// Runs ScanTemporalMetadata first (one O(file) pre-scan), then
+  /// streams the file once more as deltas are pulled.
   static StatusOr<std::unique_ptr<StreamingEdgeFileSource>> Open(
       const std::string& path, size_t T, uint32_t window_days);
+
+  /// Same stream, but with the pre-scan skipped: `metadata` supplies
+  /// the timestamp range and universe, so the file is read exactly
+  /// once. The caller vouches for the metadata (from a previous scan,
+  /// a convert run, or an external catalog); wrong values mis-window
+  /// the stream the same way they would mis-window the batch loader.
+  /// Sortedness is still verified incrementally while streaming, so a
+  /// disordered file surfaces as kInvalidArgument mid-stream instead
+  /// of silently wrong deltas.
+  static StatusOr<std::unique_ptr<StreamingEdgeFileSource>> Open(
+      const std::string& path, size_t T, uint32_t window_days,
+      const TemporalFileMetadata& metadata);
 
   const Graph& InitialGraph() const override { return initial_; }
   StatusOr<bool> NextDelta(EdgeDelta* delta) override;
@@ -247,6 +282,8 @@ class StreamingEdgeFileSource : public DeltaSource {
   int64_t t_min_ = 0;
   int64_t t_max_ = 0;
   size_t line_number_ = 0;
+  int64_t last_ts_ = 0;     // incremental sortedness check
+  bool any_event_ = false;
   bool has_pending_ = false;
   VertexId pending_u_ = 0;
   VertexId pending_v_ = 0;

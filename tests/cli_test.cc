@@ -443,6 +443,134 @@ TEST_F(CliTest, ConvertWindowsTemporalLog) {
   }
 }
 
+// --- binary edge log: convert + stream --source=binlog ------------------
+
+// Writes a sorted synthetic temporal log with enough events to give
+// every window a few deltas.
+static void WriteTemporalFixture(const std::string& path) {
+  std::ofstream file(path);
+  for (int i = 0; i < 120; ++i) {
+    int u = i % 7;
+    int v = (i + 1 + i / 7) % 9;
+    if (u == v) v = (v + 1) % 9;
+    file << u << " " << v << " " << i * 3 << "\n";
+  }
+}
+
+TEST_F(CliTest, ConvertToBinlogRoundTripsThroughStream) {
+  // `convert <text> <binlog>` transcodes; streaming either form must
+  // land on the same final anchors.
+  std::string log_path = TempPath("binlog_src.txt");
+  WriteTemporalFixture(log_path);
+  std::string binlog_path = TempPath("binlog.avtb");
+
+  std::string out;
+  ASSERT_EQ(Run({"convert", log_path, binlog_path, "--t=5", "--window=90"},
+                &out),
+            0);
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+  EXPECT_NE(out.find("deltas"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(binlog_path));
+
+  std::string from_text, from_binlog;
+  ASSERT_EQ(Run({"stream", "--source=file", "--temporal=" + log_path, "--t=5",
+                 "--window=90", "--k=3", "--l=2"},
+                &from_text),
+            0);
+  ASSERT_EQ(Run({"stream", "--source=binlog", "--binlog=" + binlog_path,
+                 "--k=3", "--l=2"},
+                &from_binlog),
+            0);
+  ASSERT_NE(FinalLine(from_text), "");
+  EXPECT_EQ(FinalLine(from_binlog), FinalLine(from_text));
+}
+
+TEST_F(CliTest, ConvertBinlogRejectsUnsortedEvents) {
+  std::string log_path = TempPath("unsorted.txt");
+  {
+    std::ofstream file(log_path);
+    file << "0 1 50\n1 2 10\n";
+  }
+  std::string out, err;
+  EXPECT_EQ(Run({"convert", log_path, TempPath("unsorted.avtb"), "--t=3",
+                 "--window=30"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("sorted"), std::string::npos);
+}
+
+TEST_F(CliTest, ConvertBinlogMalformedInputIsCorruption) {
+  std::string log_path = TempPath("garbled.txt");
+  {
+    std::ofstream file(log_path);
+    file << "0 1 10\nnot an event line\n";
+  }
+  std::string out, err;
+  EXPECT_EQ(Run({"convert", log_path, TempPath("garbled.avtb"), "--t=3",
+                 "--window=30"},
+                &out, &err),
+            4);
+}
+
+TEST_F(CliTest, StreamBinlogRequiresTheFlag) {
+  std::string out, err;
+  EXPECT_EQ(Run({"stream", "--source=binlog", "--k=3", "--l=2"}, &out, &err),
+            2);
+  EXPECT_NE(err.find("--binlog"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamBinlogMissingFileIsNotFound) {
+  std::string out, err;
+  EXPECT_EQ(Run({"stream", "--source=binlog",
+                 "--binlog=/nonexistent/log.avtb", "--k=3", "--l=2"},
+                &out, &err),
+            3);
+}
+
+TEST_F(CliTest, StreamBinlogCorruptFileIsCorruption) {
+  std::string bogus = TempPath("bogus.avtb");
+  {
+    std::ofstream file(bogus, std::ios::binary);
+    file << std::string(128, 'z');
+  }
+  std::string out, err;
+  EXPECT_EQ(Run({"stream", "--source=binlog", "--binlog=" + bogus, "--k=3",
+                 "--l=2"},
+                &out, &err),
+            4);
+}
+
+TEST_F(CliTest, StreamMetaFlagsMustComeTogether) {
+  std::string log_path = TempPath("meta_partial.txt");
+  WriteTemporalFixture(log_path);
+  std::string out, err;
+  EXPECT_EQ(Run({"stream", "--source=file", "--temporal=" + log_path, "--t=4",
+                 "--window=90", "--k=3", "--l=2", "--meta-vertices=9"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("--meta-tmin"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamMetaFlagsSkipTheScanAndMatch) {
+  // Handing the scanner's own metadata back via flags must not change
+  // the stream (the single-pass open is an optimization, not a fork).
+  std::string log_path = TempPath("meta_full.txt");
+  WriteTemporalFixture(log_path);
+  std::string scanned, handed;
+  ASSERT_EQ(Run({"stream", "--source=file", "--temporal=" + log_path, "--t=4",
+                 "--window=90", "--k=3", "--l=2"},
+                &scanned),
+            0);
+  // Fixture: ts spans 0..357, max vertex id 8 -> universe 9.
+  ASSERT_EQ(Run({"stream", "--source=file", "--temporal=" + log_path, "--t=4",
+                 "--window=90", "--k=3", "--l=2", "--meta-tmin=0",
+                 "--meta-tmax=357", "--meta-vertices=9"},
+                &handed),
+            0);
+  ASSERT_NE(FinalLine(scanned), "");
+  EXPECT_EQ(FinalLine(handed), FinalLine(scanned));
+}
+
 // --- stream command ----------------------------------------------------
 
 TEST_F(CliTest, HelpMentionsStreamCommand) {

@@ -292,6 +292,30 @@ TEST_F(StreamingEdgeFileSourceTest, MalformedLineIsCorruption) {
   EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
 }
 
+TEST_F(StreamingEdgeFileSourceTest, ScanTemporalMetadataReportsTheRange) {
+  // The scan is the formerly-inline first pass of Open: timestamp range
+  // and universe, with self-loops invisible exactly as above.
+  std::string path = TempPath("meta.txt");
+  {
+    std::ofstream file(path);
+    file << "9 9 1\n"  // self-loop: must not own t_min or grow the universe
+         << "0 1 10\n0 2 12\n1 2 14\n2 5 20\n0 3 26\n";
+  }
+  auto meta = ScanTemporalMetadata(path);
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_EQ(meta.value().t_min, 10);
+  EXPECT_EQ(meta.value().t_max, 26);
+  EXPECT_EQ(meta.value().num_vertices, 5u);  // distinct real ids 0,1,2,3,5
+
+  // The metadata-handed Open trusts but verifies: a universe that
+  // undercounts the file is rejected, not a crash inside AddEdge.
+  TemporalFileMetadata wrong = meta.value();
+  wrong.num_vertices = 2;
+  auto opened = StreamingEdgeFileSource::Open(path, 3, 8, wrong);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+}
+
 // --- CoalescingSource --------------------------------------------------
 
 TEST(CoalescingSource, WindowOneIsTheIdentity) {

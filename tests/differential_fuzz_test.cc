@@ -50,6 +50,7 @@
 #include "graph/delta.h"
 #include "graph/delta_source.h"
 #include "graph/dynamic_csr.h"
+#include "graph/edge_log.h"
 #include "graph/io.h"
 #include "util/random.h"
 
@@ -373,6 +374,76 @@ TEST(DifferentialFuzz, StreamedFileReplayMatchesMaterializedMatrix) {
     }
   }
   std::remove(path.c_str());
+}
+
+// The binary edge log is a third, on-disk representation of the same
+// stream: `convert` transcodes the temporal file once, and
+// MmapEdgeLogSource replays the frames with zero parsing. The
+// acceptance bar is the strongest one this suite has: anchors and
+// follower counts BIT-IDENTICAL across all three representations —
+// binlog, text streamer, materialized snapshots — for every
+// {lazy, eager} x csr {none, maintained} x batch {1, 16} configuration.
+TEST(DifferentialFuzz, BinlogReplayMatchesTextAndMaterializedMatrix) {
+  Rng rng(909);
+  TemporalGenOptions options;
+  options.num_vertices = 220;
+  options.num_events = 12'000;
+  options.num_days = 100;
+  TemporalEventLog log = GenBurstyMessageEvents(options, 0.2, 4.0, rng);
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string text_path = (tmp / "avt_fuzz_binlog_src.txt").string();
+  const std::string binlog_path = (tmp / "avt_fuzz_binlog.avtb").string();
+  ASSERT_TRUE(SaveTemporalEdgeList(log, text_path).ok());
+  const size_t T = 6;
+  const uint32_t window = 25;
+  auto stats = ConvertTemporalToEdgeLog(text_path, T, window, binlog_path);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  auto loaded = LoadTemporalEdgeList(text_path);
+  ASSERT_TRUE(loaded.ok());
+  SnapshotSequence sequence = WindowSnapshots(loaded.value(), T, window);
+
+  const uint32_t k = 3;
+  const uint32_t l = 4;
+  for (bool lazy : {true, false}) {
+    for (IncAvtCsrMode mode :
+         {IncAvtCsrMode::kNone, IncAvtCsrMode::kMaintained}) {
+      for (size_t batch : {size_t{1}, size_t{16}}) {
+        IncAvtOptions options_inc;
+        options_inc.lazy = lazy;
+        options_inc.csr = mode;
+        options_inc.batch_size = batch;
+        auto run_config = [&](std::unique_ptr<DeltaSource> source) {
+          AvtEngine engine(
+              std::make_unique<IncAvtTracker>(
+                  k, l, IncAvtMode::kRestricted, options_inc),
+              std::move(source));
+          std::vector<std::pair<std::vector<VertexId>, uint32_t>> track;
+          engine.SetObserver([&](const AvtSnapshotResult& snap) {
+            track.emplace_back(snap.anchors, snap.num_followers);
+          });
+          EXPECT_TRUE(engine.Drain().ok());
+          return track;
+        };
+        auto materialized =
+            run_config(std::make_unique<SequenceSource>(&sequence));
+        auto text_source = StreamingEdgeFileSource::Open(text_path, T, window);
+        ASSERT_TRUE(text_source.ok()) << text_source.status().ToString();
+        auto streamed = run_config(std::move(text_source).value());
+        auto bin_source = MmapEdgeLogSource::Open(binlog_path);
+        ASSERT_TRUE(bin_source.ok()) << bin_source.status().ToString();
+        auto binlogged = run_config(std::move(bin_source).value());
+        const std::string config = "lazy=" + std::to_string(lazy) +
+                                   " csr=" + std::to_string(int(mode)) +
+                                   " batch=" + std::to_string(batch);
+        EXPECT_EQ(streamed, materialized) << config;
+        EXPECT_EQ(binlogged, streamed) << config;
+        EXPECT_EQ(binlogged, materialized) << config;
+      }
+    }
+  }
+  std::remove(text_path.c_str());
+  std::remove(binlog_path.c_str());
 }
 
 // Feeds a fixed schedule of deltas to the engine (no snapshot sequence

@@ -21,6 +21,7 @@
 #include "gen/models.h"
 #include "gen/temporal.h"
 #include "graph/delta_source.h"
+#include "graph/edge_log.h"
 #include "graph/io.h"
 #include "graph/resilient_source.h"
 #include "util/table.h"
@@ -592,8 +593,52 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
                    "error: --source=file needs --temporal=<edge list>\n");
       return 2;
     }
-    auto opened = StreamingEdgeFileSource::Open(
-        temporal, T, static_cast<uint32_t>(flags.GetInt("window", 45)));
+    StatusOr<std::unique_ptr<StreamingEdgeFileSource>> opened =
+        Status::InvalidArgument("unopened");
+    const bool has_meta = flags.Has("meta-tmin") || flags.Has("meta-tmax") ||
+                          flags.Has("meta-vertices");
+    if (has_meta) {
+      // Caller-supplied stream metadata skips the O(file) pre-scan
+      // (the two-pass fix) — all three values or none.
+      if (!(flags.Has("meta-tmin") && flags.Has("meta-tmax") &&
+            flags.Has("meta-vertices"))) {
+        std::fprintf(err,
+                     "error: --meta-tmin/--meta-tmax/--meta-vertices must "
+                     "be supplied together\n");
+        return 2;
+      }
+      TemporalFileMetadata meta;
+      meta.t_min = flags.GetInt("meta-tmin", 0);
+      meta.t_max = flags.GetInt("meta-tmax", 0);
+      const int64_t vertices = flags.GetInt("meta-vertices", -1);
+      if (vertices <= 0 || meta.t_max < meta.t_min) {
+        std::fprintf(err,
+                     "error: stream metadata needs --meta-vertices > 0 and "
+                     "--meta-tmax >= --meta-tmin\n");
+        return 2;
+      }
+      meta.num_vertices = static_cast<VertexId>(vertices);
+      opened = StreamingEdgeFileSource::Open(
+          temporal, T, static_cast<uint32_t>(flags.GetInt("window", 45)),
+          meta);
+    } else {
+      opened = StreamingEdgeFileSource::Open(
+          temporal, T, static_cast<uint32_t>(flags.GetInt("window", 45)));
+    }
+    if (!opened.ok()) {
+      std::fprintf(err, "error: %s\n",
+                   opened.status().ToString().c_str());
+      return ExitCodeFor(opened.status());
+    }
+    source = std::move(opened).value();
+  } else if (kind == "binlog") {
+    const std::string binlog = flags.GetString("binlog", "");
+    if (binlog.empty()) {
+      std::fprintf(err,
+                   "error: --source=binlog needs --binlog=<edge log>\n");
+      return 2;
+    }
+    auto opened = MmapEdgeLogSource::Open(binlog);
     if (!opened.ok()) {
       std::fprintf(err, "error: %s\n",
                    opened.status().ToString().c_str());
@@ -631,7 +676,8 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
     source = std::make_unique<SequenceSource>(&sequence);
   } else {
     std::fprintf(err,
-                 "error: unknown --source '%s' (file, gen, sequence)\n",
+                 "error: unknown --source '%s' (file, binlog, gen, "
+                 "sequence)\n",
                  kind.c_str());
     return 2;
   }
@@ -722,6 +768,7 @@ int RunStreamCommand(const Flags& flags, FILE* out, FILE* err) {
         ";window=" + std::to_string(flags.GetInt("window", 45)) +
         ";seed=" + std::to_string(flags.GetInt("seed", 42)) +
         ";temporal=" + flags.GetString("temporal", "") +
+        ";binlog=" + flags.GetString("binlog", "") +
         ";dataset=" + flags.GetString("dataset", "") +
         ";scale=" + std::to_string(flags.GetDouble("scale", 0.25)) +
         ";n=" + std::to_string(flags.GetInt("n", 1000)) +
@@ -855,14 +902,42 @@ int RunConvertCommand(const Flags& flags, FILE* out, FILE* err) {
     std::fprintf(err, "error: missing <temporal-edge-list> argument\n");
     return 2;
   }
+  const size_t T = static_cast<size_t>(flags.GetInt("t", 10));
+  const uint32_t window =
+      static_cast<uint32_t>(flags.GetInt("window", 45));
+
+  // Two output modes: a second positional transcodes the text log into
+  // a binary edge log (`convert in.txt out.avtb`); without it, the
+  // historical snapshot-file mode (--out-prefix) materializes every
+  // window as its own edge list.
+  if (flags.positional().size() >= 2) {
+    const std::string& text = flags.positional()[0];
+    const std::string& binlog = flags.positional()[1];
+    const uint32_t index_every = static_cast<uint32_t>(
+        flags.GetInt("index-every", 64));
+    auto written =
+        ConvertTemporalToEdgeLog(text, T, window, binlog, index_every);
+    if (!written.ok()) {
+      std::fprintf(err, "error: %s\n",
+                   written.status().ToString().c_str());
+      return ExitCodeFor(written.status());
+    }
+    const EdgeLogWriteStats& stats = written.value();
+    std::fprintf(out,
+                 "wrote %s: %llu deltas, %u vertices, %llu bytes "
+                 "(T=%zu, window=%u days)\n",
+                 binlog.c_str(),
+                 static_cast<unsigned long long>(stats.deltas),
+                 stats.num_vertices,
+                 static_cast<unsigned long long>(stats.bytes), T, window);
+    return 0;
+  }
+
   auto log = LoadTemporalEdgeList(flags.positional()[0]);
   if (!log.ok()) {
     std::fprintf(err, "error: %s\n", log.status().ToString().c_str());
     return ExitCodeFor(log.status());
   }
-  const size_t T = static_cast<size_t>(flags.GetInt("t", 10));
-  const uint32_t window =
-      static_cast<uint32_t>(flags.GetInt("window", 45));
   const std::string prefix = flags.GetString("out-prefix", "snapshot");
 
   SnapshotSequence sequence = WindowSnapshots(log.value(), T, window);
@@ -893,11 +968,13 @@ std::string UsageText() {
       "  track    AVT over an evolving graph   (--dataset|--temporal --t "
       "--k --l [--algo] [--threads] [--csr] [--memo-policy] "
       "[--memo-budget])\n"
-      "  stream   AVT over a delta stream      (--source=file|gen|sequence "
+      "  stream   AVT over a delta stream      "
+      "(--source=file|binlog|gen|sequence "
       "--k --l [--coalesce-window N] [--batch N] [--memo-policy] "
       "[--memo-budget]\n"
-      "           file: --temporal --t --window; gen: --n --churn-min/max "
-      "--seed; sequence: --dataset\n"
+      "           file: --temporal --t --window "
+      "[--meta-tmin --meta-tmax --meta-vertices]; binlog: --binlog;\n"
+      "           gen: --n --churn-min/max --seed; sequence: --dataset\n"
       "           crash safety: [--checkpoint-dir D] [--checkpoint-every N] "
       "[--fsync=never|record] [--resume]\n"
       "           fault drill: [--fault-rate p] [--fault-seed S] "
@@ -910,12 +987,22 @@ std::string UsageText() {
       "  quarantine  inspect a dead-letter log (<dir-or-.avtq-file>)\n"
       "  convert  temporal log -> snapshots    (<temporal> --t --window "
       "--out-prefix)\n"
+      "           temporal log -> binary edge log (<temporal> <out.avtb> "
+      "--t --window [--index-every N])\n"
       "\n"
       "stream drives the tracker through the push-based AvtEngine: no\n"
       "snapshot is ever materialized past G_0, vertex universes grow on\n"
       "demand, and --coalesce-window N merges N transitions into one\n"
       "net-effect delta (N=1 streams verbatim; results then match track\n"
       "bit for bit).\n"
+      "--source=binlog mmaps a binary edge log (written by `convert\n"
+      "in.txt out.avtb` or gen_datasets): the header carries the vertex\n"
+      "universe and delta count, so ingestion is zero-copy with no\n"
+      "metadata pre-scan — anchors are bit-identical to streaming the\n"
+      "text the log was converted from. --source=file accepts optional\n"
+      "--meta-tmin/--meta-tmax/--meta-vertices to skip its O(file)\n"
+      "metadata pre-scan when the stream's range and universe are\n"
+      "already known (wrong values are rejected, not mis-windowed).\n"
       "--batch N (>= 1, default 1) sets incavt's delta-transaction width:\n"
       "the engine merges N consecutive deltas per tracker transaction, so\n"
       "the tracker pays one invalidation walk per N deltas and reports\n"

@@ -6,13 +6,18 @@
 //
 // For churn datasets it writes the initial snapshot plus one edge-list
 // per snapshot; for temporal datasets the raw event log plus windowed
-// snapshots.
+// snapshots. Each dataset also gets a binary edge log
+// (<name>.avtb, graph/edge_log.h) holding the SAME delta stream —
+// `avt_cli stream --source=binlog --binlog=data/<name>.avtb` replays
+// it without any text parsing (pass --no-binlog to skip).
 
 #include <cstdio>
 #include <filesystem>
 #include <string>
 
 #include "gen/datasets.h"
+#include "graph/delta_source.h"
+#include "graph/edge_log.h"
 #include "graph/io.h"
 #include "util/flags.h"
 
@@ -44,9 +49,24 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    std::printf("%-14s -> %zu snapshots under %s/ (n=%u)\n",
-                info.name.c_str(), sequence.NumSnapshots(), dir.c_str(),
-                sequence.NumVertices());
+    if (flags.GetBool("no-binlog", false)) {
+      std::printf("%-14s -> %zu snapshots under %s/ (n=%u)\n",
+                  info.name.c_str(), sequence.NumSnapshots(), dir.c_str(),
+                  sequence.NumVertices());
+      continue;
+    }
+    const std::string binlog = dir + "/" + info.name + ".avtb";
+    SequenceSource source(&sequence);
+    auto written = WriteEdgeLog(source, binlog);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   written.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s -> %zu snapshots + %s (n=%u, %llu bytes)\n",
+                info.name.c_str(), sequence.NumSnapshots(), binlog.c_str(),
+                sequence.NumVertices(),
+                static_cast<unsigned long long>(written.value().bytes));
   }
   return 0;
 }
